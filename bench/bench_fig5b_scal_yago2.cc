@@ -1,0 +1,7 @@
+// Reproduces Fig. 5(b): parallel scalability on the YAGO2-shaped graph.
+#include "scal_common.h"
+
+int main() {
+  auto g = gfd::bench::Yago2Like();
+  return gfd::bench::RunScalabilityFigure("Fig 5(b)", "YAGO2-like", g);
+}

@@ -1,0 +1,7 @@
+// Reproduces Fig. 5(c): parallel scalability on the IMDB-shaped graph.
+#include "scal_common.h"
+
+int main() {
+  auto g = gfd::bench::ImdbLike();
+  return gfd::bench::RunScalabilityFigure("Fig 5(c)", "IMDB-like", g);
+}

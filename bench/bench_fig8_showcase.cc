@@ -1,0 +1,89 @@
+// Reproduces Fig. 8 / "Real-world GFDs": runs full discovery on the
+// YAGO2-shaped graph and prints the discovered counterparts of the
+// paper's showcased rules --
+//   GFD1: variable-only rule with wildcards (familyname inheritance),
+//   GFD2: award exclusivity (negative with constant bindings),
+//   GFD3: citizenship exclusivity (negative),
+//   phi3: the illegal mutual-parent structure (pattern-level negative).
+#include "bench_util.h"
+#include "core/cover.h"
+
+using namespace gfd;
+using namespace gfd::bench;
+
+int main() {
+  auto g = Yago2Like(1500);
+  auto cfg = ScaledConfig(g);
+  PrintHeader("Fig 8", "showcase of discovered GFDs", g);
+
+  ParallelRunConfig pcfg;
+  pcfg.workers = 8;
+  WallTimer t;
+  auto res = ParDis(g, cfg, pcfg);
+  auto cover = SeqCover(res.AllGfds());
+  std::printf("discovered %zu positives + %zu negatives in %.1fs; cover=%zu\n",
+              res.positives.size(), res.negatives.size(), t.Seconds(),
+              cover.size());
+
+  auto contains = [](const std::string& s, const char* needle) {
+    return s.find(needle) != std::string::npos;
+  };
+  // GFD2/GFD3-style exclusivity negatives are *implied* by their base
+  // positives (e.g. won ∧ y.name='Gold Bear' -> x.festival='berlin'
+  // derives a conflict with x.festival='venice'), so the cover correctly
+  // drops them -- search the full discovered set, as the paper's Fig. 8
+  // showcases discovered rules.
+  auto all = res.AllGfds();
+  int shown = 0;
+  std::printf("\n-- GFD1-style: wildcard variable-only rules (from the "
+              "cover) --\n");
+  for (const auto& phi : cover) {
+    std::string s = phi.ToString(g);
+    if (contains(s, "x0:_") && contains(s, "familyname=") &&
+        !phi.HasFalseRhs() && shown < 4) {
+      std::printf("  %s\n", s.c_str());
+      ++shown;
+    }
+  }
+  std::printf("\n-- GFD2-style: award exclusivity negatives (discovered; "
+              "cover keeps their base positives) --\n");
+  shown = 0;
+  for (const auto& phi : all) {
+    std::string s = phi.ToString(g);
+    if (phi.HasFalseRhs() &&
+        (contains(s, "Gold Bear") || contains(s, "Gold Lion")) &&
+        contains(s, "festival") && shown < 3) {
+      std::printf("  %s\n", s.c_str());
+      ++shown;
+    }
+  }
+  for (const auto& phi : cover) {
+    std::string s = phi.ToString(g);
+    if (!phi.HasFalseRhs() && contains(s, "Gold") && shown < 5) {
+      std::printf("  (base positive in cover) %s\n", s.c_str());
+      ++shown;
+    }
+  }
+  std::printf("\n-- GFD3-style: citizenship exclusivity negatives "
+              "(discovered) --\n");
+  shown = 0;
+  for (const auto& phi : all) {
+    std::string s = phi.ToString(g);
+    bool has_us = contains(s, "'US'") || contains(s, "passport='us'");
+    bool has_no = contains(s, "'Norway'") || contains(s, "passport='no'");
+    if (phi.HasFalseRhs() && has_us && has_no && shown < 4) {
+      std::printf("  %s\n", s.c_str());
+      ++shown;
+    }
+  }
+  std::printf("\n-- phi3-style: illegal structures (pattern-only "
+              "negatives, from the cover) --\n");
+  shown = 0;
+  for (const auto& phi : cover) {
+    if (phi.HasFalseRhs() && phi.lhs.empty() && shown < 4) {
+      std::printf("  %s\n", phi.ToString(g).c_str());
+      ++shown;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Micro-benchmarks of the three fundamental problems (Section 3,
+// google-benchmark): satisfiability and implication are FPT (cheap,
+// symbolic, independent of |G|); validation pays the |G|^k isomorphism
+// cost and grows with both the graph and k -- exactly Theorem 1's split.
+#include <benchmark/benchmark.h>
+
+#include "datagen/gfd_gen.h"
+#include "datagen/kb.h"
+#include "gfd/problems.h"
+#include "gfd/validation.h"
+
+namespace gfd {
+namespace {
+
+PropertyGraph Kb(size_t scale) {
+  return MakeYago2Like({.scale = scale, .seed = 7});
+}
+
+std::vector<Gfd> Rules(const PropertyGraph& g, size_t count, uint32_t k) {
+  GfdGenConfig cfg;
+  cfg.count = count;
+  cfg.k = k;
+  return GenerateGfdSet(g, cfg);
+}
+
+void BM_Satisfiability(benchmark::State& state) {
+  auto g = Kb(500);
+  auto sigma = Rules(g, state.range(0), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSatisfiable(sigma));
+  }
+}
+BENCHMARK(BM_Satisfiability)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_Implication(benchmark::State& state) {
+  auto g = Kb(500);
+  auto sigma = Rules(g, state.range(0), 4);
+  const Gfd& phi = sigma.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Implies(sigma, phi));
+  }
+}
+BENCHMARK(BM_Implication)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_ImplicationVsK(benchmark::State& state) {
+  auto g = Kb(500);
+  auto sigma = Rules(g, 200, static_cast<uint32_t>(state.range(0)));
+  const Gfd& phi = sigma.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Implies(sigma, phi));
+  }
+}
+BENCHMARK(BM_ImplicationVsK)->Arg(2)->Arg(4)->Arg(6);
+
+// Validation must enumerate matches: use a GFD that *holds* (the planted
+// familyname rule) so the scan cannot short-circuit on a violation.
+Gfd ChainRule(const PropertyGraph& g, uint32_t k) {
+  Pattern p;
+  LabelId child = *g.FindLabel("hasChild");
+  AttrId fam = *g.FindAttr("familyname");
+  VarId prev = p.AddNode(kWildcardLabel);
+  p.set_pivot(prev);
+  for (uint32_t i = 1; i < k; ++i) {
+    VarId next = p.AddNode(kWildcardLabel);
+    p.AddEdge(prev, next, child);
+    prev = next;
+  }
+  return Gfd(p, {}, Literal::Vars(0, fam, prev, fam));
+}
+
+void BM_ValidationVsGraph(benchmark::State& state) {
+  auto g = Kb(state.range(0));
+  Gfd phi = ChainRule(g, 3);
+  CompiledPattern cq(phi.pattern);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateGfd(g, cq, phi));
+  }
+  state.SetLabel("|V|=" + std::to_string(g.NumNodes()));
+}
+BENCHMARK(BM_ValidationVsGraph)->Arg(250)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_ValidationVsK(benchmark::State& state) {
+  auto g = Kb(500);
+  Gfd phi = ChainRule(g, static_cast<uint32_t>(state.range(0)));
+  CompiledPattern cq(phi.pattern);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateGfd(g, cq, phi));
+  }
+}
+BENCHMARK(BM_ValidationVsK)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace gfd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// Shared driver for the three parallel-scalability figures (Fig. 5a/5b/5c):
+// DisGFD vs ParGFDnb (no load balancing) as the worker count grows.
+#ifndef GFD_BENCH_SCAL_COMMON_H_
+#define GFD_BENCH_SCAL_COMMON_H_
+
+#include "bench_util.h"
+
+namespace gfd::bench {
+
+inline int RunScalabilityFigure(const std::string& figure,
+                                const std::string& dataset,
+                                const PropertyGraph& g) {
+  auto cfg = ScaledConfig(g);
+  PrintHeader(figure, "DisGFD vs ParGFDnb, varying workers n (" + dataset +
+                          ", k=" + std::to_string(cfg.k) +
+                          ", sigma=" + std::to_string(cfg.support_threshold) +
+                          ")",
+              g);
+  PrintColumns("n", {"DisGFD(s)", "ParGFDnb(s)", "#pos", "#neg", "ship(MB)"});
+  double t_first = 0, t_last = 0;
+  for (size_t n : {1, 2, 4, 8, 16}) {
+    auto balanced = TimeParDis(g, cfg, n, /*load_balance=*/true);
+    auto unbalanced = TimeParDis(g, cfg, n, /*load_balance=*/false);
+    if (n == 1) t_first = balanced.seconds;
+    t_last = balanced.seconds;
+    std::printf("%-24zu %10.2f %10.2f %10zu %10zu %10.2f\n", n,
+                balanced.seconds, unbalanced.seconds, balanced.positives,
+                balanced.negatives,
+                balanced.cluster.bytes_shipped / 1048576.0);
+  }
+  std::printf("speedup (n=1 -> n=16): %.2fx   [paper: 3.6-4x from n=4->20]\n",
+              t_first / t_last);
+  return 0;
+}
+
+}  // namespace gfd::bench
+
+#endif  // GFD_BENCH_SCAL_COMMON_H_

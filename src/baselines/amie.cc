@@ -1,0 +1,397 @@
+#include "baselines/amie.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace gfd {
+
+namespace {
+
+// Per-relation edge index with (src, dst) deduplication and adjacency.
+class RelIndex {
+ public:
+  explicit RelIndex(const PropertyGraph& g) : g_(g) {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      LabelId r = g.EdgeLabel(e);
+      pairs_[r].push_back({g.EdgeSrc(e), g.EdgeDst(e)});
+    }
+    for (auto& [r, v] : pairs_) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      for (const auto& [s, d] : v) {
+        out_[{r, s}].push_back(d);
+        in_[{r, d}].push_back(s);
+      }
+    }
+  }
+
+  std::vector<LabelId> relations() const {
+    std::vector<LabelId> rels;
+    for (const auto& [r, v] : pairs_) rels.push_back(r);
+    std::sort(rels.begin(), rels.end());
+    return rels;
+  }
+
+  const std::vector<std::pair<NodeId, NodeId>>& PairsOf(LabelId r) const {
+    static const std::vector<std::pair<NodeId, NodeId>> kEmpty;
+    auto it = pairs_.find(r);
+    return it == pairs_.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<NodeId>& Out(LabelId r, NodeId s) const {
+    static const std::vector<NodeId> kEmpty;
+    auto it = out_.find({r, s});
+    return it == out_.end() ? kEmpty : it->second;
+  }
+
+  const std::vector<NodeId>& In(LabelId r, NodeId d) const {
+    static const std::vector<NodeId> kEmpty;
+    auto it = in_.find({r, d});
+    return it == in_.end() ? kEmpty : it->second;
+  }
+
+  bool Has(LabelId r, NodeId s, NodeId d) const { return g_.HasEdge(s, d, r); }
+
+ private:
+  const PropertyGraph& g_;
+  std::unordered_map<LabelId, std::vector<std::pair<NodeId, NodeId>>> pairs_;
+  std::unordered_map<std::pair<LabelId, NodeId>, std::vector<NodeId>,
+                     PairHash>
+      out_;
+  std::unordered_map<std::pair<LabelId, NodeId>, std::vector<NodeId>,
+                     PairHash>
+      in_;
+};
+
+constexpr NodeId kUnbound = kNoNode;
+
+// Homomorphism backtracking over body atoms (no injectivity -- AMIE
+// semantics). Returns true if a full binding exists. `budget` counts
+// candidate attempts; exhaustion makes the check fail conservatively.
+bool BodySatisfiable(const RelIndex& idx, const std::vector<AmieAtom>& body,
+                     std::vector<NodeId>& binding, size_t atom_i,
+                     uint64_t& budget) {
+  if (atom_i == body.size()) return true;
+  // Pick the next unsatisfied atom with the most bound variables.
+  size_t best = atom_i;
+  int best_score = -1;
+  for (size_t i = atom_i; i < body.size(); ++i) {
+    int score = (binding[body[i].var_s] != kUnbound) +
+                (binding[body[i].var_d] != kUnbound);
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  std::vector<AmieAtom> reordered(body);
+  std::swap(reordered[atom_i], reordered[best]);
+  const AmieAtom& a = reordered[atom_i];
+  NodeId bs = binding[a.var_s], bd = binding[a.var_d];
+
+  auto descend = [&]() {
+    return BodySatisfiable(idx, reordered, binding, atom_i + 1, budget);
+  };
+
+  if (bs != kUnbound && bd != kUnbound) {
+    if (budget == 0) return false;
+    --budget;
+    return idx.Has(a.rel, bs, bd) && descend();
+  }
+  if (bs != kUnbound) {
+    for (NodeId d : idx.Out(a.rel, bs)) {
+      if (budget == 0) return false;
+      --budget;
+      binding[a.var_d] = d;
+      if (descend()) {
+        binding[a.var_d] = kUnbound;
+        return true;
+      }
+      binding[a.var_d] = kUnbound;
+    }
+    return false;
+  }
+  if (bd != kUnbound) {
+    for (NodeId s : idx.In(a.rel, bd)) {
+      if (budget == 0) return false;
+      --budget;
+      binding[a.var_s] = s;
+      if (descend()) {
+        binding[a.var_s] = kUnbound;
+        return true;
+      }
+      binding[a.var_s] = kUnbound;
+    }
+    return false;
+  }
+  for (const auto& [s, d] : idx.PairsOf(a.rel)) {
+    if (budget == 0) return false;
+    --budget;
+    binding[a.var_s] = s;
+    binding[a.var_d] = d;
+    if (descend()) {
+      binding[a.var_s] = kUnbound;
+      binding[a.var_d] = kUnbound;
+      return true;
+    }
+    binding[a.var_s] = kUnbound;
+    binding[a.var_d] = kUnbound;
+  }
+  return false;
+}
+
+size_t NumVars(const AmieRule& rule) {
+  uint32_t mx = std::max(rule.head.var_s, rule.head.var_d);
+  for (const auto& a : rule.body) {
+    mx = std::max({mx, a.var_s, a.var_d});
+  }
+  return mx + 1;
+}
+
+bool IsClosed(const AmieRule& rule) {
+  std::vector<int> occurrences(NumVars(rule), 0);
+  ++occurrences[rule.head.var_s];
+  ++occurrences[rule.head.var_d];
+  for (const auto& a : rule.body) {
+    ++occurrences[a.var_s];
+    ++occurrences[a.var_d];
+  }
+  return std::all_of(occurrences.begin(), occurrences.end(),
+                     [](int c) { return c >= 2; });
+}
+
+// support = #(x, y): body ∧ head. Anti-monotone under body extension.
+uint64_t RuleSupport(const RelIndex& idx, const AmieRule& rule,
+                     uint64_t& budget) {
+  uint64_t supp = 0;
+  std::vector<NodeId> binding(NumVars(rule), kUnbound);
+  for (const auto& [x, y] : idx.PairsOf(rule.head.rel)) {
+    binding.assign(binding.size(), kUnbound);
+    binding[0] = x;
+    binding[1] = y;
+    if (BodySatisfiable(idx, rule.body, binding, 0, budget)) ++supp;
+    if (budget == 0) break;
+  }
+  return supp;
+}
+
+// PCA denominator: #(x, y): body(x, y) ∧ ∃y'' head_rel(x, y''). Enumerated
+// by seeding x from the head relation's subjects and binding y via the
+// body.
+uint64_t PcaBodyPairs(const RelIndex& idx, const AmieRule& rule,
+                      uint64_t& budget) {
+  std::set<NodeId> subjects;
+  for (const auto& [s, d] : idx.PairsOf(rule.head.rel)) subjects.insert(s);
+  uint64_t pairs = 0;
+  std::vector<NodeId> binding(NumVars(rule), kUnbound);
+  for (NodeId x : subjects) {
+    // Count distinct y with body(x, y): enumerate y candidates lazily by
+    // checking, for each y that the head could predict... y is bound by
+    // the body (closed rules), so enumerate body solutions projected on y.
+    // Cheap scheme: try every y from the body atom incident to var 1.
+    std::set<NodeId> ys;
+    // Collect y-candidates from atoms touching var 1.
+    for (const auto& a : rule.body) {
+      if (a.var_s == 1 || a.var_d == 1) {
+        for (const auto& [s, d] : idx.PairsOf(a.rel)) {
+          ys.insert(a.var_s == 1 ? s : d);
+          if (budget == 0) break;
+        }
+      }
+    }
+    for (NodeId y : ys) {
+      binding.assign(binding.size(), kUnbound);
+      binding[0] = x;
+      binding[1] = y;
+      if (BodySatisfiable(idx, rule.body, binding, 0, budget)) ++pairs;
+      if (budget == 0) return pairs;
+    }
+  }
+  return pairs;
+}
+
+std::vector<AmieAtom> CanonicalBody(std::vector<AmieAtom> body) {
+  std::sort(body.begin(), body.end(), [](const AmieAtom& a, const AmieAtom& b) {
+    if (a.rel != b.rel) return a.rel < b.rel;
+    if (a.var_s != b.var_s) return a.var_s < b.var_s;
+    return a.var_d < b.var_d;
+  });
+  return body;
+}
+
+}  // namespace
+
+std::string AmieRule::ToString(const PropertyGraph& g) const {
+  auto atom_str = [&](const AmieAtom& a) {
+    std::ostringstream os;
+    os << g.LabelName(a.rel) << "(?" << a.var_s << ", ?" << a.var_d << ")";
+    return os.str();
+  };
+  std::ostringstream os;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i) os << " ∧ ";
+    os << atom_str(body[i]);
+  }
+  os << " => " << atom_str(head);
+  os << "  [supp=" << support << ", hc=" << head_coverage
+     << ", pca=" << pca_confidence << "]";
+  return os.str();
+}
+
+namespace {
+
+// Mines all rules for one head relation; appends to `output`.
+void MineHead(const RelIndex& idx, const std::vector<LabelId>& rels,
+              LabelId head_rel, const AmieConfig& cfg,
+              std::vector<AmieRule>& output) {
+  uint64_t budget = cfg.eval_budget;
+  {
+    const auto& head_pairs = idx.PairsOf(head_rel);
+    if (head_pairs.size() < cfg.min_support) return;
+
+    // BFS over rule bodies.
+    struct Candidate {
+      std::vector<AmieAtom> body;
+      uint32_t num_vars;  // variables used so far (x, y + fresh)
+    };
+    std::vector<Candidate> frontier{{{}, 2}};
+    std::set<std::vector<AmieAtom>> seen;
+
+    for (size_t len = 1; len <= cfg.max_body_atoms && budget > 0; ++len) {
+      std::vector<Candidate> next;
+      for (const auto& cand : frontier) {
+        for (LabelId rel : rels) {
+          // Refinements: closing atoms between existing vars, and
+          // dangling atoms introducing one fresh variable.
+          std::vector<AmieAtom> atoms;
+          for (uint32_t a = 0; a < cand.num_vars; ++a) {
+            for (uint32_t b = 0; b < cand.num_vars; ++b) {
+              if (a != b) atoms.push_back({rel, a, b});
+            }
+            atoms.push_back({rel, a, cand.num_vars});  // dangling out
+            atoms.push_back({rel, cand.num_vars, a});  // dangling in
+          }
+          for (const auto& atom : atoms) {
+            if (budget == 0) break;
+            // The head itself must not appear in the body, and repeated
+            // atoms add no constraint.
+            if (atom.rel == head_rel && atom.var_s == 0 && atom.var_d == 1) {
+              continue;
+            }
+            if (std::find(cand.body.begin(), cand.body.end(), atom) !=
+                cand.body.end()) {
+              continue;
+            }
+            Candidate child;
+            child.body = cand.body;
+            child.body.push_back(atom);
+            child.num_vars =
+                std::max(cand.num_vars,
+                         std::max(atom.var_s, atom.var_d) + 1);
+            auto canon = CanonicalBody(child.body);
+            if (!seen.insert(canon).second) continue;
+
+            AmieRule rule;
+            rule.body = child.body;
+            rule.head = {head_rel, 0, 1};
+            rule.support = RuleSupport(idx, rule, budget);
+            if (rule.support < cfg.min_support) continue;
+            rule.head_coverage =
+                static_cast<double>(rule.support) / head_pairs.size();
+            if (rule.head_coverage < cfg.min_head_coverage) continue;
+            next.push_back(child);
+            if (!IsClosed(rule)) continue;
+            uint64_t pca_pairs = PcaBodyPairs(idx, rule, budget);
+            rule.pca_confidence =
+                pca_pairs ? static_cast<double>(rule.support) / pca_pairs
+                          : 0.0;
+            if (rule.pca_confidence >= cfg.min_pca_confidence) {
+              output.push_back(rule);
+            }
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AmieRule> MineAmieRules(const PropertyGraph& g,
+                                    const AmieConfig& cfg) {
+  RelIndex idx(g);
+  auto rels = idx.relations();
+  std::vector<AmieRule> output;
+  if (cfg.workers <= 1) {
+    for (LabelId head_rel : rels) {
+      MineHead(idx, rels, head_rel, cfg, output);
+    }
+    return output;
+  }
+  // ParAMIE: head relations mined in parallel, results merged in
+  // deterministic head order.
+  std::vector<std::vector<AmieRule>> partial(rels.size());
+  ThreadPool pool(cfg.workers);
+  ParallelFor(pool, rels.size(), [&](size_t i) {
+    MineHead(idx, rels, rels[i], cfg, partial[i]);
+  });
+  for (auto& p : partial) {
+    output.insert(output.end(), std::make_move_iterator(p.begin()),
+                  std::make_move_iterator(p.end()));
+  }
+  return output;
+}
+
+std::vector<NodeId> AmieViolationNodes(const PropertyGraph& g,
+                                       const std::vector<AmieRule>& rules,
+                                       double min_confidence) {
+  RelIndex idx(g);
+  std::vector<NodeId> nodes;
+  uint64_t budget = 50'000'000;
+  for (const auto& rule : rules) {
+    if (rule.pca_confidence < min_confidence) continue;
+    // Enumerate body matches projected to (x, y); where the head edge is
+    // missing, x lacks the predicted relation.
+    std::set<NodeId> xs;
+    for (const auto& a : rule.body) {
+      if (a.var_s == 0 || a.var_d == 0) {
+        for (const auto& [s, d] : idx.PairsOf(a.rel)) {
+          xs.insert(a.var_s == 0 ? s : d);
+        }
+      }
+    }
+    std::vector<NodeId> binding;
+    for (NodeId x : xs) {
+      std::set<NodeId> ys;
+      for (const auto& a : rule.body) {
+        if (a.var_s == 1 || a.var_d == 1) {
+          for (const auto& [s, d] : idx.PairsOf(a.rel)) {
+            ys.insert(a.var_s == 1 ? s : d);
+          }
+        }
+      }
+      for (NodeId y : ys) {
+        binding.assign(NumVars(rule), kUnbound);
+        binding[0] = x;
+        binding[1] = y;
+        if (!BodySatisfiable(idx, rule.body, binding, 0, budget)) continue;
+        if (!idx.Has(rule.head.rel, x, y)) {
+          nodes.push_back(x);
+          break;
+        }
+      }
+      if (budget == 0) break;
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace gfd

@@ -1,0 +1,67 @@
+// AMIE-style association rule mining (Galarraga et al., WWW'13), the
+// comparison system of Section 7. Rules are horn clauses over edge atoms,
+//     B1 ∧ ... ∧ Bn  =>  r(x, y)
+// evaluated under *homomorphism* semantics (no injectivity), the Open
+// World Assumption, head coverage, and PCA confidence. In contrast to
+// GFDs (see Related Work), AMIE rules have no isomorphism semantics, no
+// wildcards-with-labels distinction, no attribute-constant bindings, and
+// no negative rules -- which is exactly what the accuracy comparison of
+// Fig. 7 probes.
+#ifndef GFD_BASELINES_AMIE_H_
+#define GFD_BASELINES_AMIE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "util/ids.h"
+
+namespace gfd {
+
+/// One body/head atom r(vs, vd) over rule variables (0 = x, 1 = y, 2+ =
+/// existential body variables).
+struct AmieAtom {
+  LabelId rel;
+  uint32_t var_s;
+  uint32_t var_d;
+
+  friend bool operator==(const AmieAtom&, const AmieAtom&) = default;
+  friend auto operator<=>(const AmieAtom&, const AmieAtom&) = default;
+};
+
+/// A mined rule body => head with its quality measures.
+struct AmieRule {
+  std::vector<AmieAtom> body;
+  AmieAtom head;
+  uint64_t support = 0;     ///< #(x,y): body ∧ head
+  double head_coverage = 0; ///< support / #head-relation edges
+  double pca_confidence = 0;
+
+  std::string ToString(const PropertyGraph& g) const;
+};
+
+struct AmieConfig {
+  size_t max_body_atoms = 2;   ///< rule length - 1 (k=3 variables default)
+  uint64_t min_support = 10;
+  double min_head_coverage = 0.01;
+  double min_pca_confidence = 0.0;
+  uint64_t eval_budget = 50'000'000;  ///< homomorphism steps per head rel
+  size_t workers = 1;  ///< >1 = the paper's ParAMIE (parallel over heads)
+};
+
+/// Mines closed AMIE rules from `g` by head-relation refinement. With
+/// cfg.workers > 1, head relations are mined in parallel (ParAMIE).
+std::vector<AmieRule> MineAmieRules(const PropertyGraph& g,
+                                    const AmieConfig& cfg);
+
+/// Error detection for Fig. 7: nodes x such that some confident rule's
+/// body matches at x but the predicted head edge is missing ("nodes that
+/// do not have the predicted relation"). Sorted, deduplicated.
+std::vector<NodeId> AmieViolationNodes(const PropertyGraph& g,
+                                       const std::vector<AmieRule>& rules,
+                                       double min_confidence = 0.5);
+
+}  // namespace gfd
+
+#endif  // GFD_BASELINES_AMIE_H_

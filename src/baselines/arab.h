@@ -1,0 +1,37 @@
+// ParArab (Section 7, "baselines"): the split pipeline that the paper
+// contrasts with integrated discovery. Phase 1 mines *all* sigma-frequent
+// patterns Arabesque-style -- materializing every pattern's full embedding
+// (match) list with no GFD-side pruning. Phase 2 attaches literals to each
+// frequent pattern and validates. The phase-1 materialization is what
+// blows up on real graphs (the paper reports ParArab failing at the
+// verification step); a memory budget turns that blow-up into a reported
+// failure instead of an OOM.
+#ifndef GFD_BASELINES_ARAB_H_
+#define GFD_BASELINES_ARAB_H_
+
+#include "core/config.h"
+#include "core/seqdis.h"
+#include "graph/property_graph.h"
+
+namespace gfd {
+
+struct ArabConfig {
+  /// Total matches materialized across all frequent patterns before the
+  /// run declares failure (Arabesque's embedding store, scaled down).
+  uint64_t max_total_matches = 2'000'000;
+};
+
+struct ArabResult {
+  DiscoveryResult discovery;
+  bool failed = false;          ///< materialization budget exceeded
+  uint64_t patterns_mined = 0;  ///< phase-1 frequent patterns
+  uint64_t matches_materialized = 0;
+};
+
+/// Runs the two-phase pipeline.
+ArabResult ParArab(const PropertyGraph& g, const DiscoveryConfig& cfg,
+                   const ArabConfig& acfg = {});
+
+}  // namespace gfd
+
+#endif  // GFD_BASELINES_ARAB_H_

@@ -1,0 +1,21 @@
+#include "baselines/gcfd.h"
+
+#include "parallel/pardis.h"
+
+namespace gfd {
+
+DiscoveryResult MineGcfds(const PropertyGraph& g, DiscoveryConfig cfg) {
+  cfg.path_patterns_only = true;
+  cfg.wildcard_upgrades = false;
+  return SeqDis(g, cfg);
+}
+
+DiscoveryResult ParMineGcfds(const PropertyGraph& g, DiscoveryConfig cfg,
+                             const ParallelRunConfig& pcfg,
+                             ClusterStats* stats) {
+  cfg.path_patterns_only = true;
+  cfg.wildcard_upgrades = false;
+  return ParDis(g, cfg, pcfg, stats);
+}
+
+}  // namespace gfd

@@ -1,0 +1,26 @@
+// GCFD mining (the ParCGFD comparison of Section 7): CFDs with *path*
+// patterns [He-Zou-Zhao, SWIM'14] as a special case of GFDs. Reuses the
+// full discovery stack restricted to directed chains -- no cyclic
+// patterns, no closing edges, no wildcard upgrades -- which is precisely
+// the expressiveness gap the paper measures.
+#ifndef GFD_BASELINES_GCFD_H_
+#define GFD_BASELINES_GCFD_H_
+
+#include "core/config.h"
+#include "core/seqdis.h"
+#include "graph/property_graph.h"
+#include "parallel/cluster.h"
+
+namespace gfd {
+
+/// Sequential GCFD mining: SeqDis over path patterns only.
+DiscoveryResult MineGcfds(const PropertyGraph& g, DiscoveryConfig cfg);
+
+/// Parallel GCFD mining (the paper's ParCGFD): ParDis over path patterns.
+DiscoveryResult ParMineGcfds(const PropertyGraph& g, DiscoveryConfig cfg,
+                             const ParallelRunConfig& pcfg,
+                             ClusterStats* stats = nullptr);
+
+}  // namespace gfd
+
+#endif  // GFD_BASELINES_GCFD_H_

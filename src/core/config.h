@@ -1,0 +1,111 @@
+// Configuration of GFD discovery (the inputs of the discovery problem,
+// Section 4.3, plus the practical knobs the paper describes in its
+// "Remarks": active attributes Gamma, frequent-value selection, and
+// bounded LHS growth).
+#ifndef GFD_CORE_CONFIG_H_
+#define GFD_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace gfd {
+
+/// Tunable parameters of GFD discovery. Defaults follow the paper's
+/// experimental setup scaled to single-machine graphs.
+struct DiscoveryConfig {
+  /// Bound k on |x-bar| (number of pattern variables). The lattice runs for
+  /// at most k^2 edge levels (Section 5.1).
+  uint32_t k = 3;
+
+  /// Support threshold sigma: keep GFDs with supp(phi, G) >= sigma.
+  uint64_t support_threshold = 10;
+
+  /// Active attributes Gamma. Empty = take up to `max_active_attrs` most
+  /// used attributes from the graph.
+  std::vector<AttrId> active_attrs;
+  size_t max_active_attrs = 5;
+
+  /// Per attribute, take this many most frequent values as literal
+  /// constants (the paper uses 5).
+  size_t top_values_per_attr = 5;
+
+  /// Maximum number of literals in an LHS X. The paper's theoretical bound
+  /// J = i*|Gamma|*(|Gamma|+1) is astronomically loose; real rules are
+  /// short (all of Fig. 8 has |X| <= 2).
+  size_t max_lhs_size = 2;
+
+  /// Cap on the per-pattern literal pool (bitset width of the match
+  /// profiles). Pools are filled general-first (variable literals, then
+  /// constants by frequency), so the cap drops the least useful literals.
+  static constexpr size_t kMaxPool = 128;
+
+  /// Also generate x.A = y.B literals with A != B. Off by default: they
+  /// explode the pool and real-world rules rarely need them.
+  bool cross_attr_literals = false;
+
+  /// Discover negative GFDs (NVSpawn / NHSpawn).
+  bool discover_negative = true;
+
+  /// Maximum |X'| of an NHSpawn negative (base LHS + 1). Longer
+  /// combinations are overwhelmingly statistical accidents on real data;
+  /// the paper's showcased negatives (Fig. 8) all have |X'| <= 2.
+  size_t max_negative_lhs_size = 2;
+
+  /// Spawn wildcard-upgraded patterns: for an edge label whose endpoint
+  /// label pairs are diverse (>= wildcard_min_pairs distinct pairs), also
+  /// mine  _ -e-> _  patterns (enables variable-only GFDs like GFD1 of
+  /// Fig. 8).
+  bool wildcard_upgrades = true;
+  size_t wildcard_min_pairs = 3;
+
+  /// Lemma 4 pruning. Disabled only by the ParGFDn ablation baseline.
+  bool prune = true;
+
+  /// Restrict VSpawn to directed path patterns (each extension appends an
+  /// out-edge to the newest variable; no closing edges, no in-edges).
+  /// This is the GCFD baseline of Section 7 -- CFDs with path patterns
+  /// [He et al., SWIM'14] as a special case of GFDs.
+  bool path_patterns_only = false;
+
+  /// Safety budget on generated GFD candidates; when pruning is disabled
+  /// the un-pruned search space is astronomically large and the run is
+  /// declared failed once the budget trips (mirrors the paper's
+  /// "ParGFDn fails to complete").
+  uint64_t candidate_budget = std::numeric_limits<uint64_t>::max();
+
+  /// Cap on materialized matches per pattern profile; patterns whose match
+  /// count exceeds this are profiled on a truncated sample and flagged.
+  size_t max_profile_matches = 4'000'000;
+
+  /// Cap on patterns spawned per lattice level (keeps dense graphs
+  /// tractable; counted in DiscoveryStats when it bites).
+  size_t max_patterns_per_level = 256;
+};
+
+/// Counters reported by the miners (used by benches and tests).
+struct DiscoveryStats {
+  uint64_t patterns_spawned = 0;
+  uint64_t patterns_frequent = 0;
+  uint64_t patterns_zero_support = 0;
+  uint64_t candidates_generated = 0;
+  uint64_t candidates_validated = 0;
+  uint64_t candidates_pruned_trivial = 0;
+  uint64_t candidates_pruned_reduced = 0;
+  uint64_t positives_found = 0;
+  uint64_t negatives_found = 0;
+  uint64_t profile_matches = 0;
+  /// Largest per-pattern match store ever held (the integrated miner's
+  /// peak working set; the split Arabesque-style pipeline instead retains
+  /// *all* patterns' matches at once).
+  uint64_t max_pattern_matches = 0;
+  bool budget_exceeded = false;
+  bool level_cap_hit = false;
+};
+
+}  // namespace gfd
+
+#endif  // GFD_CORE_CONFIG_H_

@@ -1,0 +1,50 @@
+#include "core/cover.h"
+
+#include <algorithm>
+
+#include "gfd/problems.h"
+
+namespace gfd {
+
+std::vector<Gfd> SeqCover(std::vector<Gfd> sigma, CoverStats* stats) {
+  CoverStats local;
+  CoverStats& st = stats ? *stats : local;
+
+  // Deduplicate syntactically identical GFDs.
+  std::sort(sigma.begin(), sigma.end(), [](const Gfd& a, const Gfd& b) {
+    if (a.pattern.NumEdges() != b.pattern.NumEdges()) {
+      return a.pattern.NumEdges() > b.pattern.NumEdges();
+    }
+    if (a.lhs.size() != b.lhs.size()) return a.lhs.size() > b.lhs.size();
+    if (!(a.rhs == b.rhs)) return a.rhs < b.rhs;
+    if (!(a.lhs == b.lhs)) return a.lhs < b.lhs;
+    return false;
+  });
+  size_t before = sigma.size();
+  sigma.erase(std::unique(sigma.begin(), sigma.end()), sigma.end());
+  st.removed += before - sigma.size();
+
+  // Eliminate implied GFDs one at a time (most specific first), re-testing
+  // against the surviving set, exactly like the relational-FD cover
+  // algorithms the paper references.
+  std::vector<bool> alive(sigma.size(), true);
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    std::vector<Gfd> others;
+    others.reserve(sigma.size() - 1);
+    for (size_t j = 0; j < sigma.size(); ++j) {
+      if (j != i && alive[j]) others.push_back(sigma[j]);
+    }
+    ++st.implication_tests;
+    if (Implies(others, sigma[i])) {
+      alive[i] = false;
+      ++st.removed;
+    }
+  }
+  std::vector<Gfd> cover;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    if (alive[i]) cover.push_back(std::move(sigma[i]));
+  }
+  return cover;
+}
+
+}  // namespace gfd

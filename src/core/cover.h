@@ -1,0 +1,27 @@
+// SeqCover (Section 5.2): computes a cover Sigma_c of a discovered set
+// Sigma -- a minimal equivalent subset -- by removing every GFD implied by
+// the rest, using the closure characterization of implication.
+#ifndef GFD_CORE_COVER_H_
+#define GFD_CORE_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gfd/gfd.h"
+
+namespace gfd {
+
+struct CoverStats {
+  uint64_t implication_tests = 0;
+  uint64_t removed = 0;
+};
+
+/// Returns a cover of `sigma`. GFDs are examined from most specific
+/// (largest pattern, longest LHS) to most general, so general rules
+/// survive and their specializations are eliminated. Exact duplicates are
+/// removed up front.
+std::vector<Gfd> SeqCover(std::vector<Gfd> sigma, CoverStats* stats = nullptr);
+
+}  // namespace gfd
+
+#endif  // GFD_CORE_COVER_H_

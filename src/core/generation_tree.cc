@@ -1,0 +1,221 @@
+#include "core/generation_tree.h"
+
+#include <algorithm>
+
+#include "pattern/canonical.h"
+
+namespace gfd {
+
+int GenerationTree::AddPattern(Pattern p, int level, int parent,
+                               const DeltaEdge& delta, bool* created) {
+  auto code = CanonicalCode(p, /*fix_pivot=*/true);
+  auto it = by_code_.find(code);
+  if (it != by_code_.end()) {
+    // iso(Q) hit: merge the parent edge into P(Q).
+    if (parent >= 0) {
+      auto& ps = nodes_[it->second].parents;
+      if (std::find(ps.begin(), ps.end(), parent) == ps.end()) {
+        ps.push_back(parent);
+      }
+    }
+    if (created) *created = false;
+    return it->second;
+  }
+  int id = static_cast<int>(nodes_.size());
+  TreeNode n;
+  n.pattern = std::move(p);
+  n.level = level;
+  if (parent >= 0) n.parents.push_back(parent);
+  n.delta = delta;
+  nodes_.push_back(std::move(n));
+  if (levels_.size() <= static_cast<size_t>(level)) {
+    levels_.resize(level + 1);
+  }
+  levels_[level].push_back(id);
+  by_code_.emplace(std::move(code), id);
+  if (created) *created = true;
+  return id;
+}
+
+std::vector<int> InitTree(GenerationTree& tree, const GraphStats& stats,
+                          const DiscoveryConfig& cfg, DiscoveryStats& out) {
+  std::vector<int> created_ids;
+  // Concrete single-node patterns for labels frequent enough to matter.
+  std::vector<LabelId> labels;
+  for (LabelId l = 0; l < stats.num_labels(); ++l) {
+    if (l != kWildcardLabel && stats.LabelCount(l) >= cfg.support_threshold) {
+      labels.push_back(l);
+    }
+  }
+  for (LabelId l : labels) {
+    bool created = false;
+    int id = tree.AddPattern(SingleNodePattern(l), 0, -1,
+                             {kNoVar, kNoVar, kWildcardLabel, kNoVar,
+                              kWildcardLabel},
+                             &created);
+    if (created) {
+      ++out.patterns_spawned;
+      created_ids.push_back(id);
+    }
+  }
+  if (cfg.wildcard_upgrades) {
+    bool created = false;
+    int id = tree.AddPattern(SingleNodePattern(kWildcardLabel), 0, -1,
+                             {kNoVar, kNoVar, kWildcardLabel, kNoVar,
+                              kWildcardLabel},
+                             &created);
+    if (created) {
+      ++out.patterns_spawned;
+      created_ids.push_back(id);
+    }
+  }
+  return created_ids;
+}
+
+std::vector<LabelId> WildcardEdgeLabels(const GraphStats& stats,
+                                        const DiscoveryConfig& cfg) {
+  std::unordered_map<LabelId, size_t> pair_counts;
+  for (const auto& t : stats.edge_triples()) ++pair_counts[t.edge_label];
+  std::vector<LabelId> out;
+  for (const auto& [label, pairs] : pair_counts) {
+    if (pairs >= cfg.wildcard_min_pairs) out.push_back(label);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+// Applies one extension move to `base`, registering the result.
+void TryExtend(GenerationTree& tree, int level, int parent_id,
+               const Pattern& base, VarId src, VarId dst, LabelId elabel,
+               LabelId fresh_label, bool fresh_is_dst,
+               const DiscoveryConfig& cfg, DiscoveryStats& out,
+               std::vector<int>& created_ids, size_t& level_count) {
+  Pattern p = base;
+  DeltaEdge delta;
+  delta.label = elabel;
+  if (src == kNoVar || dst == kNoVar) {
+    VarId fresh = p.AddNode(fresh_label);
+    if (fresh_is_dst) {
+      delta.src = src;
+      delta.dst = fresh;
+    } else {
+      delta.src = fresh;
+      delta.dst = dst;
+    }
+    delta.fresh_var = fresh;
+    delta.fresh_label = fresh_label;
+  } else {
+    // Closing edge: skip if the identical pattern edge already exists
+    // (pattern edges form a set).
+    for (const auto& e : base.edges()) {
+      if (e.src == src && e.dst == dst && e.label == elabel) return;
+    }
+    delta.src = src;
+    delta.dst = dst;
+    delta.fresh_var = kNoVar;
+    delta.fresh_label = kWildcardLabel;
+  }
+  p.AddEdge(delta.src, delta.dst, elabel);
+
+  if (level_count >= cfg.max_patterns_per_level) {
+    out.level_cap_hit = true;
+    return;
+  }
+  bool created = false;
+  int id = tree.AddPattern(std::move(p), level, parent_id, delta, &created);
+  if (created) {
+    ++out.patterns_spawned;
+    ++level_count;
+    created_ids.push_back(id);
+  }
+}
+
+}  // namespace
+
+std::vector<int> VSpawn(GenerationTree& tree, int level,
+                        const std::vector<EdgeTriple>& triples,
+                        const std::vector<LabelId>& wildcard_labels,
+                        const DiscoveryConfig& cfg, DiscoveryStats& out) {
+  std::vector<int> created_ids;
+  size_t level_count = 0;
+  // Snapshot: AddPattern may grow the level vectors while we iterate.
+  std::vector<int> parents = tree.level(level - 1);
+  for (int pid : parents) {
+    const TreeNode& parent = tree.node(pid);
+    if (!parent.frequent) continue;  // Lemma 4(c): infrequent not extended
+    const Pattern base = parent.pattern;  // copy: tree may reallocate
+    const size_t n = base.NumNodes();
+    const bool can_add_node = n < cfg.k;
+
+    if (cfg.path_patterns_only) {
+      // GCFD mode: grow a directed chain from the newest variable only.
+      if (!can_add_node) continue;
+      VarId tail = static_cast<VarId>(n - 1);
+      LabelId tl = base.NodeLabel(tail);
+      for (const auto& t : triples) {
+        if (t.src_label == tl) {
+          TryExtend(tree, level, pid, base, tail, kNoVar, t.edge_label,
+                    t.dst_label, /*fresh_is_dst=*/true, cfg, out,
+                    created_ids, level_count);
+        }
+      }
+      continue;
+    }
+
+    for (VarId v = 0; v < n; ++v) {
+      LabelId vl = base.NodeLabel(v);
+      if (vl != kWildcardLabel) {
+        for (const auto& t : triples) {
+          // New out-edge v -> fresh(dst_label).
+          if (t.src_label == vl && can_add_node) {
+            TryExtend(tree, level, pid, base, v, kNoVar, t.edge_label,
+                      t.dst_label, /*fresh_is_dst=*/true, cfg, out,
+                      created_ids, level_count);
+          }
+          // New in-edge fresh(src_label) -> v.
+          if (t.dst_label == vl && can_add_node) {
+            TryExtend(tree, level, pid, base, kNoVar, v, t.edge_label,
+                      t.src_label, /*fresh_is_dst=*/false, cfg, out,
+                      created_ids, level_count);
+          }
+        }
+      } else if (can_add_node) {
+        // Wildcard variable: extend with wildcard endpoints over the
+        // diverse edge labels (this grows  _ -e-> _  style patterns).
+        for (LabelId el : wildcard_labels) {
+          TryExtend(tree, level, pid, base, v, kNoVar, el, kWildcardLabel,
+                    true, cfg, out, created_ids, level_count);
+          TryExtend(tree, level, pid, base, kNoVar, v, el, kWildcardLabel,
+                    false, cfg, out, created_ids, level_count);
+        }
+      }
+    }
+
+    // Closing edges between existing variables.
+    for (VarId u = 0; u < n; ++u) {
+      for (VarId v = 0; v < n; ++v) {
+        if (u == v) continue;
+        LabelId ul = base.NodeLabel(u), vl = base.NodeLabel(v);
+        if (ul != kWildcardLabel && vl != kWildcardLabel) {
+          for (const auto& t : triples) {
+            if (t.src_label == ul && t.dst_label == vl) {
+              TryExtend(tree, level, pid, base, u, v, t.edge_label,
+                        kWildcardLabel, true, cfg, out, created_ids,
+                        level_count);
+            }
+          }
+        } else {
+          for (LabelId el : wildcard_labels) {
+            TryExtend(tree, level, pid, base, u, v, el, kWildcardLabel, true,
+                      cfg, out, created_ids, level_count);
+          }
+        }
+      }
+    }
+  }
+  return created_ids;
+}
+
+}  // namespace gfd

@@ -1,0 +1,88 @@
+// The GFD generation tree (Section 5.1, Fig. 2): nodes are graph patterns
+// organized by level (= number of pattern edges), deduplicated by
+// canonical code (the paper's iso(Q) sets), each remembering its parent
+// set P(Q) and the delta edge that created it (used by the parallel
+// algorithm's incremental joins and by ParCover's group construction).
+//
+// VSpawn grows the tree level-wise: every frequent level-(i-1) pattern is
+// extended by one edge -- a new out-/in-edge at some variable (possibly
+// introducing one fresh variable) or a closing edge between existing
+// variables -- with edge candidates drawn from the graph's frequent
+// (source label, edge label, destination label) triples.
+#ifndef GFD_CORE_GENERATION_TREE_H_
+#define GFD_CORE_GENERATION_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "graph/stats.h"
+#include "match/incremental.h"
+#include "pattern/pattern.h"
+#include "util/hash.h"
+
+namespace gfd {
+
+/// One pattern node of the generation tree.
+struct TreeNode {
+  Pattern pattern;
+  int level = 0;                 ///< number of edges
+  uint64_t support = 0;          ///< |Q(G,z)|, filled by the miner
+  bool frequent = false;         ///< support >= sigma
+  bool verified = false;         ///< support computed
+  std::vector<int> parents;      ///< P(Q): parent node ids (merged on dedup)
+  DeltaEdge delta{kNoVar, kNoVar, kWildcardLabel, kNoVar, kWildcardLabel};
+};
+
+/// Level-indexed pattern store with canonical-code deduplication.
+class GenerationTree {
+ public:
+  /// Adds `p` at `level` (or merges `parent` into an existing isomorphic
+  /// node). Returns the node id, and sets *created when a new node was
+  /// allocated.
+  int AddPattern(Pattern p, int level, int parent, const DeltaEdge& delta,
+                 bool* created = nullptr);
+
+  TreeNode& node(int id) { return nodes_[id]; }
+  const TreeNode& node(int id) const { return nodes_[id]; }
+
+  /// Node ids at a level (empty for levels never reached).
+  const std::vector<int>& level(size_t i) const {
+    static const std::vector<int> kEmpty;
+    return i < levels_.size() ? levels_[i] : kEmpty;
+  }
+
+  size_t num_levels() const { return levels_.size(); }
+  size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<TreeNode> nodes_;
+  std::vector<std::vector<int>> levels_;
+  std::unordered_map<std::vector<uint32_t>, int, VecHash> by_code_;
+};
+
+/// Seeds level 0 with single-node patterns: one per node label with
+/// count >= sigma, plus the single wildcard node when wildcard upgrades
+/// are enabled. Returns the new node ids.
+std::vector<int> InitTree(GenerationTree& tree, const GraphStats& stats,
+                          const DiscoveryConfig& cfg, DiscoveryStats& out);
+
+/// Edge-label vocabulary for wildcard-upgraded spawning: labels connecting
+/// at least cfg.wildcard_min_pairs distinct (src label, dst label) pairs.
+std::vector<LabelId> WildcardEdgeLabels(const GraphStats& stats,
+                                        const DiscoveryConfig& cfg);
+
+/// VSpawn(i): extends every frequent level-(i-1) pattern by one edge.
+/// Candidate edges come from `triples` (frequent concrete triples) and
+/// `wildcard_labels` (edges attached to/from wildcard variables). New
+/// patterns keep the parent's pivot (variable 0). Returns ids of nodes
+/// newly created at level i; respects cfg.max_patterns_per_level.
+std::vector<int> VSpawn(GenerationTree& tree, int level,
+                        const std::vector<EdgeTriple>& triples,
+                        const std::vector<LabelId>& wildcard_labels,
+                        const DiscoveryConfig& cfg, DiscoveryStats& out);
+
+}  // namespace gfd
+
+#endif  // GFD_CORE_GENERATION_TREE_H_

@@ -1,0 +1,171 @@
+#include "core/lattice.h"
+
+#include "gfd/problems.h"
+
+namespace gfd {
+
+bool LiteralLatticeMiner::ChargeCandidate() {
+  ++result_.stats.candidates_generated;
+  if (result_.stats.candidates_generated > cfg_.candidate_budget) {
+    result_.stats.budget_exceeded = true;
+    return false;
+  }
+  return true;
+}
+
+bool LiteralLatticeMiner::MinePattern(int pattern_key, const Pattern& pattern,
+                                      const std::vector<Literal>& pool,
+                                      const PatternProfile& profile) {
+  // Literal-level anti-monotonicity: a literal whose own pivot support is
+  // below sigma can never appear in a sigma-frequent GFD. With pruning
+  // disabled (ParGFDn), fall back to mere witnessing.
+  LitMask usable;
+  for (size_t b = 0; b < pool.size(); ++b) {
+    LitMask one;
+    one.set(b);
+    if (cfg_.prune) {
+      if (profile.SupportOf(one) >= cfg_.support_threshold) usable.set(b);
+    } else {
+      if (profile.AnyMatchSatisfies(one)) usable.set(b);
+    }
+  }
+  for (size_t r = 0; r < pool.size(); ++r) {
+    if (result_.stats.budget_exceeded) return false;
+    if (!usable.test(r)) continue;
+    MineRhsTree(pattern_key, pattern, pool, profile, r, usable);
+  }
+  return !result_.stats.budget_exceeded;
+}
+
+void LiteralLatticeMiner::MineRhsTree(int pattern_key, const Pattern& pattern,
+                                      const std::vector<Literal>& pool,
+                                      const PatternProfile& profile, size_t r,
+                                      const LitMask& usable) {
+  struct XNode {
+    LitMask mask;
+    int max_bit;  // highest set bit, for index-ordered expansion
+  };
+  std::vector<XNode> frontier{{LitMask{}, -1}};
+  std::vector<LitMask> closed;  // satisfied LHS masks (Lemma 4(b))
+
+  for (size_t depth = 0; depth <= cfg_.max_lhs_size && !frontier.empty();
+       ++depth) {
+    std::vector<XNode> next;
+    for (const auto& xn : frontier) {
+      if (!ChargeCandidate()) return;
+
+      // Lemma 4(b) across generation orders: supersets of a satisfied
+      // LHS are not reduced.
+      bool superseded = false;
+      if (cfg_.prune) {
+        for (const auto& c : closed) {
+          if ((xn.mask & c) == c) {
+            superseded = true;
+            break;
+          }
+        }
+      }
+      if (superseded) {
+        ++result_.stats.candidates_pruned_reduced;
+        continue;
+      }
+
+      auto lits = LitsOfMask(xn.mask, pool);
+      Gfd phi(pattern, lits, pool[r]);
+      if (IsTrivialGfd(phi)) {
+        ++result_.stats.candidates_pruned_trivial;
+        continue;  // supersets stay trivial: prune the branch
+      }
+
+      ++result_.stats.candidates_validated;
+      LitMask xl = xn.mask;
+      xl.set(r);
+      const bool satisfied = profile.Satisfied(xn.mask, r);
+      const uint64_t supp = profile.SupportOf(xl);
+
+      if (satisfied) {
+        closed.push_back(xn.mask);
+        if (supp >= cfg_.support_threshold) {
+          if (IsReducedAway(phi)) {
+            ++result_.stats.candidates_pruned_reduced;
+          } else {
+            AddPositive(phi, supp);
+          }
+          // NHSpawn fires on every *validated frequent* positive
+          // (Section 5.1) -- including ones reduced away as positives:
+          // the negatives they trigger are not expressible on the
+          // smaller pattern.
+          if (cfg_.discover_negative) {
+            NHSpawn(pattern_key, pattern, pool, profile, xn.mask, r, usable,
+                    supp);
+          }
+        }
+        if (cfg_.prune) continue;  // Lemma 4(b): stop this branch
+      }
+
+      if (depth == cfg_.max_lhs_size) continue;
+      for (size_t b = xn.max_bit + 1; b < pool.size(); ++b) {
+        if (b == r || xn.mask.test(b) || !usable.test(b)) continue;
+        XNode child{xn.mask, static_cast<int>(b)};
+        child.mask.set(b);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+void LiteralLatticeMiner::NHSpawn(int pattern_key, const Pattern& pattern,
+                                  const std::vector<Literal>& pool,
+                                  const PatternProfile& profile,
+                                  const LitMask& x_mask, size_t r,
+                                  const LitMask& usable, uint64_t base_supp) {
+  if (x_mask.count() + 1 > cfg_.max_negative_lhs_size) return;
+  for (size_t b = 0; b < pool.size(); ++b) {
+    if (b == r || x_mask.test(b) || !usable.test(b)) continue;
+    LitMask ext = x_mask;
+    ext.set(b);
+    if (profile.AnyMatchSatisfies(ext)) continue;   // Q(G, X', z) != 0
+    if (!profile.AnyMatchPresents(ext)) continue;   // OWA gate
+    auto lits = LitsOfMask(ext, pool);
+    Gfd neg(pattern, lits, Literal::False());
+    if (IsTrivialGfd(neg)) continue;  // X' symbolically unsatisfiable
+    AddNegative(pattern_key, std::move(neg), base_supp);
+  }
+}
+
+bool LiteralLatticeMiner::IsReducedAway(const Gfd& phi) const {
+  auto it = by_rhs_.find(SignatureOf(phi.rhs));
+  if (it == by_rhs_.end()) return false;
+  for (size_t idx : it->second) {
+    if (GfdReduces(result_.positives[idx], phi)) return true;
+  }
+  return false;
+}
+
+void LiteralLatticeMiner::AddPositive(Gfd phi, uint64_t supp) {
+  by_rhs_[SignatureOf(phi.rhs)].push_back(result_.positives.size());
+  result_.positives.push_back(std::move(phi));
+  result_.positive_supports.push_back(supp);
+  ++result_.stats.positives_found;
+}
+
+void LiteralLatticeMiner::AddNegative(int pattern_key, Gfd phi,
+                                      uint64_t base_supp) {
+  auto key = std::pair(pattern_key, phi.lhs);
+  if (!seen_negatives_.insert(key).second) return;
+  // Reduced-negative filter: a more general negative already covers this
+  // one (wildcard-first / small-pattern-first feeding order makes general
+  // negatives arrive before their specializations).
+  for (const auto& neg : result_.negatives) {
+    if (GfdReduces(neg, phi)) {
+      ++result_.stats.candidates_pruned_reduced;
+      return;
+    }
+  }
+  result_.negatives.push_back(std::move(phi));
+  result_.negative_supports.push_back(base_supp);
+  ++result_.stats.negatives_found;
+}
+
+}  // namespace gfd

@@ -1,0 +1,63 @@
+// The literal-tree lattice miner (HSpawn + NHSpawn over one pattern's
+// match profile), extracted so that SeqDis and the split-pipeline baseline
+// (ParArab, Section 7 "baselines") share one implementation. ParDis mirrors
+// the same decisions with distributed batch evaluation (see
+// parallel/pardis.cc).
+#ifndef GFD_CORE_LATTICE_H_
+#define GFD_CORE_LATTICE_H_
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/lattice_util.h"
+#include "core/profile.h"
+#include "core/seqdis.h"
+#include "gfd/gfd.h"
+
+namespace gfd {
+
+/// Mines literal trees pattern by pattern, accumulating minimum frequent
+/// GFDs (positive and negative) into a DiscoveryResult. Stateful across
+/// patterns: the reduced-GFD filters need the GFDs found so far, so feed
+/// patterns most-general-first.
+class LiteralLatticeMiner {
+ public:
+  LiteralLatticeMiner(const DiscoveryConfig& cfg, DiscoveryResult& result)
+      : cfg_(cfg), result_(result) {}
+
+  /// Mines one pattern. `pattern_key` is any id unique per pattern (used
+  /// to deduplicate negatives); `profile` must be built against `pool`.
+  /// Returns false when the candidate budget tripped.
+  bool MinePattern(int pattern_key, const Pattern& pattern,
+                   const std::vector<Literal>& pool,
+                   const PatternProfile& profile);
+
+  /// Registers a negative GFD (used by NVSpawn, which lives outside the
+  /// literal lattice). Applies the same dedup/reduction filters.
+  void AddNegative(int pattern_key, Gfd phi, uint64_t base_supp);
+
+ private:
+  bool ChargeCandidate();
+  void MineRhsTree(int pattern_key, const Pattern& pattern,
+                   const std::vector<Literal>& pool,
+                   const PatternProfile& profile, size_t r,
+                   const LitMask& usable);
+  void NHSpawn(int pattern_key, const Pattern& pattern,
+               const std::vector<Literal>& pool,
+               const PatternProfile& profile, const LitMask& x_mask,
+               size_t r, const LitMask& usable, uint64_t base_supp);
+  bool IsReducedAway(const Gfd& phi) const;
+  void AddPositive(Gfd phi, uint64_t supp);
+
+  const DiscoveryConfig& cfg_;
+  DiscoveryResult& result_;
+  std::map<RhsSig, std::vector<size_t>> by_rhs_;
+  std::set<std::pair<int, std::vector<Literal>>> seen_negatives_;
+};
+
+}  // namespace gfd
+
+#endif  // GFD_CORE_LATTICE_H_

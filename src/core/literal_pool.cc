@@ -1,0 +1,122 @@
+#include "core/literal_pool.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace gfd {
+
+std::vector<AttrId> ResolveActiveAttrs(const GraphStats& stats,
+                                       const DiscoveryConfig& cfg) {
+  if (!cfg.active_attrs.empty()) return cfg.active_attrs;
+  // Rank observed attributes by total occurrence count (sum of their value
+  // frequencies) and keep the most used.
+  std::vector<std::pair<uint64_t, AttrId>> ranked;
+  for (AttrId a : stats.attr_keys()) {
+    uint64_t total = 0;
+    for (const auto& vf : stats.TopValues(a, static_cast<size_t>(-1))) {
+      total += vf.count;
+    }
+    ranked.push_back({total, a});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+  std::vector<AttrId> gamma;
+  for (size_t i = 0; i < ranked.size() && i < cfg.max_active_attrs; ++i) {
+    gamma.push_back(ranked[i].second);
+  }
+  std::sort(gamma.begin(), gamma.end());
+  return gamma;
+}
+
+std::vector<Literal> BuildLiteralPool(const Pattern& pattern,
+                                      const std::vector<AttrId>& gamma,
+                                      const GraphStats& stats,
+                                      const DiscoveryConfig& cfg) {
+  std::vector<Literal> pool;
+  const size_t n = pattern.NumNodes();
+
+  // Variable-variable literals first: they are the most general and power
+  // rules like GFD1 of Fig. 8 (x.familyname = y.familyname).
+  for (VarId x = 0; x < n; ++x) {
+    for (VarId y = x + 1; y < n; ++y) {
+      for (AttrId a : gamma) {
+        pool.push_back(Literal::Vars(x, a, y, a));
+        if (pool.size() >= DiscoveryConfig::kMaxPool) return pool;
+        if (cfg.cross_attr_literals) {
+          for (AttrId b : gamma) {
+            if (b == a) continue;
+            pool.push_back(Literal::Vars(x, a, y, b));
+            if (pool.size() >= DiscoveryConfig::kMaxPool) return pool;
+          }
+        }
+      }
+    }
+  }
+
+  // Constant literals, most frequent values first (round-robin across
+  // attributes so no attribute starves under the cap).
+  struct ConstCand {
+    uint64_t freq;
+    VarId x;
+    AttrId a;
+    ValueId c;
+  };
+  std::vector<ConstCand> consts;
+  for (VarId x = 0; x < n; ++x) {
+    for (AttrId a : gamma) {
+      for (const auto& vf : stats.TopValues(a, cfg.top_values_per_attr)) {
+        consts.push_back({vf.count, x, a, vf.value});
+      }
+    }
+  }
+  std::sort(consts.begin(), consts.end(),
+            [](const ConstCand& l, const ConstCand& r) {
+              if (l.freq != r.freq) return l.freq > r.freq;
+              if (l.x != r.x) return l.x < r.x;
+              if (l.a != r.a) return l.a < r.a;
+              return l.c < r.c;
+            });
+  for (const auto& cc : consts) {
+    if (pool.size() >= DiscoveryConfig::kMaxPool) break;
+    pool.push_back(Literal::Const(cc.x, cc.a, cc.c));
+  }
+  return pool;
+}
+
+std::vector<Literal> BuildLiteralPoolFromMatches(
+    const Pattern& pattern, const std::vector<AttrId>& gamma,
+    const std::vector<VarConstFreq>& constants, const DiscoveryConfig& cfg) {
+  std::vector<Literal> pool;
+  const size_t n = pattern.NumNodes();
+
+  // Variable-variable literals first (see BuildLiteralPool).
+  for (VarId x = 0; x < n; ++x) {
+    for (VarId y = x + 1; y < n; ++y) {
+      for (AttrId a : gamma) {
+        pool.push_back(Literal::Vars(x, a, y, a));
+        if (pool.size() >= DiscoveryConfig::kMaxPool) return pool;
+        if (cfg.cross_attr_literals) {
+          for (AttrId b : gamma) {
+            if (b == a) continue;
+            pool.push_back(Literal::Vars(x, a, y, b));
+            if (pool.size() >= DiscoveryConfig::kMaxPool) return pool;
+          }
+        }
+      }
+    }
+  }
+
+  // Constants: per (variable, attribute) keep the top values by
+  // *match-local* frequency; `constants` arrives sorted by count.
+  std::unordered_map<uint64_t, size_t> taken;  // (var, attr) -> count used
+  for (const auto& c : constants) {
+    if (pool.size() >= DiscoveryConfig::kMaxPool) break;
+    uint64_t key = (static_cast<uint64_t>(c.var) << 32) | c.attr;
+    if (taken[key] >= cfg.top_values_per_attr) continue;
+    ++taken[key];
+    pool.push_back(Literal::Const(c.var, c.attr, c.value));
+  }
+  return pool;
+}
+
+}  // namespace gfd

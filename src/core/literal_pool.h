@@ -1,0 +1,44 @@
+// Literal pool construction for HSpawn (Section 5.1): the candidate
+// literals of a pattern are drawn from the active attributes Gamma and the
+// most frequent constants of the graph, plus variable-variable literals
+// between pattern nodes.
+#ifndef GFD_CORE_LITERAL_POOL_H_
+#define GFD_CORE_LITERAL_POOL_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/profile.h"
+#include "gfd/literal.h"
+#include "graph/stats.h"
+#include "pattern/pattern.h"
+
+namespace gfd {
+
+/// Resolves the active attribute set Gamma: the configured one, or the
+/// `max_active_attrs` most used attributes of the graph.
+std::vector<AttrId> ResolveActiveAttrs(const GraphStats& stats,
+                                       const DiscoveryConfig& cfg);
+
+/// Builds the literal pool for `pattern`: first x.A = y.A (and x.A = y.B
+/// when cross_attr_literals) for all variable pairs, then x.A = c with the
+/// top values per attribute, capped at DiscoveryConfig::kMaxPool entries
+/// (general-first order). The pool indexes literals for the bitset match
+/// profiles.
+std::vector<Literal> BuildLiteralPool(const Pattern& pattern,
+                                      const std::vector<AttrId>& gamma,
+                                      const GraphStats& stats,
+                                      const DiscoveryConfig& cfg);
+
+/// Match-driven pool (what the miner uses): constants are the per-variable
+/// top values *among the pattern's matches* (see CollectMatchConstants in
+/// profile.h), so locally frequent constants like an award's name make it
+/// into the pool even when globally rare. `constants` must be sorted by
+/// descending count.
+std::vector<Literal> BuildLiteralPoolFromMatches(
+    const Pattern& pattern, const std::vector<AttrId>& gamma,
+    const std::vector<VarConstFreq>& constants, const DiscoveryConfig& cfg);
+
+}  // namespace gfd
+
+#endif  // GFD_CORE_LITERAL_POOL_H_

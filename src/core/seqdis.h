@@ -1,0 +1,54 @@
+// SeqDis (Section 5.1): sequential discovery of all k-bounded minimum
+// sigma-frequent GFDs, positive and negative, in a single integrated
+// process. The lattice interleaves
+//   - VSpawn: grow patterns edge by edge (generation_tree.h),
+//   - HSpawn: grow LHS literal sets level-wise per (pattern, RHS literal),
+//     evaluated against the pattern's match profile (profile.h),
+//   - NVSpawn: zero-support patterns with frequent parents become negative
+//     GFDs Q'(∅ -> false),
+//   - NHSpawn: frequent validated positives extended by one literal with
+//     Q(G, X', z) = 0 become negative GFDs Q(X' -> false),
+// with the pruning rules of Lemma 4 (no trivial GFDs, stop an X branch
+// once satisfied, never extend infrequent patterns) and reduced-GFD
+// filtering via the << order.
+#ifndef GFD_CORE_SEQDIS_H_
+#define GFD_CORE_SEQDIS_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "gfd/gfd.h"
+#include "graph/property_graph.h"
+
+namespace gfd {
+
+/// Output of a discovery run (before cover computation).
+struct DiscoveryResult {
+  std::vector<Gfd> positives;
+  std::vector<Gfd> negatives;
+  /// Support of each discovered GFD, parallel to positives/negatives
+  /// (negatives carry the support of their base, Section 4.2).
+  std::vector<uint64_t> positive_supports;
+  std::vector<uint64_t> negative_supports;
+  DiscoveryStats stats;
+
+  /// positives ++ negatives, for validation / cover computation.
+  std::vector<Gfd> AllGfds() const {
+    std::vector<Gfd> all = positives;
+    all.insert(all.end(), negatives.begin(), negatives.end());
+    return all;
+  }
+};
+
+/// Runs sequential GFD discovery on `g`.
+DiscoveryResult SeqDis(const PropertyGraph& g, const DiscoveryConfig& cfg);
+
+/// Final reduced-GFD sweep: removes every GFD (positive or negative) that
+/// some other discovered GFD reduces (<<). The << order is a strict
+/// partial order, so the result is independent of discovery order --
+/// sequential and parallel miners converge to the same output set.
+void FinalizeReduced(DiscoveryResult& result);
+
+}  // namespace gfd
+
+#endif  // GFD_CORE_SEQDIS_H_

@@ -1,0 +1,81 @@
+#include "datagen/gfd_gen.h"
+
+#include <algorithm>
+
+#include "graph/stats.h"
+#include "util/rng.h"
+
+namespace gfd {
+
+std::vector<Gfd> GenerateGfdSet(const PropertyGraph& g,
+                                const GfdGenConfig& cfg) {
+  Rng rng(cfg.seed);
+  GraphStats stats(g);
+  const auto& triples = stats.edge_triples();
+  std::vector<AttrId> attrs = stats.attr_keys();
+  std::vector<Gfd> out;
+  if (triples.empty() || attrs.empty()) return out;
+
+  auto random_value = [&](AttrId a) -> ValueId {
+    auto top = stats.TopValues(a, 8);
+    if (top.empty()) return 0;
+    return top[rng.Below(top.size())].value;
+  };
+
+  auto random_literal = [&](size_t nvars) -> Literal {
+    AttrId a = attrs[rng.Below(attrs.size())];
+    VarId x = static_cast<VarId>(rng.Below(nvars));
+    if (nvars >= 2 && rng.Chance(0.4)) {
+      VarId y = static_cast<VarId>(rng.Below(nvars));
+      if (y == x) y = static_cast<VarId>((y + 1) % nvars);
+      return Literal::Vars(x, a, y, a);
+    }
+    return Literal::Const(x, a, random_value(a));
+  };
+
+  while (out.size() < cfg.count) {
+    if (!out.empty() && rng.Chance(cfg.redundancy)) {
+      // Specialize an earlier GFD: add one literal to its LHS (implied by
+      // the original, so the cover can drop it).
+      const Gfd& base = out[rng.Below(out.size())];
+      std::vector<Literal> lhs = base.lhs;
+      lhs.push_back(random_literal(base.pattern.NumNodes()));
+      out.push_back(Gfd(base.pattern, std::move(lhs), base.rhs));
+      continue;
+    }
+    // Fresh pattern: a random walk over frequent triples.
+    Pattern p;
+    const auto& t0 = triples[rng.Below(std::min<size_t>(triples.size(), 16))];
+    VarId v0 = p.AddNode(t0.src_label);
+    VarId v1 = p.AddNode(t0.dst_label);
+    p.AddEdge(v0, v1, t0.edge_label);
+    p.set_pivot(v0);
+    uint32_t extra = static_cast<uint32_t>(rng.Below(cfg.k - 1));
+    for (uint32_t i = 0; i < extra && p.NumNodes() < cfg.k; ++i) {
+      // Attach a triple whose source label matches some existing node.
+      bool attached = false;
+      for (size_t trial = 0; trial < 8 && !attached; ++trial) {
+        const auto& t =
+            triples[rng.Below(std::min<size_t>(triples.size(), 32))];
+        for (VarId v = 0; v < p.NumNodes(); ++v) {
+          if (p.NodeLabel(v) == t.src_label) {
+            VarId nv = p.AddNode(t.dst_label);
+            p.AddEdge(v, nv, t.edge_label);
+            attached = true;
+            break;
+          }
+        }
+      }
+    }
+    size_t nlhs = rng.Below(cfg.max_lhs + 1);
+    std::vector<Literal> lhs;
+    for (size_t i = 0; i < nlhs; ++i) lhs.push_back(random_literal(p.NumNodes()));
+    Literal rhs = rng.Chance(cfg.negative_fraction)
+                      ? Literal::False()
+                      : random_literal(p.NumNodes());
+    out.push_back(Gfd(std::move(p), std::move(lhs), rhs));
+  }
+  return out;
+}
+
+}  // namespace gfd

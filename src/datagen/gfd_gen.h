@@ -1,0 +1,33 @@
+// Random GFD-set generator for the cover-scalability experiment (Exp-4 /
+// Fig. 5(l)): sets Sigma controlled by |Sigma| (up to 10000) and k (up to
+// 6), built from the frequent edges and values of a host graph. The GFDs
+// need not hold on the graph -- cover computation is purely symbolic.
+#ifndef GFD_DATAGEN_GFD_GEN_H_
+#define GFD_DATAGEN_GFD_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gfd/gfd.h"
+#include "graph/property_graph.h"
+
+namespace gfd {
+
+struct GfdGenConfig {
+  size_t count = 1000;
+  uint32_t k = 4;           ///< max pattern variables
+  size_t max_lhs = 2;
+  double negative_fraction = 0.1;
+  /// Fraction of generated GFDs that are specializations of an earlier one
+  /// (guaranteeing the cover is strictly smaller than Sigma).
+  double redundancy = 0.3;
+  uint64_t seed = 5;
+};
+
+/// Generates `cfg.count` GFDs over `g`'s vocabulary.
+std::vector<Gfd> GenerateGfdSet(const PropertyGraph& g,
+                                const GfdGenConfig& cfg);
+
+}  // namespace gfd
+
+#endif  // GFD_DATAGEN_GFD_GEN_H_

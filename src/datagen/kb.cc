@@ -1,0 +1,330 @@
+#include "datagen/kb.h"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gfd {
+
+namespace {
+
+// Shared scaffolding for the three KB generators.
+class KbBuilder {
+ public:
+  explicit KbBuilder(uint64_t seed) : rng_(seed) {}
+
+  /// Adds `count` entities labeled `label`, each with type=<label> and a
+  /// fresh name attribute. Returns their node ids.
+  std::vector<NodeId> AddEntities(const std::string& label, size_t count) {
+    std::vector<NodeId> ids;
+    ids.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      NodeId v = b_.AddNode(label);
+      b_.SetAttr(v, "type", label);
+      b_.SetAttr(v, "name", label + "_" + std::to_string(i));
+      ids.push_back(v);
+    }
+    return ids;
+  }
+
+  /// Gives every node in `ids` a gender and a family name drawn from a
+  /// small surname pool (familyname powers GFD1-style rules).
+  void AddPersonAttrs(const std::vector<NodeId>& ids, size_t surnames) {
+    for (NodeId v : ids) {
+      b_.SetAttr(v, "gender", rng_.Chance(0.5) ? "male" : "female");
+      b_.SetAttr(v, "familyname",
+                 "fam" + std::to_string(rng_.Below(surnames)));
+    }
+  }
+
+  /// Connects each src to `avg_out` random dst's (at least one when
+  /// always_one), skew-free.
+  void Connect(const std::vector<NodeId>& srcs,
+               const std::vector<NodeId>& dsts, const std::string& rel,
+               double avg_out, bool always_one = false) {
+    if (dsts.empty()) return;
+    for (NodeId s : srcs) {
+      size_t n = static_cast<size_t>(avg_out);
+      double frac = avg_out - n;
+      if (rng_.Chance(frac)) ++n;
+      if (always_one && n == 0) n = 1;
+      for (size_t i = 0; i < n; ++i) {
+        NodeId d = dsts[rng_.Zipf(dsts.size(), 0.7)];
+        if (d != s) b_.AddEdgeById(s, d, b_.InternLabel(rel));
+      }
+    }
+  }
+
+  /// Builds parent->child trees over `people`: partitions them into
+  /// families, links parents to children (acyclic by construction), and
+  /// forces the planted rule child.familyname == parent.familyname.
+  void BuildFamilies(const std::vector<NodeId>& people, const std::string& rel,
+                     size_t family_size) {
+    for (size_t base = 0; base + 1 < people.size(); base += family_size) {
+      size_t end = std::min(people.size(), base + family_size);
+      std::string fam = "fam" + std::to_string(base);
+      for (size_t i = base; i < end; ++i) b_.SetAttr(people[i], "familyname", fam);
+      // First member is the root parent; each later member gets a parent
+      // among earlier members (indices only increase: no cycles).
+      for (size_t i = base + 1; i < end; ++i) {
+        size_t parent = base + rng_.Below(i - base);
+        b_.AddEdgeById(people[parent], people[i], b_.InternLabel(rel));
+      }
+    }
+  }
+
+  /// Symmetric marriages between consecutive pairs; spouses share the
+  /// family name (both edges present -> 2-edge mutual pattern exists).
+  /// Callers must pass people disjoint from any family pool, or the
+  /// family-name reassignment would break the hasChild invariant.
+  void BuildMarriages(const std::vector<NodeId>& people, const std::string& rel,
+                      double fraction) {
+    for (size_t i = 0; i + 1 < people.size(); i += 2) {
+      if (!rng_.Chance(fraction)) continue;
+      std::string fam = "mfam" + std::to_string(i);
+      b_.SetAttr(people[i], "familyname", fam);
+      b_.SetAttr(people[i + 1], "familyname", fam);
+      LabelId r = b_.InternLabel(rel);
+      b_.AddEdgeById(people[i], people[i + 1], r);
+      b_.AddEdgeById(people[i + 1], people[i], r);
+    }
+  }
+
+  /// Deterministic Fisher-Yates shuffle (mixes professions so relations
+  /// like hasChild connect diverse label pairs, enabling wildcard
+  /// patterns).
+  void Shuffle(std::vector<NodeId>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[rng_.Below(i)]);
+    }
+  }
+
+  Rng& rng() { return rng_; }
+  PropertyGraph::Builder& builder() { return b_; }
+  PropertyGraph Build() { return std::move(b_).Build(); }
+
+ private:
+  Rng rng_;
+  PropertyGraph::Builder b_;
+};
+
+// Exclusive award assignment: every film wins at most one of the two
+// exclusive awards (Gold Bear / Gold Lion), so their combination is a
+// discoverable negative GFD. Winners additionally carry a festival
+// attribute determined by the exclusive award (berlin for the Bear,
+// venice for the Lion), which plants the base positive
+//   won(x,y) ∧ y.name='Gold Bear' -> x.festival='berlin'
+// from which NHSpawn grows the exclusivity negative.
+void AssignExclusiveAwards(KbBuilder& kb, const std::vector<NodeId>& films,
+                           NodeId gold_bear, NodeId gold_lion,
+                           const std::vector<NodeId>& other_awards,
+                           double win_rate) {
+  LabelId won = kb.builder().InternLabel("won");
+  for (NodeId f : films) {
+    if (!kb.rng().Chance(win_rate)) continue;
+    double pick = kb.rng().NextDouble();
+    if (pick < 0.3) {
+      kb.builder().AddEdgeById(f, gold_bear, won);
+      kb.builder().SetAttr(f, "festival", "berlin");
+    } else if (pick < 0.6) {
+      kb.builder().AddEdgeById(f, gold_lion, won);
+      kb.builder().SetAttr(f, "festival", "venice");
+    } else if (!other_awards.empty()) {
+      kb.builder().AddEdgeById(
+          f, other_awards[kb.rng().Below(other_awards.size())], won);
+      kb.builder().SetAttr(f, "festival", "other");
+    }
+    // Some films win a second, non-exclusive award.
+    if (kb.rng().Chance(0.4) && !other_awards.empty()) {
+      kb.builder().AddEdgeById(
+          f, other_awards[kb.rng().Below(other_awards.size())], won);
+    }
+  }
+}
+
+// Citizenship where the US/Norway combination never occurs (GFD3 of
+// Fig. 8: Norway does not admit dual citizenship). Citizens of either
+// country carry a passport attribute determined by it, planting the base
+// positives citizenOf(x,y) ∧ y.name='US' -> x.passport='us' from which
+// NHSpawn grows the exclusivity negative.
+void AssignCitizenship(KbBuilder& kb, const std::vector<NodeId>& people,
+                       const std::vector<NodeId>& countries, NodeId us,
+                       NodeId norway) {
+  LabelId cit = kb.builder().InternLabel("citizenOf");
+  for (NodeId p : people) {
+    NodeId first = countries[kb.rng().Zipf(countries.size(), 0.9)];
+    kb.builder().AddEdgeById(p, first, cit);
+    NodeId second = kNoNode;
+    if (kb.rng().Chance(0.25)) {  // dual citizens
+      second = countries[kb.rng().Below(countries.size())];
+      bool clash = (first == us && second == norway) ||
+                   (first == norway && second == us);
+      if (!clash && second != first) {
+        kb.builder().AddEdgeById(p, second, cit);
+      } else {
+        second = kNoNode;
+      }
+    }
+    if (first == us || second == us) {
+      kb.builder().SetAttr(p, "passport", "us");
+    } else if (first == norway || second == norway) {
+      kb.builder().SetAttr(p, "passport", "no");
+    }
+  }
+}
+
+}  // namespace
+
+PropertyGraph MakeYago2Like(const KbConfig& cfg) {
+  KbBuilder kb(cfg.seed);
+  const size_t s = cfg.scale;
+
+  auto producers = kb.AddEntities("producer", s / 4);
+  auto directors = kb.AddEntities("director", s / 4);
+  auto actors = kb.AddEntities("actor", s / 2);
+  auto politicians = kb.AddEntities("politician", s / 4);
+  auto scientists = kb.AddEntities("scientist", s / 4);
+  auto films = kb.AddEntities("film", s / 2);
+  auto cities = kb.AddEntities("city", s / 10);
+  auto countries = kb.AddEntities("country", 30);
+  auto universities = kb.AddEntities("university", s / 20);
+  auto awards = kb.AddEntities("award", 20);
+
+  std::vector<NodeId> people;
+  for (const auto* group : {&producers, &directors, &actors, &politicians,
+                            &scientists}) {
+    people.insert(people.end(), group->begin(), group->end());
+  }
+  kb.AddPersonAttrs(people, 200);
+
+  // Planted positive rules. Families and marriages use disjoint shuffled
+  // pools so the two family-name rules hold exactly and the relations mix
+  // professions.
+  kb.Connect(producers, films, "created", 1.5, /*always_one=*/true);
+  kb.Connect(directors, films, "directed", 1.2, true);
+  kb.Connect(actors, films, "actedIn", 2.5, true);
+  std::vector<NodeId> mixed = people;
+  kb.Shuffle(mixed);
+  size_t family_pool = mixed.size() * 6 / 10;
+  std::vector<NodeId> family_people(mixed.begin(),
+                                    mixed.begin() + family_pool);
+  std::vector<NodeId> marriage_people(mixed.begin() + family_pool,
+                                      mixed.end());
+  kb.BuildFamilies(family_people, "hasChild", 5);
+  kb.BuildMarriages(marriage_people, "isMarriedTo", 0.8);
+
+  // Geography.
+  kb.Connect(people, cities, "wasBornIn", 0.9);
+  kb.Connect(cities, countries, "isLocatedIn", 1.0, true);
+  kb.Connect(universities, cities, "isLocatedIn", 1.0, true);
+  kb.Connect(people, universities, "graduatedFrom", 0.5);
+
+  // Planted negative rules.
+  NodeId gold_bear = awards[0], gold_lion = awards[1];
+  kb.builder().SetAttr(gold_bear, "name", "Gold Bear");
+  kb.builder().SetAttr(gold_lion, "name", "Gold Lion");
+  std::vector<NodeId> other_awards(awards.begin() + 2, awards.end());
+  AssignExclusiveAwards(kb, films, gold_bear, gold_lion, other_awards, 0.5);
+
+  NodeId us = countries[0], norway = countries[1];
+  kb.builder().SetAttr(us, "name", "US");
+  kb.builder().SetAttr(norway, "name", "Norway");
+  AssignCitizenship(kb, people, countries, us, norway);
+
+  return kb.Build();
+}
+
+PropertyGraph MakeDbpediaLike(const KbConfig& cfg) {
+  KbBuilder kb(cfg.seed + 1);
+  const size_t s = cfg.scale;
+
+  // The planted core (same regularities as YAGO2-like)...
+  auto producers = kb.AddEntities("producer", s / 4);
+  auto actors = kb.AddEntities("actor", s / 2);
+  auto films = kb.AddEntities("film", s / 2);
+  auto cities = kb.AddEntities("city", s / 8);
+  auto countries = kb.AddEntities("country", 40);
+
+  std::vector<NodeId> people;
+  people.insert(people.end(), producers.begin(), producers.end());
+  people.insert(people.end(), actors.begin(), actors.end());
+  kb.AddPersonAttrs(people, 150);
+
+  kb.Connect(producers, films, "created", 1.5, true);
+  kb.Connect(actors, films, "actedIn", 3.0, true);
+  std::vector<NodeId> mixed = people;
+  kb.Shuffle(mixed);
+  size_t family_pool = mixed.size() * 6 / 10;
+  std::vector<NodeId> family_people(mixed.begin(),
+                                    mixed.begin() + family_pool);
+  std::vector<NodeId> marriage_people(mixed.begin() + family_pool,
+                                      mixed.end());
+  kb.BuildFamilies(family_people, "hasChild", 4);
+  kb.BuildMarriages(marriage_people, "isMarriedTo", 0.8);
+  kb.Connect(people, cities, "wasBornIn", 1.0);
+  kb.Connect(cities, countries, "isLocatedIn", 1.0, true);
+
+  NodeId us = countries[0], norway = countries[1];
+  kb.builder().SetAttr(us, "name", "US");
+  kb.builder().SetAttr(norway, "name", "Norway");
+  AssignCitizenship(kb, people, countries, us, norway);
+
+  // ...plus the broad generic vocabulary that makes DBpedia *dense*:
+  // extra types and relations with random signatures.
+  std::vector<std::vector<NodeId>> extra_types;
+  for (int t = 0; t < 12; ++t) {
+    extra_types.push_back(
+        kb.AddEntities("etype" + std::to_string(t), s / 8));
+  }
+  for (int r = 0; r < 18; ++r) {
+    const auto& srcs = extra_types[kb.rng().Below(extra_types.size())];
+    const auto& dsts = extra_types[kb.rng().Below(extra_types.size())];
+    kb.Connect(srcs, dsts, "erel" + std::to_string(r), 1.6);
+  }
+  // Cross-links between the core and the generic part.
+  for (int r = 0; r < 6; ++r) {
+    const auto& dsts = extra_types[kb.rng().Below(extra_types.size())];
+    kb.Connect(people, dsts, "xrel" + std::to_string(r), 0.8);
+  }
+  return kb.Build();
+}
+
+PropertyGraph MakeImdbLike(const KbConfig& cfg) {
+  KbBuilder kb(cfg.seed + 2);
+  const size_t s = cfg.scale;
+
+  auto movies = kb.AddEntities("movie", s);
+  auto actors = kb.AddEntities("actor", s);
+  auto directors = kb.AddEntities("director", s / 4);
+  auto producers = kb.AddEntities("producer", s / 4);
+  auto companies = kb.AddEntities("company", s / 10);
+  auto countries = kb.AddEntities("country", 25);
+
+  std::vector<NodeId> people;
+  for (const auto* group : {&actors, &directors, &producers}) {
+    people.insert(people.end(), group->begin(), group->end());
+  }
+  kb.AddPersonAttrs(people, 300);
+
+  // Movie attributes: yearband and genre (active attributes beyond the
+  // person-centric ones).
+  for (NodeId m : movies) {
+    kb.builder().SetAttr(
+        m, "yearband", "y" + std::to_string(1950 + 10 * kb.rng().Below(8)));
+  }
+
+  kb.Connect(actors, movies, "actedIn", 3.0, true);
+  kb.Connect(directors, movies, "directed", 1.5, true);
+  kb.Connect(producers, movies, "created", 1.5, true);
+  kb.Connect(movies, companies, "producedBy", 1.0, true);
+  kb.Connect(companies, countries, "basedIn", 1.0, true);
+  kb.Connect(movies, countries, "releasedIn", 1.2, true);
+  std::vector<NodeId> mixed = people;
+  kb.Shuffle(mixed);
+  kb.BuildFamilies(mixed, "hasChild", 5);
+
+  return kb.Build();
+}
+
+}  // namespace gfd

@@ -1,0 +1,81 @@
+#include "datagen/noise.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace gfd {
+
+NoisyGraph InjectNoise(const PropertyGraph& g, const NoiseConfig& cfg) {
+  Rng rng(cfg.seed);
+  PropertyGraph::Builder b;
+
+  // Pre-intern the clean graph's entire vocabulary in id order, so every
+  // label/attr/value keeps its id in the corrupted copy. Rules mined on
+  // the clean graph hold interned ids; without this, evaluating them on
+  // the noisy graph would compare ids from two different interners.
+  // (Label id 0 is the wildcard, interned by the Builder constructor.)
+  for (LabelId l = 1; l < g.labels().size(); ++l) {
+    b.InternLabel(g.LabelName(l));
+  }
+  for (AttrId a = 0; a < g.attrs().size(); ++a) {
+    b.InternAttr(g.AttrName(a));
+  }
+  for (ValueId v = 0; v < g.values().size(); ++v) {
+    b.InternValue(g.ValueName(v));
+  }
+
+  // Copy nodes with labels and attributes; node ids are preserved because
+  // insertion order matches.
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    NodeId nv = b.AddNode(g.LabelName(g.NodeLabel(v)));
+    if (!g.NodeName(v).empty()) b.SetName(nv, g.NodeName(v));
+  }
+
+  std::unordered_set<NodeId> chosen;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (rng.Chance(cfg.alpha)) chosen.insert(v);
+  }
+
+  size_t noise_counter = 0;
+  std::vector<NodeId> corrupted;
+
+  // Attributes (possibly corrupted).
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    bool touched = false;
+    for (const auto& a : g.NodeAttrs(v)) {
+      std::string value = g.ValueName(a.value);
+      if (chosen.count(v) && rng.Chance(cfg.beta) &&
+          !rng.Chance(cfg.edge_label_fraction)) {
+        value = "noise_" + std::to_string(noise_counter++);
+        touched = true;
+      }
+      b.SetAttr(v, g.AttrName(a.key), value);
+    }
+    if (touched) corrupted.push_back(v);
+  }
+
+  // Edges (labels possibly corrupted; corruption attributed to the source
+  // node, matching the paper's "changed ... the labels of edges of v").
+  std::unordered_set<NodeId> edge_corrupted;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    NodeId src = g.EdgeSrc(e);
+    std::string label = g.LabelName(g.EdgeLabel(e));
+    if (chosen.count(src) && rng.Chance(cfg.beta) &&
+        rng.Chance(cfg.edge_label_fraction)) {
+      label = "noiserel_" + std::to_string(noise_counter++);
+      edge_corrupted.insert(src);
+    }
+    b.AddEdge(src, g.EdgeDst(e), label);
+  }
+
+  corrupted.insert(corrupted.end(), edge_corrupted.begin(),
+                   edge_corrupted.end());
+  std::sort(corrupted.begin(), corrupted.end());
+  corrupted.erase(std::unique(corrupted.begin(), corrupted.end()),
+                  corrupted.end());
+  return {std::move(b).Build(), std::move(corrupted)};
+}
+
+}  // namespace gfd

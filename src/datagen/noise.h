@@ -1,0 +1,37 @@
+// Noise injection for the error-detection-accuracy experiment (Exp-5 /
+// Fig. 7): draw alpha% of the nodes and, for each, change beta% of its
+// active attribute values or the labels of its incident edges to values
+// that do not appear in the clean graph.
+#ifndef GFD_DATAGEN_NOISE_H_
+#define GFD_DATAGEN_NOISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace gfd {
+
+struct NoisyGraph {
+  PropertyGraph graph;
+  /// V^E of the paper: nodes that received at least one corruption.
+  std::vector<NodeId> corrupted;
+};
+
+struct NoiseConfig {
+  double alpha = 0.05;  ///< fraction of nodes to corrupt
+  double beta = 0.5;    ///< per chosen node: fraction of attrs/edges changed
+  double edge_label_fraction = 0.2;  ///< share of corruptions that flip an
+                                     ///< incident edge label instead of an
+                                     ///< attribute value
+  uint64_t seed = 99;
+};
+
+/// Returns a corrupted copy of `g` (node ids preserved) plus the corrupted
+/// node set. Fresh "noise_i" values / "noiserel_i" labels guarantee the
+/// injected values never appear in the clean graph.
+NoisyGraph InjectNoise(const PropertyGraph& g, const NoiseConfig& cfg);
+
+}  // namespace gfd
+
+#endif  // GFD_DATAGEN_NOISE_H_

@@ -1,0 +1,34 @@
+// The paper's synthetic graph generator (Section 7, "Experimental
+// setting"): graphs G = (V, E, L, F_A) controlled by |V| and |E|, with
+// labels drawn from a 30-symbol alphabet and 5 active attributes whose
+// values come from a 1000-value domain. We add a correlation knob: with
+// probability `value_correlation` an attribute value is a deterministic
+// function of the node label (so functional regularities exist for the
+// miner to find); otherwise it is random.
+#ifndef GFD_DATAGEN_SYNTHETIC_H_
+#define GFD_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "graph/property_graph.h"
+
+namespace gfd {
+
+struct SyntheticConfig {
+  size_t nodes = 10000;
+  size_t edges = 20000;
+  size_t node_labels = 30;
+  size_t edge_labels = 30;
+  size_t attrs = 5;         ///< active attributes per node
+  size_t values = 1000;     ///< value domain size per attribute
+  double value_correlation = 0.8;  ///< P(value determined by label)
+  double degree_skew = 0.8; ///< zipf exponent for endpoint selection
+  uint64_t seed = 1;
+};
+
+/// Generates a synthetic property graph. Deterministic in `cfg.seed`.
+PropertyGraph MakeSynthetic(const SyntheticConfig& cfg);
+
+}  // namespace gfd
+
+#endif  // GFD_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,133 @@
+#include "gfd/closure.h"
+
+#include "pattern/canonical.h"
+
+namespace gfd {
+
+int EqClosure::TermId(VarId x, AttrId a) {
+  auto [it, inserted] = term_index_.try_emplace({x, a}, 0);
+  if (inserted) {
+    it->second = static_cast<int>(parent_.size());
+    parent_.push_back(it->second);
+    constant_.push_back(kNoValue);
+  }
+  return it->second;
+}
+
+int EqClosure::FindTerm(VarId x, AttrId a) const {
+  auto it = term_index_.find({x, a});
+  return it == term_index_.end() ? -1 : it->second;
+}
+
+int EqClosure::Root(int t) const {
+  while (parent_[t] != t) {
+    parent_[t] = parent_[parent_[t]];  // path halving
+    t = parent_[t];
+  }
+  return t;
+}
+
+void EqClosure::Merge(int t1, int t2) {
+  int r1 = Root(t1), r2 = Root(t2);
+  if (r1 == r2) return;
+  ValueId c1 = constant_[r1], c2 = constant_[r2];
+  if (c1 != kNoValue && c2 != kNoValue && c1 != c2) conflicting_ = true;
+  parent_[r1] = r2;
+  if (constant_[r2] == kNoValue) constant_[r2] = c1;
+}
+
+void EqClosure::Assert(const Literal& l) {
+  if (conflicting_) return;
+  switch (l.kind) {
+    case LiteralKind::kFalse:
+      conflicting_ = true;
+      return;
+    case LiteralKind::kVarConst: {
+      int r = Root(TermId(l.x, l.a));
+      if (constant_[r] != kNoValue && constant_[r] != l.c) {
+        conflicting_ = true;  // x.A = c and x.A = d with c != d
+        return;
+      }
+      constant_[r] = l.c;
+      return;
+    }
+    case LiteralKind::kVarVar:
+      Merge(TermId(l.x, l.a), TermId(l.y, l.b));
+      return;
+  }
+}
+
+bool EqClosure::Entails(const Literal& l) const {
+  if (conflicting_) return true;  // ex falso quodlibet
+  switch (l.kind) {
+    case LiteralKind::kFalse:
+      return false;
+    case LiteralKind::kVarConst: {
+      int t = FindTerm(l.x, l.a);
+      return t >= 0 && constant_[Root(t)] == l.c;
+    }
+    case LiteralKind::kVarVar: {
+      if (l.x == l.y && l.a == l.b) return true;  // reflexivity
+      int t1 = FindTerm(l.x, l.a), t2 = FindTerm(l.y, l.b);
+      if (t1 < 0 || t2 < 0) return false;
+      int r1 = Root(t1), r2 = Root(t2);
+      if (r1 == r2) return true;
+      return constant_[r1] != kNoValue && constant_[r1] == constant_[r2];
+    }
+  }
+  return false;
+}
+
+EqClosure ComputeClosure(const Pattern& q, std::span<const Gfd> sigma,
+                         const std::vector<Literal>& x) {
+  EqClosure closure;
+  for (const auto& lit : x) closure.Assert(lit);
+
+  // Pre-enumerate all embeddings of each GFD's pattern into q; this is the
+  // O(k^k) factor of the FPT bound (Theorem 1a). Implication embeddings do
+  // not pin pivots: pivots direct discovery, not logical entailment.
+  struct Rule {
+    const Gfd* psi;
+    std::vector<Literal> lhs;  // literals translated through f
+    Literal rhs;
+  };
+  std::vector<Rule> rules;
+  for (const auto& psi : sigma) {
+    ForEachEmbedding(psi.pattern, q, /*require_pivot=*/false,
+                     [&](const std::vector<VarId>& f) {
+                       Rule r;
+                       r.psi = &psi;
+                       r.lhs.reserve(psi.lhs.size());
+                       for (const auto& lit : psi.lhs) {
+                         r.lhs.push_back(MapLiteral(lit, f));
+                       }
+                       r.rhs = MapLiteral(psi.rhs, f);
+                       rules.push_back(std::move(r));
+                       return true;
+                     });
+  }
+
+  // Chase to fixpoint.
+  bool changed = true;
+  while (changed && !closure.conflicting()) {
+    changed = false;
+    for (const auto& r : rules) {
+      if (closure.conflicting()) break;
+      if (closure.Entails(r.rhs)) continue;
+      bool fires = true;
+      for (const auto& lit : r.lhs) {
+        if (!closure.Entails(lit)) {
+          fires = false;
+          break;
+        }
+      }
+      if (fires) {
+        closure.Assert(r.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace gfd

@@ -1,0 +1,73 @@
+// The equality closure closure(Sigma_Q, X) underlying the satisfiability
+// and implication characterizations (Section 3, after Theorem 1; Lemmas 3
+// and 7 of [Fan-Wu-Xu, SIGMOD'16]).
+//
+// Terms are attribute occurrences x.A over the variables of a pattern Q.
+// The closure is a congruence over terms plus constant bindings, grown by
+//   - the literals of X,
+//   - transitivity of equality (union-find), and
+//   - chasing with GFDs embedded in Q: for every embedding f of psi's
+//     pattern into Q with f(X_psi) entailed, add f(l_psi).
+// It is *conflicting* when some class carries two distinct constants or
+// the literal `false` was derived.
+#ifndef GFD_GFD_CLOSURE_H_
+#define GFD_GFD_CLOSURE_H_
+
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gfd/gfd.h"
+#include "util/hash.h"
+
+namespace gfd {
+
+/// Union-find over attribute terms with per-class constant bindings.
+class EqClosure {
+ public:
+  EqClosure() = default;
+
+  /// Adds a literal as a fact. kVarConst binds the term's class to the
+  /// constant; kVarVar merges two classes; kFalse marks the closure
+  /// conflicting.
+  void Assert(const Literal& l);
+
+  /// Is the literal entailed? kVarConst: the class of x.A is bound to c.
+  /// kVarVar: both terms exist and are in one class, or their classes are
+  /// bound to the same constant, or the literal is reflexive.
+  /// kFalse: entailed only by a conflicting closure.
+  bool Entails(const Literal& l) const;
+
+  /// True once two distinct constants collide in one class or `false` was
+  /// asserted. All further Assert calls are no-ops.
+  bool conflicting() const { return conflicting_; }
+
+ private:
+  using Term = std::pair<VarId, AttrId>;
+
+  int TermId(VarId x, AttrId a);          // find-or-create
+  int FindTerm(VarId x, AttrId a) const;  // -1 if absent
+  int Root(int t) const;
+  void Merge(int t1, int t2);
+
+  std::unordered_map<Term, int, PairHash> term_index_;
+  mutable std::vector<int> parent_;
+  std::vector<ValueId> constant_;  // valid at roots; kNoValue = unbound
+  bool conflicting_ = false;
+};
+
+/// Computes closure(Sigma_Q, X) for pattern `q`: chases `sigma` over all
+/// embeddings into q starting from the literals of `x`. GFDs whose pattern
+/// does not embed into q contribute nothing (they are not in Sigma_Q).
+EqClosure ComputeClosure(const Pattern& q, std::span<const Gfd> sigma,
+                         const std::vector<Literal>& x);
+
+/// enforced(Sigma_Q) = closure(Sigma_Q, {}) (Section 3).
+inline EqClosure ComputeEnforced(const Pattern& q, std::span<const Gfd> sigma) {
+  return ComputeClosure(q, sigma, {});
+}
+
+}  // namespace gfd
+
+#endif  // GFD_GFD_CLOSURE_H_

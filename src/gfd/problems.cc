@@ -1,0 +1,26 @@
+#include "gfd/problems.h"
+
+namespace gfd {
+
+bool IsTrivialGfd(const Gfd& phi) {
+  EqClosure closure;
+  for (const auto& lit : phi.lhs) closure.Assert(lit);
+  if (closure.conflicting()) return true;  // X equivalent to false
+  if (phi.rhs.IsFalse()) return false;     // negative with satisfiable X
+  return closure.Entails(phi.rhs);         // l derivable from X alone
+}
+
+bool Implies(std::span<const Gfd> sigma, const Gfd& phi) {
+  EqClosure closure = ComputeClosure(phi.pattern, sigma, phi.lhs);
+  return closure.conflicting() || closure.Entails(phi.rhs);
+}
+
+bool IsSatisfiable(std::span<const Gfd> sigma) {
+  for (const auto& phi : sigma) {
+    EqClosure enforced = ComputeEnforced(phi.pattern, sigma);
+    if (!enforced.conflicting()) return true;
+  }
+  return false;
+}
+
+}  // namespace gfd

@@ -1,0 +1,36 @@
+// The three fundamental problems of Section 3 -- satisfiability,
+// implication, validation -- implemented through the fixed-parameter
+// tractable characterizations (Theorem 1(a), Proposition 2). Validation
+// lives in validation.h (it needs the matcher); this header hosts the
+// purely symbolic problems.
+#ifndef GFD_GFD_PROBLEMS_H_
+#define GFD_GFD_PROBLEMS_H_
+
+#include <span>
+
+#include "gfd/closure.h"
+#include "gfd/gfd.h"
+
+namespace gfd {
+
+/// Is phi trivial (Section 4.1)? Either X is unsatisfiable by equality
+/// transitivity (e.g. contains x.A=c and x.A=d), or the consequence
+/// already follows from X alone. Negative GFDs with satisfiable X are
+/// *not* trivial.
+bool IsTrivialGfd(const Gfd& phi);
+
+/// Sigma |= phi (the implication problem)? Characterization: the closure
+/// of X under the GFDs of Sigma embedded in phi's pattern is conflicting,
+/// or it entails phi's consequence. FPT in k = max pattern size.
+bool Implies(std::span<const Gfd> sigma, const Gfd& phi);
+
+/// Is Sigma satisfiable? There must be a graph satisfying Sigma in which
+/// at least one pattern of Sigma matches; by the characterization this
+/// holds iff enforced(Sigma_Q) is non-conflicting for *some* pattern Q of
+/// Sigma. The empty set is unsatisfiable by definition (condition (b) of
+/// Section 3 requires a witnessing GFD).
+bool IsSatisfiable(std::span<const Gfd> sigma);
+
+}  // namespace gfd
+
+#endif  // GFD_GFD_PROBLEMS_H_

@@ -1,0 +1,104 @@
+#include "graph/loader.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/tsv.h"
+
+namespace gfd {
+
+namespace {
+void SetError(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+}  // namespace
+
+std::optional<PropertyGraph> LoadGraphTsv(std::istream& in,
+                                          std::string* error) {
+  PropertyGraph::Builder b;
+  std::unordered_map<std::string, NodeId> ids;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = SplitFields(line);
+    if (fields[0] == "N") {
+      if (fields.size() < 3) {
+        SetError(error, "line " + std::to_string(lineno) + ": short N record");
+        return std::nullopt;
+      }
+      std::string name(fields[1]);
+      if (ids.count(name)) {
+        SetError(error,
+                 "line " + std::to_string(lineno) + ": duplicate node " + name);
+        return std::nullopt;
+      }
+      NodeId v = b.AddNode(fields[2]);
+      b.SetName(v, name);
+      ids.emplace(std::move(name), v);
+      for (size_t i = 3; i < fields.size(); ++i) {
+        std::string_view key, value;
+        if (!SplitKeyValue(fields[i], &key, &value)) {
+          SetError(error, "line " + std::to_string(lineno) +
+                              ": attribute without '='");
+          return std::nullopt;
+        }
+        b.SetAttr(v, key, value);
+      }
+    } else if (fields[0] == "E") {
+      if (fields.size() < 4) {
+        SetError(error, "line " + std::to_string(lineno) + ": short E record");
+        return std::nullopt;
+      }
+      auto src = ids.find(std::string(fields[1]));
+      auto dst = ids.find(std::string(fields[2]));
+      if (src == ids.end() || dst == ids.end()) {
+        SetError(error, "line " + std::to_string(lineno) +
+                            ": edge references unknown node");
+        return std::nullopt;
+      }
+      b.AddEdge(src->second, dst->second, fields[3]);
+    } else {
+      SetError(error, "line " + std::to_string(lineno) + ": unknown tag '" +
+                          std::string(fields[0]) + "'");
+      return std::nullopt;
+    }
+  }
+  return std::move(b).Build();
+}
+
+std::optional<PropertyGraph> LoadGraphTsvFile(const std::string& path,
+                                              std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return LoadGraphTsv(in, error);
+}
+
+void SaveGraphTsv(const PropertyGraph& g, std::ostream& out) {
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const std::string& name = g.NodeName(v);
+    out << "N\t" << (name.empty() ? "n" + std::to_string(v) : name) << '\t'
+        << g.LabelName(g.NodeLabel(v));
+    for (const auto& a : g.NodeAttrs(v)) {
+      out << '\t' << g.AttrName(a.key) << '=' << g.ValueName(a.value);
+    }
+    out << '\n';
+  }
+  auto name_of = [&](NodeId v) {
+    const std::string& name = g.NodeName(v);
+    return name.empty() ? "n" + std::to_string(v) : name;
+  };
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    out << "E\t" << name_of(g.EdgeSrc(e)) << '\t' << name_of(g.EdgeDst(e))
+        << '\t' << g.LabelName(g.EdgeLabel(e)) << '\n';
+  }
+}
+
+}  // namespace gfd

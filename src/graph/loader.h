@@ -1,0 +1,34 @@
+// TSV serialization of property graphs.
+//
+// Format (one record per line, tab-separated):
+//   N <node-string-id> <label> [key=value ...]
+//   E <src-string-id> <dst-string-id> <label>
+// Lines starting with '#' and blank lines are ignored. Node string ids are
+// arbitrary tokens; they are preserved as node names in the loaded graph.
+#ifndef GFD_GRAPH_LOADER_H_
+#define GFD_GRAPH_LOADER_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/property_graph.h"
+
+namespace gfd {
+
+/// Parses a graph from `in`. Returns std::nullopt and fills `*error` (if
+/// non-null) on malformed input (unknown record tag, dangling edge endpoint,
+/// short line).
+std::optional<PropertyGraph> LoadGraphTsv(std::istream& in,
+                                          std::string* error = nullptr);
+
+/// Convenience file-based wrapper.
+std::optional<PropertyGraph> LoadGraphTsvFile(const std::string& path,
+                                              std::string* error = nullptr);
+
+/// Writes `g` to `out` in the format accepted by LoadGraphTsv.
+void SaveGraphTsv(const PropertyGraph& g, std::ostream& out);
+
+}  // namespace gfd
+
+#endif  // GFD_GRAPH_LOADER_H_

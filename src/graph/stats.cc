@@ -1,0 +1,80 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace gfd {
+
+namespace {
+struct TripleKeyHash {
+  size_t operator()(const std::tuple<LabelId, LabelId, LabelId>& t) const {
+    size_t h = std::get<0>(t);
+    HashCombine(h, std::get<1>(t));
+    HashCombine(h, std::get<2>(t));
+    return h;
+  }
+};
+}  // namespace
+
+GraphStats::GraphStats(const PropertyGraph& g) {
+  label_counts_.assign(g.labels().size(), 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) ++label_counts_[g.NodeLabel(v)];
+
+  std::unordered_map<std::tuple<LabelId, LabelId, LabelId>, uint64_t,
+                     TripleKeyHash>
+      triple_counts;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    ++triple_counts[{g.NodeLabel(g.EdgeSrc(e)), g.EdgeLabel(e),
+                     g.NodeLabel(g.EdgeDst(e))}];
+  }
+  triples_.reserve(triple_counts.size());
+  for (const auto& [key, count] : triple_counts) {
+    triples_.push_back(
+        {std::get<0>(key), std::get<1>(key), std::get<2>(key), count});
+  }
+  std::sort(triples_.begin(), triples_.end(),
+            [](const EdgeTriple& a, const EdgeTriple& b) {
+              if (a.count != b.count) return a.count > b.count;
+              if (a.src_label != b.src_label) return a.src_label < b.src_label;
+              if (a.edge_label != b.edge_label)
+                return a.edge_label < b.edge_label;
+              return a.dst_label < b.dst_label;
+            });
+
+  value_freqs_.resize(g.attrs().size());
+  std::vector<std::unordered_map<ValueId, uint64_t>> counts(g.attrs().size());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const auto& a : g.NodeAttrs(v)) ++counts[a.key][a.value];
+  }
+  for (AttrId k = 0; k < counts.size(); ++k) {
+    if (!counts[k].empty()) attr_keys_.push_back(k);
+    auto& vf = value_freqs_[k];
+    vf.reserve(counts[k].size());
+    for (const auto& [val, c] : counts[k]) vf.push_back({val, c});
+    std::sort(vf.begin(), vf.end(), [](const ValueFreq& a, const ValueFreq& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.value < b.value;
+    });
+  }
+}
+
+std::vector<EdgeTriple> GraphStats::FrequentTriples(uint64_t min_count) const {
+  std::vector<EdgeTriple> out;
+  for (const auto& t : triples_) {
+    if (t.count < min_count) break;  // sorted descending
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<ValueFreq> GraphStats::TopValues(AttrId key, size_t k) const {
+  std::vector<ValueFreq> out;
+  if (key >= value_freqs_.size()) return out;
+  const auto& vf = value_freqs_[key];
+  out.assign(vf.begin(), vf.begin() + std::min(k, vf.size()));
+  return out;
+}
+
+}  // namespace gfd

@@ -1,0 +1,70 @@
+// Graph statistics used to seed GFD discovery:
+//  - frequent "edge triples" (source label, edge label, destination label)
+//    that drive vertical spawning (VSpawn, Section 5.1), and
+//  - frequent values per attribute that drive literal generation
+//    (HSpawn; the paper takes the 5 most frequent values per attribute).
+#ifndef GFD_GRAPH_STATS_H_
+#define GFD_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "util/ids.h"
+
+namespace gfd {
+
+/// A (source-label, edge-label, destination-label) triple with its count.
+struct EdgeTriple {
+  LabelId src_label;
+  LabelId edge_label;
+  LabelId dst_label;
+  uint64_t count;
+
+  friend bool operator==(const EdgeTriple&, const EdgeTriple&) = default;
+};
+
+/// A (value, count) pair for one attribute key.
+struct ValueFreq {
+  ValueId value;
+  uint64_t count;
+};
+
+/// Precomputed statistics over one graph.
+class GraphStats {
+ public:
+  /// Scans `g` once; O(|V| + |E|).
+  explicit GraphStats(const PropertyGraph& g);
+
+  /// All distinct edge triples, sorted by descending count.
+  const std::vector<EdgeTriple>& edge_triples() const { return triples_; }
+
+  /// Edge triples with count >= min_count.
+  std::vector<EdgeTriple> FrequentTriples(uint64_t min_count) const;
+
+  /// Top `k` most frequent values of attribute `key` (fewer if the
+  /// attribute has fewer distinct values).
+  std::vector<ValueFreq> TopValues(AttrId key, size_t k) const;
+
+  /// Number of nodes labeled `l`.
+  uint64_t LabelCount(LabelId l) const {
+    return l < label_counts_.size() ? label_counts_[l] : 0;
+  }
+
+  /// Size of the label vocabulary (node + edge labels + wildcard).
+  size_t num_labels() const { return label_counts_.size(); }
+
+  /// Attribute keys observed in the graph, ascending.
+  const std::vector<AttrId>& attr_keys() const { return attr_keys_; }
+
+ private:
+  std::vector<EdgeTriple> triples_;
+  std::vector<uint64_t> label_counts_;
+  std::vector<AttrId> attr_keys_;
+  // Per attribute key: (value, count) sorted by descending count.
+  std::vector<std::vector<ValueFreq>> value_freqs_;
+};
+
+}  // namespace gfd
+
+#endif  // GFD_GRAPH_STATS_H_

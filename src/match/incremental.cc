@@ -1,0 +1,88 @@
+#include "match/incremental.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/hash.h"
+
+namespace gfd {
+
+std::vector<CandidateEdge> CollectCandidateEdges(
+    const PropertyGraph& g, LabelId src_label, LabelId label,
+    LabelId dst_label, const std::vector<EdgeId>* edge_ids) {
+  std::vector<CandidateEdge> out;
+  auto consider = [&](EdgeId e) {
+    if (!LabelMatches(g.EdgeLabel(e), label)) return;
+    NodeId s = g.EdgeSrc(e), d = g.EdgeDst(e);
+    if (!LabelMatches(g.NodeLabel(s), src_label)) return;
+    if (!LabelMatches(g.NodeLabel(d), dst_label)) return;
+    out.push_back({s, d});
+  };
+  if (edge_ids) {
+    for (EdgeId e : *edge_ids) consider(e);
+  } else {
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) consider(e);
+  }
+  // Dedup parallel edges with identical endpoints: as *candidates* they are
+  // interchangeable.
+  std::sort(out.begin(), out.end(), [](const CandidateEdge& a,
+                                       const CandidateEdge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Match> JoinMatchesWithEdges(
+    const std::vector<Match>& base_matches, const DeltaEdge& delta,
+    const std::vector<CandidateEdge>& candidates) {
+  std::vector<Match> out;
+  if (base_matches.empty() || candidates.empty()) return out;
+
+  if (delta.fresh_var == kNoVar) {
+    // Closing edge: both endpoints already bound. Hash the candidate pairs.
+    std::unordered_set<std::pair<NodeId, NodeId>, PairHash> pairs;
+    pairs.reserve(candidates.size());
+    for (const auto& c : candidates) pairs.insert({c.src, c.dst});
+    for (const auto& m : base_matches) {
+      if (pairs.count({m[delta.src], m[delta.dst]})) out.push_back(m);
+    }
+    return out;
+  }
+
+  // Extending edge: exactly one endpoint is the fresh variable.
+  const bool fresh_is_dst = (delta.fresh_var == delta.dst);
+  const VarId bound_var = fresh_is_dst ? delta.src : delta.dst;
+  // Index candidates by the bound endpoint.
+  std::unordered_map<NodeId, std::vector<NodeId>> by_bound;
+  by_bound.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    if (fresh_is_dst) {
+      by_bound[c.src].push_back(c.dst);
+    } else {
+      by_bound[c.dst].push_back(c.src);
+    }
+  }
+  for (const auto& m : base_matches) {
+    auto it = by_bound.find(m[bound_var]);
+    if (it == by_bound.end()) continue;
+    for (NodeId fresh : it->second) {
+      // Injectivity: the fresh node must not already appear in the match.
+      if (std::find(m.begin(), m.end(), fresh) != m.end()) continue;
+      Match ext = m;
+      ext.resize(std::max<size_t>(ext.size(), delta.fresh_var + 1), kNoNode);
+      ext[delta.fresh_var] = fresh;
+      out.push_back(std::move(ext));
+    }
+  }
+  DedupMatches(out);
+  return out;
+}
+
+void DedupMatches(std::vector<Match>& matches) {
+  std::sort(matches.begin(), matches.end());
+  matches.erase(std::unique(matches.begin(), matches.end()), matches.end());
+}
+
+}  // namespace gfd

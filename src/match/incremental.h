@@ -1,0 +1,70 @@
+// Incremental pattern matching by joining previously verified matches with
+// candidate edge lists: the work unit "Q(F_s) |><| e(F_t)" of the parallel
+// discovery algorithm (Section 6.2).
+//
+// A pattern Q' at level i decomposes into a verified pattern Q at level
+// i-1 plus one edge e. Matches of Q' are obtained from matches of Q by
+//   (a) closing: e connects two variables Q already had -- filter Q's
+//       matches by edge existence, or
+//   (b) extending: e introduces one fresh variable -- join Q's matches with
+//       candidate edges keyed on the shared endpoint, enforcing injectivity
+//       and the fresh variable's node label.
+//
+// The candidate edge list stands for e(F_t): in the distributed setting it
+// is the (shipped) set of graph edges matching e's label and endpoint
+// labels within fragment t. Joining against a *list* rather than the whole
+// graph is exactly what makes the parallel algorithm's communication
+// explicit.
+#ifndef GFD_MATCH_INCREMENTAL_H_
+#define GFD_MATCH_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "match/matcher.h"
+#include "pattern/pattern.h"
+#include "util/ids.h"
+
+namespace gfd {
+
+/// One candidate graph edge (already known to satisfy the pattern edge's
+/// label constraints).
+struct CandidateEdge {
+  NodeId src;
+  NodeId dst;
+
+  friend bool operator==(const CandidateEdge&, const CandidateEdge&) = default;
+};
+
+/// Description of the delta edge that turns pattern Q into Q'.
+struct DeltaEdge {
+  VarId src;             ///< source variable in Q'
+  VarId dst;             ///< destination variable in Q'
+  LabelId label;         ///< pattern edge label
+  VarId fresh_var;       ///< kNoVar when closing; else the new variable id
+  LabelId fresh_label;   ///< node label of the fresh variable (if any)
+};
+
+/// Extracts e(G): all graph edges whose label matches `label` and whose
+/// endpoint labels match `src_label` / `dst_label` (wildcards allowed).
+/// `edge_ids` restricts the scan to a subset of edges (a fragment); pass
+/// nullptr to scan the whole graph.
+std::vector<CandidateEdge> CollectCandidateEdges(
+    const PropertyGraph& g, LabelId src_label, LabelId label,
+    LabelId dst_label, const std::vector<EdgeId>* edge_ids = nullptr);
+
+/// Joins base matches of Q with candidate edges to produce matches of Q'.
+/// `base_matches` are matches of Q (Q'.NumNodes() - (fresh? 1 : 0) vars);
+/// output matches have Q'.NumNodes() entries. Output is deduplicated
+/// (parallel candidate edges would otherwise create equal matches).
+std::vector<Match> JoinMatchesWithEdges(
+    const std::vector<Match>& base_matches, const DeltaEdge& delta,
+    const std::vector<CandidateEdge>& candidates);
+
+/// Deduplicates a match list in place (sort + unique).
+void DedupMatches(std::vector<Match>& matches);
+
+}  // namespace gfd
+
+#endif  // GFD_MATCH_INCREMENTAL_H_

@@ -1,0 +1,124 @@
+// Subgraph-isomorphism matching of patterns against data graphs.
+//
+// Semantics (Section 2.1): a match of Q[x-bar] in G is an injective mapping
+// h from pattern variables to graph nodes such that
+//   (1) L(h(u)) matches Q's (possibly wildcard) node label, and
+//   (2) for every pattern edge (u,u',l) there is a graph edge
+//       h(u) -> h(u') whose label matches l.
+// This is non-induced subgraph isomorphism on a directed multigraph; the
+// paper's G' is the image subgraph, so extra edges among matched nodes are
+// irrelevant.
+//
+// The matcher compiles a pattern once into a variable ordering rooted at
+// the pivot (exploiting the data locality of Section 4.1: all matched nodes
+// lie within the pattern radius of the pivot), then backtracks per pivot
+// candidate. All discovery-side queries -- supp(Q,G), Q(G,Xl,z),
+// validation -- are phrased as per-pivot callbacks with early exit.
+#ifndef GFD_MATCH_MATCHER_H_
+#define GFD_MATCH_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "pattern/pattern.h"
+#include "util/ids.h"
+
+namespace gfd {
+
+/// A complete match: graph node per pattern variable (indexed by VarId).
+using Match = std::vector<NodeId>;
+
+/// Budgets and counters for a matching run.
+struct MatchOptions {
+  /// Upper bound on backtracking steps (candidate attempts) before the
+  /// matcher gives up; protects un-pruned baselines from runaway patterns.
+  uint64_t max_steps = std::numeric_limits<uint64_t>::max();
+};
+
+struct MatchCounters {
+  uint64_t steps = 0;           ///< candidate attempts
+  uint64_t matches_found = 0;   ///< callbacks fired
+  bool budget_exhausted = false;
+};
+
+/// A pattern compiled into a pivot-rooted search plan. Reusable across any
+/// number of graphs/pivots; immutable after construction.
+class CompiledPattern {
+ public:
+  /// Precondition: q.IsConnected() (discovery only spawns connected
+  /// patterns). Disconnected patterns are rejected with an assert.
+  explicit CompiledPattern(const Pattern& q);
+
+  const Pattern& pattern() const { return pattern_; }
+
+  /// Enumerates matches with h(pivot) = v. The callback returns false to
+  /// stop early (within this pivot). Returns false iff the step budget was
+  /// exhausted mid-enumeration (results may be incomplete).
+  bool ForEachMatchAtPivot(
+      const PropertyGraph& g, NodeId v,
+      const std::function<bool(const Match&)>& on_match,
+      const MatchOptions& opts = {}, MatchCounters* counters = nullptr) const;
+
+  /// Enumerates all matches in G (all pivots). Callback semantics as above,
+  /// except returning false aborts the entire enumeration.
+  bool ForEachMatch(const PropertyGraph& g,
+                    const std::function<bool(const Match&)>& on_match,
+                    const MatchOptions& opts = {},
+                    MatchCounters* counters = nullptr) const;
+
+  /// Candidate pivot nodes of G (label pre-filter only; callers still need
+  /// the full match test).
+  std::vector<NodeId> PivotCandidates(const PropertyGraph& g) const;
+
+ private:
+  struct EdgeCheck {
+    VarId other;        // already-bound variable on the far end
+    bool out;           // true: current -> other, false: other -> current
+    LabelId label;      // pattern edge label
+  };
+  struct Step {
+    VarId var;              // variable bound at this step
+    LabelId label;          // its node label
+    VarId anchor;           // bound variable adjacent to var (kNoVar: none)
+    bool anchor_out;        // true: anchor -> var
+    LabelId anchor_label;   // label of the anchor edge
+    std::vector<EdgeCheck> checks;  // remaining incident edges to verify
+    uint32_t min_out_deg;   // degree lower bounds from the pattern
+    uint32_t min_in_deg;
+  };
+
+  bool Backtrack(const PropertyGraph& g, size_t depth, Match& h,
+                 std::vector<NodeId>& used,
+                 const std::function<bool(const Match&)>& on_match,
+                 const MatchOptions& opts, MatchCounters& counters,
+                 bool& stop) const;
+
+  Pattern pattern_;
+  std::vector<Step> steps_;  // steps_[0].var == pivot
+};
+
+/// Q(G,z): distinct pivot nodes that admit at least one match (pattern
+/// support, Section 4.2). Sorted ascending.
+std::vector<NodeId> PivotSupportSet(const PropertyGraph& g,
+                                    const CompiledPattern& q,
+                                    const MatchOptions& opts = {});
+
+/// |Q(G,z)| convenience wrapper.
+uint64_t PatternSupport(const PropertyGraph& g, const CompiledPattern& q,
+                        const MatchOptions& opts = {});
+
+/// True iff Q has at least one match in G.
+bool HasAnyMatch(const PropertyGraph& g, const CompiledPattern& q,
+                 const MatchOptions& opts = {});
+
+/// Total number of matches (isomorphic images counted per variable
+/// assignment). Used by tests and the AMIE baseline.
+uint64_t CountMatches(const PropertyGraph& g, const CompiledPattern& q,
+                      const MatchOptions& opts = {});
+
+}  // namespace gfd
+
+#endif  // GFD_MATCH_MATCHER_H_

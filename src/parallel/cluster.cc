@@ -1,0 +1,3 @@
+#include "parallel/cluster.h"
+
+// Header-only for now; this translation unit anchors the library target.

@@ -1,0 +1,65 @@
+#include "parallel/fragment.h"
+
+#include <algorithm>
+
+namespace gfd {
+
+Fragmentation VertexCutPartition(const PropertyGraph& g, size_t n) {
+  Fragmentation frag;
+  frag.num_fragments = n;
+  frag.edge_fragment.resize(g.NumEdges());
+  frag.fragment_edges.resize(n);
+  frag.node_owner.assign(g.NumNodes(), 0);
+
+  const size_t m = g.NumEdges();
+  const size_t cap = (m + n - 1) / n;  // hard balance cap per fragment
+
+  // Per node: bitmask of fragments hosting one of its edges (n <= 64 for
+  // the mask; larger n falls back to least-loaded placement only).
+  std::vector<uint64_t> node_frags(g.NumNodes(), 0);
+  std::vector<size_t> load(n, 0);
+
+  for (EdgeId e = 0; e < m; ++e) {
+    NodeId s = g.EdgeSrc(e), d = g.EdgeDst(e);
+    uint64_t mask = (n <= 64) ? (node_frags[s] | node_frags[d]) : 0;
+    size_t best = n;  // invalid
+    // Prefer the least-loaded fragment already hosting an endpoint,
+    // provided it is not at the balance cap.
+    for (size_t f = 0; f < n && mask; ++f) {
+      if (!(mask >> f & 1)) continue;
+      if (load[f] >= cap) continue;
+      if (best == n || load[f] < load[best]) best = f;
+    }
+    if (best == n) {
+      // Fall back to the globally least-loaded fragment.
+      best = 0;
+      for (size_t f = 1; f < n; ++f) {
+        if (load[f] < load[best]) best = f;
+      }
+    }
+    frag.edge_fragment[e] = static_cast<uint32_t>(best);
+    frag.fragment_edges[best].push_back(e);
+    ++load[best];
+    if (n <= 64) {
+      node_frags[s] |= 1ull << best;
+      node_frags[d] |= 1ull << best;
+    }
+  }
+
+  // Node owners and replication factor.
+  size_t replicas = 0, touched = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    uint64_t mask = node_frags[v];
+    if (mask) {
+      ++touched;
+      replicas += static_cast<size_t>(__builtin_popcountll(mask));
+      frag.node_owner[v] = static_cast<uint32_t>(__builtin_ctzll(mask));
+    } else {
+      frag.node_owner[v] = static_cast<uint32_t>(v % n);
+    }
+  }
+  frag.replication = touched ? static_cast<double>(replicas) / touched : 1.0;
+  return frag;
+}
+
+}  // namespace gfd

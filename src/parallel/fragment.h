@@ -1,0 +1,37 @@
+// Vertex-cut fragmentation (Section 6.1): the graph's edges are evenly
+// partitioned across n fragments; nodes are implicitly replicated wherever
+// their edges land. A greedy placement keeps fragments balanced while
+// preferring fragments that already host one of the edge's endpoints
+// (lower replication), the standard vertex-cut heuristic.
+#ifndef GFD_PARALLEL_FRAGMENT_H_
+#define GFD_PARALLEL_FRAGMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace gfd {
+
+/// An edge partition of a graph. Fragment f owns fragment_edges[f].
+struct Fragmentation {
+  size_t num_fragments = 0;
+  std::vector<uint32_t> edge_fragment;            ///< edge id -> fragment
+  std::vector<std::vector<EdgeId>> fragment_edges;
+
+  /// Replication factor: average number of fragments a (non-isolated)
+  /// node appears in. 1.0 = no replication.
+  double replication = 1.0;
+
+  /// Owner fragment per node (for pivot-aligned bookkeeping): fragment of
+  /// the node's first incident edge; isolated nodes are hashed.
+  std::vector<uint32_t> node_owner;
+};
+
+/// Partitions `g`'s edges into `n` fragments. Precondition: n >= 1.
+/// Deterministic. Fragment sizes differ by at most a small constant.
+Fragmentation VertexCutPartition(const PropertyGraph& g, size_t n);
+
+}  // namespace gfd
+
+#endif  // GFD_PARALLEL_FRAGMENT_H_

@@ -1,0 +1,37 @@
+// ParCover (Section 6.3): parallel cover computation. Sigma is partitioned
+// into groups of GFDs sharing (up to isomorphism) one pattern Q_j; by the
+// independence property (Lemma 6), Sigma \ {phi} |= phi iff the GFDs whose
+// patterns embed into Q_j already imply phi. Groups are assigned to
+// workers with an LPT (longest-processing-time-first) 2-approximate
+// balancer and eliminated group-locally in parallel.
+//
+// Cross-group soundness: a non-trivial implication premise must embed into
+// the target's pattern; mutual embedding forces isomorphism, i.e. the same
+// group -- so concurrent group-local removals can never remove two GFDs
+// that only imply each other.
+#ifndef GFD_PARALLEL_PARCOVER_H_
+#define GFD_PARALLEL_PARCOVER_H_
+
+#include <vector>
+
+#include "core/cover.h"
+#include "gfd/gfd.h"
+#include "parallel/cluster.h"
+
+namespace gfd {
+
+/// Parallel cover with pattern grouping (the paper's ParCover).
+std::vector<Gfd> ParCover(std::vector<Gfd> sigma,
+                          const ParallelRunConfig& pcfg,
+                          CoverStats* stats = nullptr,
+                          ClusterStats* cstats = nullptr);
+
+/// The ParCovern ablation: no grouping -- every implication test runs
+/// against all of Sigma (parallel marking + sequential confirmation).
+std::vector<Gfd> ParCoverNoGrouping(std::vector<Gfd> sigma,
+                                    const ParallelRunConfig& pcfg,
+                                    CoverStats* stats = nullptr);
+
+}  // namespace gfd
+
+#endif  // GFD_PARALLEL_PARCOVER_H_

@@ -1,0 +1,595 @@
+#include "parallel/pardis.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "core/generation_tree.h"
+#include "core/lattice_util.h"
+#include "core/literal_pool.h"
+#include "core/profile.h"
+#include "gfd/problems.h"
+#include "graph/stats.h"
+#include "match/incremental.h"
+#include "parallel/fragment.h"
+#include "util/hash.h"
+#include "util/timer.h"
+
+namespace gfd {
+
+namespace {
+
+// A batched evaluation request against one pattern's distributed rows.
+struct EvalQuery {
+  LitMask mask;     // X (or X' / singleton)
+  int rhs_bit = -1; // -1: no RHS
+};
+
+// Aggregated answer.
+struct EvalAnswer {
+  uint64_t supp = 0;       // pivots with a match satisfying mask ∪ {rhs}
+  bool violated = false;   // some match: mask ⊆ sat, rhs not in sat
+  bool any_sat = false;    // some match satisfies mask
+  bool any_present = false;// some match has all attrs of mask present
+};
+
+// Per-worker state for one pattern: owned matches and their profile rows
+// (rows are grouped by pivot for the supp computation).
+struct WorkerPatternState {
+  std::vector<Match> matches;
+  std::vector<ProfileRow> rows;  // sorted by pivot once profiled
+};
+
+class ParMiner {
+ public:
+  ParMiner(const PropertyGraph& g, const DiscoveryConfig& cfg,
+           const ParallelRunConfig& pcfg)
+      : g_(g),
+        cfg_(cfg),
+        pcfg_(pcfg),
+        cluster_(pcfg.workers),
+        frag_(VertexCutPartition(g, pcfg.workers)),
+        gstats_(g) {}
+
+  DiscoveryResult Run(ClusterStats* out_stats) {
+    gamma_ = ResolveActiveAttrs(gstats_, cfg_);
+    auto triples = gstats_.FrequentTriples(cfg_.support_threshold);
+    auto wildcard_labels =
+        cfg_.wildcard_upgrades ? WildcardEdgeLabels(gstats_, cfg_)
+                               : std::vector<LabelId>{};
+    cstats_.replication = frag_.replication;
+
+    // Level 0: single-node patterns; their "matches" are the label's nodes,
+    // placed at their owner fragment.
+    auto l0 = InitTree(tree_, gstats_, cfg_, result_.stats);
+    for (int id : l0) SeedSingleNodeMatches(id);
+    SortGeneralFirst(l0);
+    for (int id : l0) ProcessPattern(id);
+
+    const size_t max_level = cfg_.k * cfg_.k;
+    for (size_t level = 1; level <= max_level && !Exhausted(); ++level) {
+      auto spawned = VSpawn(tree_, static_cast<int>(level), triples,
+                            wildcard_labels, cfg_, result_.stats);
+      if (spawned.empty()) break;
+      // Parallel incremental matching for every spawned pattern.
+      WallTimer match_timer;
+      for (int id : spawned) MatchPattern(id);
+      cstats_.match_seconds += match_timer.Seconds();
+      // Drop the previous level's matches: joins only need level-1.
+      for (int id : tree_.level(level - 1)) states_.erase(id);
+      SortGeneralFirst(spawned);
+      for (int id : spawned) {
+        if (Exhausted()) break;
+        ProcessPattern(id);
+      }
+    }
+
+    FinalizeReduced(result_);
+    cstats_.messages = cluster_.messages();
+    cstats_.bytes_shipped = cluster_.bytes();
+    if (out_stats) *out_stats = cstats_;
+    return std::move(result_);
+  }
+
+ private:
+  bool Exhausted() const { return result_.stats.budget_exceeded; }
+
+  bool ChargeCandidate() {
+    ++result_.stats.candidates_generated;
+    if (result_.stats.candidates_generated > cfg_.candidate_budget) {
+      result_.stats.budget_exceeded = true;
+      return false;
+    }
+    return true;
+  }
+
+  void SortGeneralFirst(std::vector<int>& ids) {
+    std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+      size_t wa = WildcardCount(tree_.node(a).pattern);
+      size_t wb = WildcardCount(tree_.node(b).pattern);
+      if (wa != wb) return wa > wb;
+      return a < b;
+    });
+  }
+
+  size_t OwnerOf(NodeId pivot) const {
+    if (pcfg_.load_balance) return pivot % pcfg_.workers;
+    return frag_.node_owner[pivot];
+  }
+
+  void SeedSingleNodeMatches(int node_id) {
+    const TreeNode& node = tree_.node(node_id);
+    auto& st = states_[node_id];
+    st.assign(pcfg_.workers, {});
+    LabelId l = node.pattern.NodeLabel(0);
+    for (NodeId v = 0; v < g_.NumNodes(); ++v) {
+      if (!LabelMatches(g_.NodeLabel(v), l)) continue;
+      st[OwnerOf(v)].matches.push_back({v});
+    }
+  }
+
+  // Parallel incremental matching: Q'(F_s) = Q(F_s) |><| e(F_t) for all t.
+  void MatchPattern(int node_id) {
+    TreeNode& node = tree_.node(node_id);
+    auto& st = states_[node_id];
+    st.assign(pcfg_.workers, {});
+    if (node.parents.empty()) return;
+    int parent_id = node.parents[0];
+    auto pit = states_.find(parent_id);
+    if (pit == states_.end()) return;  // parent not materialized (rare)
+    auto& parent_states = pit->second;
+
+    const DeltaEdge& delta = node.delta;
+    LabelId src_label = node.pattern.NodeLabel(delta.src);
+    LabelId dst_label = node.pattern.NodeLabel(delta.dst);
+
+    // Step 1 (parallel): each worker extracts its local e(F_t).
+    std::vector<std::vector<CandidateEdge>> local_edges(pcfg_.workers);
+    cluster_.RunStep([&](size_t w) {
+      local_edges[w] = CollectCandidateEdges(g_, src_label, delta.label,
+                                             dst_label,
+                                             &frag_.fragment_edges[w]);
+    });
+
+    // Step 2: all-to-all shipment of candidate edge lists. In the
+    // simulated cluster the "shipment" is the concatenation below; we
+    // account (n-1) receivers per fragment list.
+    std::vector<CandidateEdge> all_edges;
+    for (size_t t = 0; t < pcfg_.workers; ++t) {
+      cluster_.CountShipment(local_edges[t].size() * (pcfg_.workers - 1),
+                             sizeof(CandidateEdge));
+      all_edges.insert(all_edges.end(), local_edges[t].begin(),
+                       local_edges[t].end());
+    }
+    std::sort(all_edges.begin(), all_edges.end(),
+              [](const CandidateEdge& a, const CandidateEdge& b) {
+                return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+              });
+    all_edges.erase(std::unique(all_edges.begin(), all_edges.end()),
+                    all_edges.end());
+
+    // Step 3 (parallel): local joins.
+    std::vector<size_t> loads(pcfg_.workers, 0);
+    cluster_.RunStep([&](size_t w) {
+      st[w].matches = JoinMatchesWithEdges(parent_states[w].matches, delta,
+                                           all_edges);
+      loads[w] = st[w].matches.size();
+    });
+
+    // Skew accounting (before any re-balancing).
+    size_t total = 0, max_load = 0;
+    for (size_t w = 0; w < pcfg_.workers; ++w) {
+      total += loads[w];
+      max_load = std::max(max_load, loads[w]);
+    }
+    if (total > 0) {
+      double mean = static_cast<double>(total) / pcfg_.workers;
+      cstats_.max_skew = std::max(cstats_.max_skew, max_load / mean);
+    }
+
+    // Step 4: pivot-aligned shuffle (load balancing). Matches whose pivot
+    // hashes elsewhere are shipped to their owner.
+    if (pcfg_.load_balance) {
+      const VarId pivot = node.pattern.pivot();
+      std::vector<std::vector<Match>> outbound(pcfg_.workers);
+      for (size_t w = 0; w < pcfg_.workers; ++w) {
+        auto& mine = st[w].matches;
+        std::vector<Match> keep;
+        for (auto& m : mine) {
+          size_t owner = m[pivot] % pcfg_.workers;
+          if (owner == w) {
+            keep.push_back(std::move(m));
+          } else {
+            outbound[owner].push_back(std::move(m));
+            ++cstats_.matches_rebalanced;
+          }
+        }
+        mine = std::move(keep);
+      }
+      for (size_t w = 0; w < pcfg_.workers; ++w) {
+        cluster_.CountShipment(outbound[w].size(),
+                               node.pattern.NumNodes() * sizeof(NodeId));
+        auto& mine = st[w].matches;
+        mine.insert(mine.end(),
+                    std::make_move_iterator(outbound[w].begin()),
+                    std::make_move_iterator(outbound[w].end()));
+      }
+    }
+  }
+
+  // Verifies support, handles NVSpawn, and mines the pattern's literal
+  // trees with distributed batch validation.
+  void ProcessPattern(int node_id) {
+    TreeNode& node = tree_.node(node_id);
+    auto& st = states_[node_id];
+
+    size_t total_matches = 0;
+    for (const auto& w : st) total_matches += w.matches.size();
+    result_.stats.profile_matches += total_matches;
+    result_.stats.max_pattern_matches =
+        std::max<uint64_t>(result_.stats.max_pattern_matches, total_matches);
+    node.support = CountDistinctPivots(node_id);
+    node.verified = true;
+    node.frequent = cfg_.prune ? node.support >= cfg_.support_threshold
+                               : node.support > 0;
+    if (node.frequent) ++result_.stats.patterns_frequent;
+
+    if (node.support == 0) {
+      ++result_.stats.patterns_zero_support;
+      if (cfg_.discover_negative) NVSpawn(node_id);
+      return;
+    }
+    if (cfg_.prune && node.support < cfg_.support_threshold) return;
+
+    // Distributed constant collection -> literal pool at the master.
+    std::vector<std::vector<VarConstFreq>> local_consts(pcfg_.workers);
+    cluster_.RunStep([&](size_t w) {
+      MatchStore store;
+      store.matches = st[w].matches;  // local view
+      local_consts[w] = CollectMatchConstants(g_, store, gamma_);
+    });
+    std::map<std::tuple<VarId, AttrId, ValueId>, uint64_t> merged;
+    for (size_t w = 0; w < pcfg_.workers; ++w) {
+      cluster_.CountShipment(local_consts[w].size(), sizeof(VarConstFreq));
+      for (const auto& c : local_consts[w]) {
+        merged[{c.var, c.attr, c.value}] += c.count;
+      }
+    }
+    std::vector<VarConstFreq> constants;
+    constants.reserve(merged.size());
+    for (const auto& [key, count] : merged) {
+      constants.push_back(
+          {std::get<0>(key), std::get<1>(key), std::get<2>(key), count});
+    }
+    std::sort(constants.begin(), constants.end(),
+              [](const VarConstFreq& l, const VarConstFreq& r) {
+                if (l.count != r.count) return l.count > r.count;
+                if (l.var != r.var) return l.var < r.var;
+                if (l.attr != r.attr) return l.attr < r.attr;
+                return l.value < r.value;
+              });
+    auto pool = BuildLiteralPoolFromMatches(node.pattern, gamma_, constants,
+                                            cfg_);
+    cluster_.CountBroadcast(pool.size(), sizeof(Literal));
+
+    // Distributed row profiling (rows stay at their worker).
+    WallTimer vt;
+    const VarId pivot = node.pattern.pivot();
+    cluster_.RunStep([&](size_t w) {
+      auto& ws = st[w];
+      ws.rows.clear();
+      ws.rows.reserve(ws.matches.size());
+      for (const auto& m : ws.matches) {
+        ws.rows.push_back(ProfileMatch(g_, m, pivot, pool));
+      }
+      std::sort(ws.rows.begin(), ws.rows.end(),
+                [](const ProfileRow& a, const ProfileRow& b) {
+                  return a.pivot < b.pivot;
+                });
+    });
+
+    MineLiterals(node_id, pool);
+    cstats_.validate_seconds += vt.Seconds();
+    // Rows are no longer needed (matches are kept for next-level joins).
+    for (auto& w : st) {
+      w.rows.clear();
+      w.rows.shrink_to_fit();
+    }
+  }
+
+  uint64_t CountDistinctPivots(int node_id) {
+    const auto& st = states_[node_id];
+    const VarId pivot = tree_.node(node_id).pattern.pivot();
+    if (pcfg_.load_balance) {
+      // Pivot-aligned ownership: local distinct counts sum exactly
+      // (supp(phi, G) = sum_s supp(phi, F_s), Section 6.2).
+      std::vector<uint64_t> local(pcfg_.workers, 0);
+      cluster_.RunStep([&](size_t w) {
+        std::vector<NodeId> pivots;
+        pivots.reserve(st[w].matches.size());
+        for (const auto& m : st[w].matches) pivots.push_back(m[pivot]);
+        std::sort(pivots.begin(), pivots.end());
+        pivots.erase(std::unique(pivots.begin(), pivots.end()),
+                     pivots.end());
+        local[w] = pivots.size();
+      });
+      uint64_t total = 0;
+      for (uint64_t c : local) total += c;
+      return total;
+    }
+    // Unbalanced ownership: pivots may repeat across workers; the master
+    // unions shipped pivot sets (extra communication, the ablation cost).
+    std::set<NodeId> all;
+    for (size_t w = 0; w < pcfg_.workers; ++w) {
+      cluster_.CountShipment(st[w].matches.size(), sizeof(NodeId));
+      for (const auto& m : st[w].matches) all.insert(m[pivot]);
+    }
+    return all.size();
+  }
+
+  // Evaluates a batch of queries against the pattern's distributed rows.
+  std::vector<EvalAnswer> Evaluate(int node_id,
+                                   const std::vector<EvalQuery>& batch) {
+    const auto& st = states_[node_id];
+    const size_t n = pcfg_.workers;
+    std::vector<std::vector<EvalAnswer>> local(n);
+    std::vector<std::vector<std::vector<NodeId>>> local_pivots(n);
+    cluster_.RunStep([&](size_t w) {
+      const auto& rows = st[w].rows;
+      auto& answers = local[w];
+      answers.assign(batch.size(), {});
+      if (!pcfg_.load_balance) {
+        local_pivots[w].assign(batch.size(), {});
+      }
+      for (size_t qi = 0; qi < batch.size(); ++qi) {
+        const EvalQuery& q = batch[qi];
+        EvalAnswer& a = answers[qi];
+        LitMask need = q.mask;
+        if (q.rhs_bit >= 0) need.set(q.rhs_bit);
+        size_t i = 0;
+        while (i < rows.size()) {
+          // One pivot group: rows are sorted by pivot.
+          NodeId pv = rows[i].pivot;
+          bool supp_here = false;
+          for (; i < rows.size() && rows[i].pivot == pv; ++i) {
+            const ProfileRow& r = rows[i];
+            if ((r.sat & q.mask) == q.mask) {
+              a.any_sat = true;
+              if (q.rhs_bit >= 0 && !r.sat.test(q.rhs_bit)) {
+                a.violated = true;
+              }
+            }
+            if ((r.sat & need) == need) supp_here = true;
+            if ((r.present & q.mask) == q.mask) a.any_present = true;
+          }
+          if (supp_here) {
+            ++a.supp;
+            if (!pcfg_.load_balance) local_pivots[w][qi].push_back(pv);
+          }
+        }
+      }
+    });
+    // Master aggregation.
+    std::vector<EvalAnswer> out(batch.size());
+    if (pcfg_.load_balance) {
+      for (size_t w = 0; w < n; ++w) {
+        cluster_.CountShipment(batch.size(), sizeof(EvalAnswer));
+        for (size_t qi = 0; qi < batch.size(); ++qi) {
+          out[qi].supp += local[w][qi].supp;
+          out[qi].violated |= local[w][qi].violated;
+          out[qi].any_sat |= local[w][qi].any_sat;
+          out[qi].any_present |= local[w][qi].any_present;
+        }
+      }
+    } else {
+      std::vector<std::set<NodeId>> pivot_union(batch.size());
+      for (size_t w = 0; w < n; ++w) {
+        cluster_.CountShipment(batch.size(), sizeof(EvalAnswer));
+        for (size_t qi = 0; qi < batch.size(); ++qi) {
+          out[qi].violated |= local[w][qi].violated;
+          out[qi].any_sat |= local[w][qi].any_sat;
+          out[qi].any_present |= local[w][qi].any_present;
+          cluster_.CountShipment(local_pivots[w][qi].size(), sizeof(NodeId));
+          pivot_union[qi].insert(local_pivots[w][qi].begin(),
+                                 local_pivots[w][qi].end());
+        }
+      }
+      for (size_t qi = 0; qi < batch.size(); ++qi) {
+        out[qi].supp = pivot_union[qi].size();
+      }
+    }
+    return out;
+  }
+
+  void NVSpawn(int node_id) {
+    const TreeNode& node = tree_.node(node_id);
+    uint64_t base_support = 0;
+    for (int pid : node.parents) {
+      const TreeNode& parent = tree_.node(pid);
+      if (parent.verified && parent.frequent) {
+        base_support = std::max(base_support, parent.support);
+      }
+    }
+    if (base_support < cfg_.support_threshold) return;
+    AddNegative(node_id, Gfd(node.pattern, {}, Literal::False()),
+                base_support);
+  }
+
+  // Master-driven literal lattice with distributed batch evaluation.
+  // Mirrors SeqDis::MineRhsTree level by level, but all rhs trees of the
+  // pattern advance together so each (i, j) step is one worker batch
+  // (the paper's HSpawn(i, j) batches).
+  void MineLiterals(int node_id, const std::vector<Literal>& pool) {
+    const TreeNode& node = tree_.node(node_id);
+
+    // Usable bits (one batch of singleton queries).
+    std::vector<EvalQuery> singles(pool.size());
+    for (size_t b = 0; b < pool.size(); ++b) singles[b].mask.set(b);
+    auto single_answers = Evaluate(node_id, singles);
+    LitMask usable;
+    for (size_t b = 0; b < pool.size(); ++b) {
+      if (cfg_.prune) {
+        if (single_answers[b].supp >= cfg_.support_threshold) usable.set(b);
+      } else {
+        if (single_answers[b].any_sat) usable.set(b);
+      }
+    }
+
+    struct XNode {
+      uint32_t rhs;
+      LitMask mask;
+      int max_bit;
+    };
+    std::vector<XNode> frontier;
+    for (size_t r = 0; r < pool.size(); ++r) {
+      if (usable.test(r)) frontier.push_back({static_cast<uint32_t>(r),
+                                              LitMask{}, -1});
+    }
+    // Per-rhs satisfied (closed) masks, Lemma 4(b).
+    std::map<uint32_t, std::vector<LitMask>> closed;
+
+    for (size_t depth = 0; depth <= cfg_.max_lhs_size && !frontier.empty();
+         ++depth) {
+      // Filter + trivial checks at the master, then one evaluation batch.
+      std::vector<XNode> to_eval;
+      std::vector<EvalQuery> batch;
+      for (const auto& xn : frontier) {
+        if (!ChargeCandidate()) return;
+        bool superseded = false;
+        if (cfg_.prune) {
+          for (const auto& c : closed[xn.rhs]) {
+            if ((xn.mask & c) == c) {
+              superseded = true;
+              break;
+            }
+          }
+        }
+        if (superseded) {
+          ++result_.stats.candidates_pruned_reduced;
+          continue;
+        }
+        Gfd phi(node.pattern, LitsOfMask(xn.mask, pool), pool[xn.rhs]);
+        if (IsTrivialGfd(phi)) {
+          ++result_.stats.candidates_pruned_trivial;
+          continue;
+        }
+        to_eval.push_back(xn);
+        batch.push_back({xn.mask, static_cast<int>(xn.rhs)});
+      }
+      result_.stats.candidates_validated += batch.size();
+      auto answers = Evaluate(node_id, batch);
+
+      // Decide + queue NHSpawn emptiness checks.
+      std::vector<XNode> next;
+      struct NegCheck {
+        LitMask ext;
+        uint64_t base_supp;
+      };
+      std::vector<NegCheck> neg_checks;
+      std::vector<EvalQuery> neg_batch;
+      for (size_t i = 0; i < to_eval.size(); ++i) {
+        const XNode& xn = to_eval[i];
+        const EvalAnswer& a = answers[i];
+        const bool satisfied = !a.violated;
+        if (satisfied) {
+          closed[xn.rhs].push_back(xn.mask);
+          if (a.supp >= cfg_.support_threshold) {
+            Gfd phi(node.pattern, LitsOfMask(xn.mask, pool), pool[xn.rhs]);
+            if (IsReducedAway(phi)) {
+              ++result_.stats.candidates_pruned_reduced;
+            } else {
+              AddPositive(phi, a.supp);
+            }
+            if (cfg_.discover_negative &&
+                xn.mask.count() + 1 <= cfg_.max_negative_lhs_size) {
+              for (size_t b = 0; b < pool.size(); ++b) {
+                if (b == xn.rhs || xn.mask.test(b) || !usable.test(b)) {
+                  continue;
+                }
+                LitMask ext = xn.mask;
+                ext.set(b);
+                neg_checks.push_back({ext, a.supp});
+                neg_batch.push_back({ext, -1});
+              }
+            }
+          }
+          if (cfg_.prune) continue;  // close this branch
+        }
+        if (depth == cfg_.max_lhs_size) continue;
+        for (size_t b = xn.max_bit + 1; b < pool.size(); ++b) {
+          if (b == xn.rhs || xn.mask.test(b) || !usable.test(b)) continue;
+          XNode child{xn.rhs, xn.mask, static_cast<int>(b)};
+          child.mask.set(b);
+          next.push_back(child);
+        }
+      }
+
+      if (!neg_batch.empty()) {
+        auto neg_answers = Evaluate(node_id, neg_batch);
+        for (size_t i = 0; i < neg_checks.size(); ++i) {
+          if (neg_answers[i].any_sat) continue;       // Q(G, X', z) != 0
+          if (!neg_answers[i].any_present) continue;  // OWA gate
+          Gfd neg(node.pattern, LitsOfMask(neg_checks[i].ext, pool),
+                  Literal::False());
+          if (IsTrivialGfd(neg)) continue;
+          AddNegative(node_id, std::move(neg), neg_checks[i].base_supp);
+        }
+      }
+      frontier = std::move(next);
+    }
+  }
+
+  bool IsReducedAway(const Gfd& phi) const {
+    auto it = by_rhs_.find(SignatureOf(phi.rhs));
+    if (it == by_rhs_.end()) return false;
+    for (size_t idx : it->second) {
+      if (GfdReduces(result_.positives[idx], phi)) return true;
+    }
+    return false;
+  }
+
+  void AddPositive(Gfd phi, uint64_t supp) {
+    by_rhs_[SignatureOf(phi.rhs)].push_back(result_.positives.size());
+    result_.positives.push_back(std::move(phi));
+    result_.positive_supports.push_back(supp);
+    ++result_.stats.positives_found;
+  }
+
+  void AddNegative(int node_id, Gfd phi, uint64_t base_supp) {
+    auto key = std::pair(node_id, phi.lhs);
+    if (!seen_negatives_.insert(key).second) return;
+    for (const auto& neg : result_.negatives) {
+      if (GfdReduces(neg, phi)) {
+        ++result_.stats.candidates_pruned_reduced;
+        return;
+      }
+    }
+    result_.negatives.push_back(std::move(phi));
+    result_.negative_supports.push_back(base_supp);
+    ++result_.stats.negatives_found;
+  }
+
+  const PropertyGraph& g_;
+  const DiscoveryConfig cfg_;
+  const ParallelRunConfig pcfg_;
+  Cluster cluster_;
+  Fragmentation frag_;
+  GraphStats gstats_;
+  std::vector<AttrId> gamma_;
+  GenerationTree tree_;
+  DiscoveryResult result_;
+  ClusterStats cstats_;
+  std::unordered_map<int, std::vector<WorkerPatternState>> states_;
+  std::map<RhsSig, std::vector<size_t>> by_rhs_;
+  std::set<std::pair<int, std::vector<Literal>>> seen_negatives_;
+};
+
+}  // namespace
+
+DiscoveryResult ParDis(const PropertyGraph& g, const DiscoveryConfig& cfg,
+                       const ParallelRunConfig& pcfg, ClusterStats* stats) {
+  return ParMiner(g, cfg, pcfg).Run(stats);
+}
+
+}  // namespace gfd

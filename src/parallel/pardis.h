@@ -1,0 +1,39 @@
+// ParDis (Section 6.2): parallel GFD discovery over a vertex-cut
+// fragmented graph, parallel-scalable relative to SeqDis (Theorem 5).
+//
+// Supersteps per pattern level:
+//   1. VSpawn at the master (identical lattice to SeqDis).
+//   2. Parallel incremental pattern matching: each worker s joins its
+//      locally owned matches Q(F_s) with the candidate edge lists e(F_t)
+//      shipped from every fragment t (the distributed join work units).
+//   3. Load balancing: matches are re-shuffled pivot-aligned across
+//      workers (ownership by pivot hash), so per-candidate supports are
+//      disjoint sums; the ParGFDnb ablation skips the shuffle, and the
+//      master must instead merge shipped pivot sets per candidate.
+//   4. Parallel GFD validation: the master grows each pattern's literal
+//      trees (HSpawn) and posts candidate batches; workers evaluate them
+//      against their local profile rows (supports, SAT flags, NHSpawn
+//      emptiness + OWA presence); the master aggregates and decides.
+//
+// Output is identical to SeqDis (asserted by tests): the lattice logic,
+// pruning rules, and reduced-GFD filters are the same code or mirrored
+// decisions, and FinalizeReduced makes the result order-independent.
+#ifndef GFD_PARALLEL_PARDIS_H_
+#define GFD_PARALLEL_PARDIS_H_
+
+#include "core/config.h"
+#include "core/seqdis.h"
+#include "graph/property_graph.h"
+#include "parallel/cluster.h"
+
+namespace gfd {
+
+/// Runs parallel GFD discovery. `stats` (optional) receives communication
+/// and skew accounting.
+DiscoveryResult ParDis(const PropertyGraph& g, const DiscoveryConfig& cfg,
+                       const ParallelRunConfig& pcfg,
+                       ClusterStats* stats = nullptr);
+
+}  // namespace gfd
+
+#endif  // GFD_PARALLEL_PARDIS_H_

@@ -1,0 +1,229 @@
+#include "pattern/canonical.h"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+namespace gfd {
+
+namespace {
+
+// Encodes pattern `p` under the node permutation `perm` (perm[old] = new).
+// Layout: [n, m, labels(new order)..., sorted (src,dst,label) triples...].
+std::vector<uint32_t> EncodeUnder(const Pattern& p,
+                                  const std::vector<VarId>& perm) {
+  const size_t n = p.NumNodes();
+  std::vector<uint32_t> code;
+  code.reserve(2 + n + 3 * p.NumEdges());
+  code.push_back(static_cast<uint32_t>(n));
+  code.push_back(static_cast<uint32_t>(p.NumEdges()));
+  std::vector<uint32_t> labels(n);
+  for (VarId v = 0; v < n; ++v) labels[perm[v]] = p.NodeLabel(v);
+  code.insert(code.end(), labels.begin(), labels.end());
+  std::vector<std::array<uint32_t, 3>> triples;
+  triples.reserve(p.NumEdges());
+  for (const auto& e : p.edges()) {
+    triples.push_back({perm[e.src], perm[e.dst], e.label});
+  }
+  std::sort(triples.begin(), triples.end());
+  for (const auto& t : triples) {
+    code.insert(code.end(), t.begin(), t.end());
+  }
+  return code;
+}
+
+}  // namespace
+
+std::vector<uint32_t> CanonicalCode(const Pattern& p, bool fix_pivot) {
+  const size_t n = p.NumNodes();
+  std::vector<VarId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<uint32_t> best;
+  // order[i] lists old ids in "new position" order; perm[old] = position.
+  do {
+    if (fix_pivot && order[0] != p.pivot()) continue;
+    std::vector<VarId> perm(n);
+    for (size_t pos = 0; pos < n; ++pos) perm[order[pos]] = pos;
+    auto code = EncodeUnder(p, perm);
+    if (best.empty() || code < best) best = std::move(code);
+  } while (std::next_permutation(order.begin(), order.end()));
+  if (best.empty()) {
+    // Only possible when fix_pivot filtered everything out, which cannot
+    // happen (pivot is always a valid first element); keep a safe fallback.
+    std::vector<VarId> identity(n);
+    std::iota(identity.begin(), identity.end(), 0);
+    best = EncodeUnder(p, identity);
+  }
+  if (fix_pivot) best.push_back(1);  // domain-separate pivot-fixed codes
+  return best;
+}
+
+bool ArePatternsIsomorphic(const Pattern& p1, const Pattern& p2,
+                           bool fix_pivot) {
+  if (p1.NumNodes() != p2.NumNodes() || p1.NumEdges() != p2.NumEdges()) {
+    return false;
+  }
+  return CanonicalCode(p1, fix_pivot) == CanonicalCode(p2, fix_pivot);
+}
+
+namespace {
+
+struct EmbedState {
+  const Pattern* sub;
+  const Pattern* super;
+  std::vector<VarId> map;        // sub var -> super var (kNoVar if unset)
+  std::vector<bool> used;        // super var already taken
+  const std::function<bool(const std::vector<VarId>&)>* callback;
+  bool stopped = false;
+};
+
+// Checks every sub edge whose endpoints are both assigned.
+bool EdgesConsistent(const EmbedState& st, VarId just_assigned) {
+  for (const auto& e : st.sub->edges()) {
+    if (e.src != just_assigned && e.dst != just_assigned) continue;
+    VarId fs = st.map[e.src], fd = st.map[e.dst];
+    if (fs == kNoVar || fd == kNoVar) continue;
+    bool found = false;
+    for (const auto& se : st.super->edges()) {
+      if (se.src == fs && se.dst == fd &&
+          PatternLabelSubsumes(e.label, se.label)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+void EmbedRec(EmbedState& st, VarId next) {
+  if (st.stopped) return;
+  const size_t n = st.sub->NumNodes();
+  if (next == n) {
+    if (!(*st.callback)(st.map)) st.stopped = true;
+    return;
+  }
+  for (VarId cand = 0; cand < st.super->NumNodes(); ++cand) {
+    if (st.used[cand]) continue;
+    if (!PatternLabelSubsumes(st.sub->NodeLabel(next),
+                              st.super->NodeLabel(cand))) {
+      continue;
+    }
+    st.map[next] = cand;
+    st.used[cand] = true;
+    if (EdgesConsistent(st, next)) EmbedRec(st, next + 1);
+    st.used[cand] = false;
+    st.map[next] = kNoVar;
+    if (st.stopped) return;
+  }
+}
+
+}  // namespace
+
+void ForEachEmbedding(const Pattern& sub, const Pattern& super,
+                      bool require_pivot,
+                      const std::function<bool(const std::vector<VarId>&)>&
+                          on_embedding) {
+  if (sub.NumNodes() > super.NumNodes() || sub.NumEdges() > super.NumEdges()) {
+    return;
+  }
+  EmbedState st;
+  st.sub = &sub;
+  st.super = &super;
+  st.map.assign(sub.NumNodes(), kNoVar);
+  st.used.assign(super.NumNodes(), false);
+  st.callback = &on_embedding;
+
+  if (require_pivot) {
+    // Pin the pivot first, then fill remaining vars in index order.
+    VarId sp = sub.pivot(), gp = super.pivot();
+    if (!PatternLabelSubsumes(sub.NodeLabel(sp), super.NodeLabel(gp))) return;
+    st.map[sp] = gp;
+    st.used[gp] = true;
+    if (!EdgesConsistent(st, sp)) return;
+    // Recurse over vars != sp: remap recursion order by temporarily
+    // treating assigned pivot as done. Simplest: recursive helper that
+    // skips already-assigned vars.
+    std::function<void(VarId)> rec = [&](VarId next) {
+      if (st.stopped) return;
+      while (next < sub.NumNodes() && st.map[next] != kNoVar) ++next;
+      if (next >= sub.NumNodes()) {
+        if (!on_embedding(st.map)) st.stopped = true;
+        return;
+      }
+      for (VarId cand = 0; cand < super.NumNodes(); ++cand) {
+        if (st.used[cand]) continue;
+        if (!PatternLabelSubsumes(sub.NodeLabel(next),
+                                  super.NodeLabel(cand))) {
+          continue;
+        }
+        st.map[next] = cand;
+        st.used[cand] = true;
+        if (EdgesConsistent(st, next)) rec(next + 1);
+        st.used[cand] = false;
+        st.map[next] = kNoVar;
+        if (st.stopped) return;
+      }
+    };
+    rec(0);
+  } else {
+    EmbedRec(st, 0);
+  }
+}
+
+bool HasEmbedding(const Pattern& sub, const Pattern& super,
+                  bool require_pivot) {
+  bool found = false;
+  ForEachEmbedding(sub, super, require_pivot,
+                   [&found](const std::vector<VarId>&) {
+                     found = true;
+                     return false;  // stop
+                   });
+  return found;
+}
+
+bool PatternReduces(const Pattern& q1, const Pattern& q2,
+                    std::vector<VarId>* mapping) {
+  bool found = false;
+  ForEachEmbedding(q1, q2, /*require_pivot=*/true,
+                   [&](const std::vector<VarId>& map) {
+                     // Strictness: q1 must drop something or generalize a
+                     // label relative to q2 under this embedding.
+                     bool strict = q1.NumNodes() < q2.NumNodes() ||
+                                   q1.NumEdges() < q2.NumEdges();
+                     if (!strict) {
+                       for (VarId v = 0; v < q1.NumNodes(); ++v) {
+                         if (q1.NodeLabel(v) == kWildcardLabel &&
+                             q2.NodeLabel(map[v]) != kWildcardLabel) {
+                           strict = true;
+                           break;
+                         }
+                       }
+                     }
+                     if (!strict) {
+                       // Edge labels: any wildcard in q1 covering a concrete
+                       // q2 edge label counts.
+                       for (const auto& e : q1.edges()) {
+                         if (e.label != kWildcardLabel) continue;
+                         for (const auto& se : q2.edges()) {
+                           if (se.src == map[e.src] && se.dst == map[e.dst] &&
+                               se.label != kWildcardLabel) {
+                             strict = true;
+                             break;
+                           }
+                         }
+                         if (strict) break;
+                       }
+                     }
+                     if (strict) {
+                       found = true;
+                       if (mapping) *mapping = map;
+                       return false;  // stop
+                     }
+                     return true;  // keep looking
+                   });
+  return found;
+}
+
+}  // namespace gfd

@@ -1,0 +1,72 @@
+// Pattern-level isomorphism machinery:
+//  - canonical codes for deduplicating spawned patterns (the paper's
+//    iso(Q1) sets, Section 5.1) and for grouping GFDs by pattern in
+//    ParCover (Lemma 6),
+//  - embedding enumeration between patterns, used for
+//      * "GFD phi' is embedded in pattern Q" (Section 3, closure / Sigma_Q),
+//      * the reduction order Q1 << Q2 on patterns (Section 4.1).
+//
+// Patterns are k-bounded with small k, so exhaustive search over node
+// permutations / assignments is exact and fast.
+#ifndef GFD_PATTERN_CANONICAL_H_
+#define GFD_PATTERN_CANONICAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace gfd {
+
+/// A canonical, permutation-invariant encoding of a pattern. Two patterns
+/// have equal codes iff they are isomorphic (respecting labels exactly,
+/// wildcards included). When `fix_pivot` is true, only permutations mapping
+/// the pivot to position 0 are considered, so codes additionally agree on
+/// the pivot.
+std::vector<uint32_t> CanonicalCode(const Pattern& p, bool fix_pivot = true);
+
+/// True iff p1 and p2 are isomorphic (exact label equality); pivot must
+/// correspond when fix_pivot is set.
+bool ArePatternsIsomorphic(const Pattern& p1, const Pattern& p2,
+                           bool fix_pivot = true);
+
+/// Label subsumption between *pattern* labels: inner <= outer holds when a
+/// node/edge constrained by `outer` is always acceptable to `inner`, i.e.
+/// inner is the wildcard or inner == outer.
+inline bool PatternLabelSubsumes(LabelId inner, LabelId outer) {
+  return inner == kWildcardLabel || inner == outer;
+}
+
+/// Enumerates injective mappings f from sub's variables to super's
+/// variables such that every sub edge (u,v,l) has a super edge
+/// (f(u),f(v),l') with PatternLabelSubsumes(l, l'), and sub's node labels
+/// subsume the images' labels. This is exactly "sub is embedded in super":
+/// any match of super restricts to a match of sub.
+///
+/// `on_embedding` receives the mapping (indexed by sub VarId); returning
+/// false stops the enumeration early.
+///
+/// When `require_pivot` is true, only mappings with
+/// f(sub.pivot()) == super.pivot() are produced (the GFD reduction order
+/// preserves pivots).
+void ForEachEmbedding(const Pattern& sub, const Pattern& super,
+                      bool require_pivot,
+                      const std::function<bool(const std::vector<VarId>&)>&
+                          on_embedding);
+
+/// True iff at least one embedding exists.
+bool HasEmbedding(const Pattern& sub, const Pattern& super,
+                  bool require_pivot);
+
+/// The pattern reduction order Q1 << Q2 (Section 4.1): Q1 is embedded in Q2
+/// (pivot preserved) and is strictly less restrictive -- fewer nodes, fewer
+/// edges, or at least one label upgraded to wildcard. Returns true iff
+/// Q1 << Q2 via some pivot-preserving embedding, and stores one witness
+/// mapping in *mapping if non-null.
+bool PatternReduces(const Pattern& q1, const Pattern& q2,
+                    std::vector<VarId>* mapping = nullptr);
+
+}  // namespace gfd
+
+#endif  // GFD_PATTERN_CANONICAL_H_

@@ -1,0 +1,41 @@
+// Hash helpers for composite keys.
+#ifndef GFD_UTIL_HASH_H_
+#define GFD_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace gfd {
+
+/// Mixes `v` into the running hash `seed` (boost-style hash_combine with a
+/// 64-bit avalanche step).
+inline void HashCombine(size_t& seed, size_t v) {
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t h = std::hash<A>()(p.first);
+    HashCombine(h, std::hash<B>()(p.second));
+    return h;
+  }
+};
+
+struct VecHash {
+  template <typename T>
+  size_t operator()(const std::vector<T>& v) const {
+    size_t h = v.size();
+    for (const auto& x : v) HashCombine(h, std::hash<T>()(x));
+    return h;
+  }
+};
+
+}  // namespace gfd
+
+#endif  // GFD_UTIL_HASH_H_

@@ -1,0 +1,46 @@
+// Core identifier types shared across the library.
+//
+// All entities -- nodes, labels, attribute keys, attribute values -- are
+// referred to by dense 32-bit ids produced by interning (see interner.h).
+// Dense ids keep the hot data structures (CSR adjacency, attribute tuples,
+// partial matches) compact and cache friendly.
+#ifndef GFD_UTIL_IDS_H_
+#define GFD_UTIL_IDS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace gfd {
+
+/// Identifier of a node in a data graph (dense, 0-based).
+using NodeId = uint32_t;
+/// Identifier of an edge in a data graph (dense, 0-based).
+using EdgeId = uint32_t;
+/// Interned node/edge label. Label 0 is reserved for the wildcard '_'.
+using LabelId = uint32_t;
+/// Interned attribute key (e.g. "type", "name").
+using AttrId = uint32_t;
+/// Interned attribute value (e.g. "film", "producer").
+using ValueId = uint32_t;
+/// Index of a pattern variable within a pattern's variable list x-bar.
+using VarId = uint32_t;
+
+/// The wildcard label '_' of the paper: matches any label (l ≺ '_').
+inline constexpr LabelId kWildcardLabel = 0;
+
+/// Sentinel for "no node" / "not matched yet".
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+/// Sentinel for "no value".
+inline constexpr ValueId kNoValue = std::numeric_limits<ValueId>::max();
+/// Sentinel for "no variable".
+inline constexpr VarId kNoVar = std::numeric_limits<VarId>::max();
+
+/// Returns true when a concrete label `l` matches a (possibly wildcard)
+/// pattern label `pl`, i.e. l ⪯ pl in the paper's notation.
+inline bool LabelMatches(LabelId l, LabelId pl) {
+  return pl == kWildcardLabel || l == pl;
+}
+
+}  // namespace gfd
+
+#endif  // GFD_UTIL_IDS_H_

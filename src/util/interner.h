@@ -1,0 +1,39 @@
+// String interning: bidirectional mapping between strings and dense ids.
+#ifndef GFD_UTIL_INTERNER_H_
+#define GFD_UTIL_INTERNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gfd {
+
+/// Maps strings to dense uint32 ids and back. Not thread safe; graphs are
+/// built single-threaded and read-only afterwards.
+class StringInterner {
+ public:
+  StringInterner() = default;
+
+  /// Interns `s`, returning its id (existing or freshly assigned).
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the id of `s` if already interned.
+  std::optional<uint32_t> Find(std::string_view s) const;
+
+  /// Returns the string for id `id`. Precondition: id < size().
+  const std::string& Get(uint32_t id) const { return strings_[id]; }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace gfd
+
+#endif  // GFD_UTIL_INTERNER_H_

@@ -1,0 +1,80 @@
+// Small deterministic RNG utilities (splitmix64 / xoshiro256**).
+//
+// All data generation in this repo is seeded so experiments are exactly
+// reproducible run to run.
+#ifndef GFD_UTIL_RNG_H_
+#define GFD_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace gfd {
+
+/// splitmix64: used to seed xoshiro and for cheap stateless hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 -- fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed index in [0, n): rank r with prob ~ 1/(r+1)^s.
+  /// Implemented by inverse-CDF over a small table-free approximation;
+  /// adequate for workload skew, not for statistics.
+  uint64_t Zipf(uint64_t n, double s = 1.0);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+inline uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Rejection-free approximate Zipf: repeatedly halve the range with
+  // probability depending on s. Cheap and monotone in skew.
+  double u = NextDouble();
+  // Inverse of the continuous CDF for p(x) ~ x^(-s) on [1, n].
+  double x;
+  if (s == 1.0) {
+    double logn = __builtin_log(static_cast<double>(n));
+    x = __builtin_exp(u * logn);
+  } else {
+    double a = 1.0 - s;
+    double na = __builtin_exp(a * __builtin_log(static_cast<double>(n)));
+    x = __builtin_exp(__builtin_log(u * (na - 1.0) + 1.0) / a);
+  }
+  uint64_t r = static_cast<uint64_t>(x) - 1;
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace gfd
+
+#endif  // GFD_UTIL_RNG_H_

@@ -1,0 +1,58 @@
+// A fixed-size thread pool with a blocking task queue and a ParallelFor
+// helper. Used by the simulated cluster runtime (src/parallel) and by
+// benches that sweep worker counts.
+#ifndef GFD_UTIL_THREAD_POOL_H_
+#define GFD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gfd {
+
+/// Fixed pool of worker threads executing submitted std::function tasks.
+///
+/// Lifecycle: construct with n threads, Submit() any number of tasks,
+/// Wait() for quiescence (all submitted tasks finished), destruct to join.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution by some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Number of worker threads.
+  size_t size() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across `pool`, blocking until all complete.
+/// Work is split into contiguous chunks, one batch per worker, to keep
+/// scheduling overhead negligible for small bodies.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace gfd
+
+#endif  // GFD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing helper used by benches and the parallel runtime.
+#ifndef GFD_UTIL_TIMER_H_
+#define GFD_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace gfd {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gfd
+
+#endif  // GFD_UTIL_TIMER_H_

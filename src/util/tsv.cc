@@ -1,0 +1,29 @@
+#include "util/tsv.h"
+
+namespace gfd {
+
+std::vector<std::string_view> SplitFields(std::string_view line, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool SplitKeyValue(std::string_view field, std::string_view* key,
+                   std::string_view* value) {
+  size_t pos = field.find('=');
+  if (pos == std::string_view::npos) return false;
+  *key = field.substr(0, pos);
+  *value = field.substr(pos + 1);
+  return true;
+}
+
+}  // namespace gfd

@@ -1,0 +1,21 @@
+// Minimal TSV tokenization used by the graph loader/saver.
+#ifndef GFD_UTIL_TSV_H_
+#define GFD_UTIL_TSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gfd {
+
+/// Splits `line` on `sep` (no quoting/escaping; fields are raw).
+std::vector<std::string_view> SplitFields(std::string_view line,
+                                          char sep = '\t');
+
+/// Splits "key=value" into its two halves. Returns false if no '='.
+bool SplitKeyValue(std::string_view field, std::string_view* key,
+                   std::string_view* value);
+
+}  // namespace gfd
+
+#endif  // GFD_UTIL_TSV_H_

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include "gfd/closure.h"
+#include "gfd/problems.h"
+#include "testlib.h"
+
+namespace gfd {
+namespace {
+
+using gfd::testing::BuildG1;
+using gfd::testing::BuildQ1;
+
+TEST(EqClosure, AssertedConstIsEntailed) {
+  EqClosure c;
+  c.Assert(Literal::Const(0, 1, 5));
+  EXPECT_TRUE(c.Entails(Literal::Const(0, 1, 5)));
+  EXPECT_FALSE(c.Entails(Literal::Const(0, 1, 6)));
+  EXPECT_FALSE(c.Entails(Literal::Const(0, 2, 5)));
+  EXPECT_FALSE(c.conflicting());
+}
+
+TEST(EqClosure, TransitivityThroughVarVar) {
+  EqClosure c;
+  c.Assert(Literal::Vars(0, 1, 1, 1));  // x0.A = x1.A
+  c.Assert(Literal::Vars(1, 1, 2, 1));  // x1.A = x2.A
+  EXPECT_TRUE(c.Entails(Literal::Vars(0, 1, 2, 1)));
+}
+
+TEST(EqClosure, ConstantPropagatesThroughMerge) {
+  EqClosure c;
+  c.Assert(Literal::Const(0, 1, 5));
+  c.Assert(Literal::Vars(0, 1, 1, 1));
+  EXPECT_TRUE(c.Entails(Literal::Const(1, 1, 5)));
+}
+
+TEST(EqClosure, MergeAfterBindingPropagates) {
+  EqClosure c;
+  c.Assert(Literal::Vars(0, 1, 1, 1));
+  c.Assert(Literal::Const(1, 1, 9));
+  EXPECT_TRUE(c.Entails(Literal::Const(0, 1, 9)));
+}
+
+TEST(EqClosure, DistinctConstantsConflict) {
+  EqClosure c;
+  c.Assert(Literal::Const(0, 1, 5));
+  c.Assert(Literal::Const(0, 1, 6));
+  EXPECT_TRUE(c.conflicting());
+  // Ex falso: everything entailed.
+  EXPECT_TRUE(c.Entails(Literal::Const(3, 3, 3)));
+  EXPECT_TRUE(c.Entails(Literal::False()));
+}
+
+TEST(EqClosure, ConflictThroughMerge) {
+  EqClosure c;
+  c.Assert(Literal::Const(0, 1, 5));
+  c.Assert(Literal::Const(1, 1, 6));
+  EXPECT_FALSE(c.conflicting());
+  c.Assert(Literal::Vars(0, 1, 1, 1));
+  EXPECT_TRUE(c.conflicting());
+}
+
+TEST(EqClosure, FalseAssertsConflict) {
+  EqClosure c;
+  EXPECT_FALSE(c.Entails(Literal::False()));
+  c.Assert(Literal::False());
+  EXPECT_TRUE(c.conflicting());
+}
+
+TEST(EqClosure, ReflexiveVarVarAlwaysEntailed) {
+  EqClosure c;
+  EXPECT_TRUE(c.Entails(Literal::Vars(3, 4, 3, 4)));
+}
+
+TEST(EqClosure, SameConstantEntailsEquality) {
+  EqClosure c;
+  c.Assert(Literal::Const(0, 1, 5));
+  c.Assert(Literal::Const(1, 1, 5));
+  EXPECT_TRUE(c.Entails(Literal::Vars(0, 1, 1, 1)));
+}
+
+TEST(EqClosure, UnknownTermsNotEntailed) {
+  EqClosure c;
+  EXPECT_FALSE(c.Entails(Literal::Const(0, 0, 0)));
+  EXPECT_FALSE(c.Entails(Literal::Vars(0, 0, 1, 0)));
+}
+
+// --- ComputeClosure: the chase over embedded GFDs ---------------------------
+
+TEST(Chase, AppliesEmbeddedGfd) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+
+  // Sigma = { Q1 : y.type=film -> x.type=producer }.
+  std::vector<Gfd> sigma{Gfd(BuildQ1(g), {Literal::Const(1, type, film)},
+                             Literal::Const(0, type, producer))};
+  // closure(Sigma_Q1, {y.type=film}) must contain x.type=producer.
+  auto closure = ComputeClosure(BuildQ1(g), sigma,
+                                {Literal::Const(1, type, film)});
+  EXPECT_FALSE(closure.conflicting());
+  EXPECT_TRUE(closure.Entails(Literal::Const(0, type, producer)));
+}
+
+TEST(Chase, DoesNotFireWithoutPremise) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  std::vector<Gfd> sigma{Gfd(BuildQ1(g), {Literal::Const(1, type, film)},
+                             Literal::Const(0, type, producer))};
+  auto closure = ComputeClosure(BuildQ1(g), sigma, {});
+  EXPECT_FALSE(closure.Entails(Literal::Const(0, type, producer)));
+}
+
+TEST(Chase, NonEmbeddedGfdIgnored) {
+  auto g1 = BuildG1();
+  auto g2 = gfd::testing::BuildG2();
+  AttrId type = *g1.FindAttr("type");
+  ValueId film = *g1.FindValue("film");
+  // A GFD over Q2-shaped pattern can't embed into Q1 (labels differ).
+  AttrId name2 = *g2.FindAttr("name");
+  std::vector<Gfd> sigma{
+      Gfd(gfd::testing::BuildQ2(g2), {}, Literal::Vars(1, name2, 2, name2))};
+  auto closure = ComputeClosure(BuildQ1(g1), sigma,
+                                {Literal::Const(1, type, film)});
+  EXPECT_FALSE(closure.Entails(Literal::Vars(1, name2, 2, name2)));
+}
+
+TEST(Chase, CascadesThroughTwoRules) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  AttrId a2 = type + 100;  // synthetic second attribute id
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  Pattern q1 = BuildQ1(g);
+  std::vector<Gfd> sigma{
+      Gfd(q1, {Literal::Const(1, type, film)},
+          Literal::Const(0, type, producer)),
+      Gfd(q1, {Literal::Const(0, type, producer)},
+          Literal::Const(0, a2, film))};
+  auto closure =
+      ComputeClosure(q1, sigma, {Literal::Const(1, type, film)});
+  EXPECT_TRUE(closure.Entails(Literal::Const(0, a2, film)));
+}
+
+TEST(Chase, NegativeGfdMakesClosureConflicting) {
+  auto g = gfd::testing::BuildG3();
+  auto q3 = gfd::testing::BuildQ3(g);
+  std::vector<Gfd> sigma{Gfd(q3, {}, Literal::False())};
+  auto closure = ComputeClosure(q3, sigma, {});
+  EXPECT_TRUE(closure.conflicting());
+}
+
+TEST(Chase, EmbeddingIntoLargerPatternFires) {
+  auto g = gfd::testing::BuildG3();
+  LabelId person = *g.FindLabel("person");
+  LabelId parent = *g.FindLabel("parent");
+  AttrId name = *g.FindAttr("name");
+  // Rule on single edge: x -parent-> y  =>  x.name = y.name.
+  Pattern edge = SingleEdgePattern(person, parent, person);
+  std::vector<Gfd> sigma{Gfd(edge, {}, Literal::Vars(0, name, 1, name))};
+  // Chase into Q3 (mutual parents): both directions fire; closure links
+  // x.name = y.name.
+  auto q3 = gfd::testing::BuildQ3(g);
+  auto closure = ComputeClosure(q3, sigma, {});
+  EXPECT_TRUE(closure.Entails(Literal::Vars(0, name, 1, name)));
+}
+
+// --- Trivial / implication / satisfiability ---------------------------------
+
+TEST(Trivial, UnsatisfiableLhsIsTrivial) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  Gfd phi(BuildQ1(g),
+          {Literal::Const(0, type, film), Literal::Const(0, type, producer)},
+          Literal::Const(1, type, film));
+  EXPECT_TRUE(IsTrivialGfd(phi));
+}
+
+TEST(Trivial, RhsDerivableFromLhsIsTrivial) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  Gfd phi(BuildQ1(g),
+          {Literal::Const(0, type, film), Literal::Vars(0, type, 1, type)},
+          Literal::Const(1, type, film));
+  EXPECT_TRUE(IsTrivialGfd(phi));
+}
+
+TEST(Trivial, ProperGfdNotTrivial) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  Gfd phi(BuildQ1(g), {Literal::Const(1, type, film)},
+          Literal::Const(0, type, producer));
+  EXPECT_FALSE(IsTrivialGfd(phi));
+}
+
+TEST(Trivial, NegativeWithSatisfiableLhsNotTrivial) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  Gfd phi(BuildQ1(g), {Literal::Const(1, type, film)}, Literal::False());
+  EXPECT_FALSE(IsTrivialGfd(phi));
+}
+
+TEST(Implication, SelfImplication) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  std::vector<Gfd> sigma{Gfd(BuildQ1(g), {Literal::Const(1, type, film)},
+                             Literal::Const(0, type, producer))};
+  EXPECT_TRUE(Implies(sigma, sigma[0]));
+}
+
+TEST(Implication, WeakerLhsImpliesStronger) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  // Sigma: Q1(emptyset -> x.type=producer).
+  std::vector<Gfd> sigma{
+      Gfd(BuildQ1(g), {}, Literal::Const(0, type, producer))};
+  // Then Q1(y.type=film -> x.type=producer) follows.
+  Gfd phi(BuildQ1(g), {Literal::Const(1, type, film)},
+          Literal::Const(0, type, producer));
+  EXPECT_TRUE(Implies(sigma, phi));
+  // But not the converse.
+  EXPECT_FALSE(Implies({&phi, 1}, sigma[0]));
+}
+
+TEST(Implication, SmallerPatternImpliesLarger) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId producer = *g.FindValue("producer");
+  // Rule over single node person: x.type = producer... applied to Q1.
+  Pattern person = SingleNodePattern(*g.FindLabel("person"));
+  std::vector<Gfd> sigma{Gfd(person, {}, Literal::Const(0, type, producer))};
+  Gfd phi(BuildQ1(g), {}, Literal::Const(0, type, producer));
+  EXPECT_TRUE(Implies(sigma, phi));
+}
+
+TEST(Implication, ConflictingClosureImpliesEverything) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  // X itself is conflicting: x.type = film and x.type = producer.
+  Gfd phi(BuildQ1(g),
+          {Literal::Const(0, type, film), Literal::Const(0, type, producer)},
+          Literal::Const(1, type, film));
+  EXPECT_TRUE(Implies({}, phi));
+}
+
+TEST(Satisfiability, SingleReasonableGfdSatisfiable) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  std::vector<Gfd> sigma{Gfd(BuildQ1(g), {Literal::Const(1, type, film)},
+                             Literal::Const(0, type, producer))};
+  EXPECT_TRUE(IsSatisfiable(sigma));
+}
+
+TEST(Satisfiability, EmptySetUnsatisfiableByDefinition) {
+  EXPECT_FALSE(IsSatisfiable({}));
+}
+
+TEST(Satisfiability, ContradictoryEnforcementsUnsatisfiable) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  Pattern q1 = BuildQ1(g);
+  // Two GFDs force x.type to two distinct constants on every Q1 match.
+  std::vector<Gfd> sigma{
+      Gfd(q1, {}, Literal::Const(0, type, film)),
+      Gfd(q1, {}, Literal::Const(0, type, producer)),
+  };
+  EXPECT_FALSE(IsSatisfiable(sigma));
+}
+
+TEST(Satisfiability, OneHealthyPatternSuffices) {
+  auto g = BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  Pattern q1 = BuildQ1(g);
+  Pattern person = SingleNodePattern(*g.FindLabel("person"));
+  std::vector<Gfd> sigma{
+      Gfd(q1, {}, Literal::Const(0, type, film)),
+      Gfd(q1, {}, Literal::Const(0, type, producer)),
+      // The single-person pattern enforces nothing conflicting: the person
+      // node alone does not match Q1's premises... but Q1's GFDs do not
+      // embed into the single-node pattern, so it stays clean.
+      Gfd(person, {}, Literal::Const(0, type, producer)),
+  };
+  EXPECT_TRUE(IsSatisfiable(sigma));
+}
+
+TEST(Satisfiability, NegativeGfdAloneIsSatisfiable) {
+  // Q3(emptyset -> false) is satisfiable: a graph where Q3 never matches...
+  // but condition (b) requires *some* pattern of Sigma to match. With only
+  // the negative GFD, enforced closure is conflicting, so unsatisfiable.
+  auto g = gfd::testing::BuildG3();
+  auto q3 = gfd::testing::BuildQ3(g);
+  std::vector<Gfd> sigma{Gfd(q3, {}, Literal::False())};
+  EXPECT_FALSE(IsSatisfiable(sigma));
+  // Adding a harmless positive GFD on a different pattern restores it.
+  AttrId name = *g.FindAttr("name");
+  Pattern edge = SingleEdgePattern(*g.FindLabel("person"),
+                                   *g.FindLabel("parent"),
+                                   *g.FindLabel("person"));
+  sigma.push_back(Gfd(edge, {}, Literal::Vars(0, name, 1, name)));
+  EXPECT_TRUE(IsSatisfiable(sigma));
+}
+
+}  // namespace
+}  // namespace gfd

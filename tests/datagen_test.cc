@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/gfd_gen.h"
+#include "datagen/kb.h"
+#include "datagen/noise.h"
+#include "datagen/synthetic.h"
+#include "gfd/validation.h"
+#include "graph/stats.h"
+
+namespace gfd {
+namespace {
+
+TEST(Synthetic, RespectsSizeKnobs) {
+  SyntheticConfig cfg;
+  cfg.nodes = 5000;
+  cfg.edges = 12000;
+  auto g = MakeSynthetic(cfg);
+  EXPECT_EQ(g.NumNodes(), 5000u);
+  EXPECT_EQ(g.NumEdges(), 12000u);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticConfig cfg;
+  cfg.nodes = 500;
+  cfg.edges = 1000;
+  auto g1 = MakeSynthetic(cfg);
+  auto g2 = MakeSynthetic(cfg);
+  ASSERT_EQ(g1.NumNodes(), g2.NumNodes());
+  for (NodeId v = 0; v < g1.NumNodes(); ++v) {
+    EXPECT_EQ(g1.NodeLabel(v), g2.NodeLabel(v));
+  }
+  for (EdgeId e = 0; e < g1.NumEdges(); ++e) {
+    EXPECT_EQ(g1.EdgeSrc(e), g2.EdgeSrc(e));
+    EXPECT_EQ(g1.EdgeDst(e), g2.EdgeDst(e));
+  }
+  cfg.seed = 2;
+  auto g3 = MakeSynthetic(cfg);
+  size_t diff = 0;
+  for (EdgeId e = 0; e < g1.NumEdges(); ++e) {
+    diff += (g1.EdgeSrc(e) != g3.EdgeSrc(e));
+  }
+  EXPECT_GT(diff, 0u);
+}
+
+TEST(Synthetic, EveryNodeHasAllAttrs) {
+  SyntheticConfig cfg;
+  cfg.nodes = 300;
+  cfg.edges = 600;
+  auto g = MakeSynthetic(cfg);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(g.NodeAttrs(v).size(), cfg.attrs);
+  }
+}
+
+TEST(Synthetic, SkewedLabels) {
+  SyntheticConfig cfg;
+  cfg.nodes = 3000;
+  cfg.edges = 3000;
+  auto g = MakeSynthetic(cfg);
+  GraphStats stats(g);
+  // The most common label must clearly dominate the least common.
+  uint64_t max_count = 0, min_count = UINT64_MAX;
+  for (LabelId l = 1; l < stats.num_labels(); ++l) {
+    uint64_t c = stats.LabelCount(l);
+    if (c == 0) continue;
+    max_count = std::max(max_count, c);
+    min_count = std::min(min_count, c);
+  }
+  EXPECT_GT(max_count, min_count * 3);
+}
+
+TEST(KbGraphs, SizesScaleWithParameter) {
+  KbConfig small{.scale = 100, .seed = 7};
+  KbConfig big{.scale = 400, .seed = 7};
+  auto gs = MakeYago2Like(small);
+  auto gb = MakeYago2Like(big);
+  EXPECT_GT(gb.NumNodes(), gs.NumNodes() * 3);
+  EXPECT_GT(gb.NumEdges(), gs.NumEdges() * 3);
+}
+
+TEST(KbGraphs, AllThreeShapesBuild) {
+  KbConfig cfg{.scale = 150, .seed = 3};
+  auto y = MakeYago2Like(cfg);
+  auto d = MakeDbpediaLike(cfg);
+  auto i = MakeImdbLike(cfg);
+  EXPECT_GT(y.NumEdges(), 100u);
+  EXPECT_GT(d.NumEdges(), 100u);
+  EXPECT_GT(i.NumEdges(), 100u);
+  // DBpedia-like is the broadest vocabulary (its original has 200 types).
+  EXPECT_GT(d.labels().size(), y.labels().size());
+}
+
+TEST(KbGraphs, PlantedFamilyNameInvariantHolds) {
+  KbConfig cfg{.scale = 200, .seed = 11};
+  auto g = MakeYago2Like(cfg);
+  AttrId fam = *g.FindAttr("familyname");
+  LabelId has_child = *g.FindLabel("hasChild");
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (g.EdgeLabel(e) != has_child) continue;
+    auto f1 = g.GetAttr(g.EdgeSrc(e), fam);
+    auto f2 = g.GetAttr(g.EdgeDst(e), fam);
+    ASSERT_TRUE(f1.has_value() && f2.has_value());
+    EXPECT_EQ(*f1, *f2) << "hasChild edge " << e << " breaks familyname";
+  }
+}
+
+TEST(KbGraphs, PlantedAcyclicParents) {
+  KbConfig cfg{.scale = 200, .seed = 11};
+  auto g = MakeYago2Like(cfg);
+  LabelId has_child = *g.FindLabel("hasChild");
+  // No 2-cycle: x -hasChild-> y and y -hasChild-> x.
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (g.EdgeLabel(e) != has_child) continue;
+    EXPECT_FALSE(g.HasEdge(g.EdgeDst(e), g.EdgeSrc(e), has_child));
+  }
+}
+
+TEST(KbGraphs, PlantedAwardExclusivity) {
+  KbConfig cfg{.scale = 300, .seed = 5};
+  auto g = MakeYago2Like(cfg);
+  AttrId name = *g.FindAttr("name");
+  auto gb = g.FindValue("Gold Bear");
+  auto gl = g.FindValue("Gold Lion");
+  ASSERT_TRUE(gb && gl);
+  LabelId won = *g.FindLabel("won");
+  // Find the two award nodes.
+  NodeId bear = kNoNode, lion = kNoNode;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    auto n = g.GetAttr(v, name);
+    if (n && *n == *gb) bear = v;
+    if (n && *n == *gl) lion = v;
+  }
+  ASSERT_NE(bear, kNoNode);
+  ASSERT_NE(lion, kNoNode);
+  size_t bear_wins = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    bool wins_bear = g.HasEdge(v, bear, won);
+    bool wins_lion = g.HasEdge(v, lion, won);
+    EXPECT_FALSE(wins_bear && wins_lion) << "node " << v;
+    bear_wins += wins_bear;
+  }
+  EXPECT_GT(bear_wins, 0u);
+}
+
+TEST(KbGraphs, PlantedCitizenshipExclusivity) {
+  KbConfig cfg{.scale = 300, .seed = 5};
+  auto g = MakeYago2Like(cfg);
+  AttrId name = *g.FindAttr("name");
+  LabelId cit = *g.FindLabel("citizenOf");
+  NodeId us = kNoNode, norway = kNoNode;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    auto n = g.GetAttr(v, name);
+    if (!n) continue;
+    if (g.ValueName(*n) == "US") us = v;
+    if (g.ValueName(*n) == "Norway") norway = v;
+  }
+  ASSERT_NE(us, kNoNode);
+  ASSERT_NE(norway, kNoNode);
+  size_t us_citizens = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    bool in_us = g.HasEdge(v, us, cit);
+    bool in_no = g.HasEdge(v, norway, cit);
+    EXPECT_FALSE(in_us && in_no);
+    us_citizens += in_us;
+  }
+  EXPECT_GT(us_citizens, 10u);
+}
+
+TEST(Noise, MarksCorruptedNodes) {
+  KbConfig cfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  NoiseConfig ncfg;
+  ncfg.alpha = 0.10;
+  ncfg.beta = 0.8;
+  auto noisy = InjectNoise(g, ncfg);
+  EXPECT_EQ(noisy.graph.NumNodes(), g.NumNodes());
+  EXPECT_EQ(noisy.graph.NumEdges(), g.NumEdges());
+  EXPECT_GT(noisy.corrupted.size(), g.NumNodes() / 50);
+  EXPECT_LT(noisy.corrupted.size(), g.NumNodes() / 4);
+  // Corrupted list is sorted and unique.
+  for (size_t i = 1; i < noisy.corrupted.size(); ++i) {
+    EXPECT_LT(noisy.corrupted[i - 1], noisy.corrupted[i]);
+  }
+}
+
+TEST(Noise, InjectedValuesAreFresh) {
+  KbConfig cfg{.scale = 100, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  NoiseConfig ncfg;
+  ncfg.alpha = 0.2;
+  ncfg.beta = 0.9;
+  auto noisy = InjectNoise(g, ncfg);
+  // Any "noise_*" value in the noisy graph must be absent from the clean
+  // vocabulary.
+  size_t fresh = 0;
+  for (NodeId v = 0; v < noisy.graph.NumNodes(); ++v) {
+    for (const auto& a : noisy.graph.NodeAttrs(v)) {
+      const std::string& val = noisy.graph.ValueName(a.value);
+      if (val.rfind("noise_", 0) == 0) {
+        EXPECT_FALSE(g.FindValue(val).has_value());
+        ++fresh;
+      }
+    }
+  }
+  EXPECT_GT(fresh, 0u);
+}
+
+TEST(Noise, ZeroAlphaIsIdentity) {
+  KbConfig cfg{.scale = 100, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  NoiseConfig ncfg;
+  ncfg.alpha = 0.0;
+  auto noisy = InjectNoise(g, ncfg);
+  EXPECT_TRUE(noisy.corrupted.empty());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ASSERT_EQ(noisy.graph.NodeAttrs(v).size(), g.NodeAttrs(v).size());
+  }
+}
+
+TEST(Noise, VocabularyIdsStableAcrossCorruption) {
+  // Rules mined on the clean graph carry interned ids; the corrupted copy
+  // must resolve every pre-existing label/attr/value to the same id.
+  KbConfig cfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  NoiseConfig ncfg;
+  ncfg.alpha = 0.15;
+  ncfg.beta = 0.8;
+  auto noisy = InjectNoise(g, ncfg);
+  for (LabelId l = 0; l < g.labels().size(); ++l) {
+    EXPECT_EQ(noisy.graph.LabelName(l), g.LabelName(l)) << l;
+  }
+  for (AttrId a = 0; a < g.attrs().size(); ++a) {
+    EXPECT_EQ(noisy.graph.AttrName(a), g.AttrName(a)) << a;
+  }
+  for (ValueId v = 0; v < g.values().size(); ++v) {
+    EXPECT_EQ(noisy.graph.ValueName(v), g.ValueName(v)) << v;
+  }
+  // Uncorrupted nodes keep their exact attribute tuples (id-level).
+  std::set<NodeId> corrupted(noisy.corrupted.begin(), noisy.corrupted.end());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (corrupted.count(v)) continue;
+    auto a1 = g.NodeAttrs(v);
+    auto a2 = noisy.graph.NodeAttrs(v);
+    ASSERT_EQ(a1.size(), a2.size());
+    for (size_t i = 0; i < a1.size(); ++i) {
+      EXPECT_EQ(a1[i], a2[i]);
+    }
+  }
+}
+
+TEST(Noise, DeterministicInSeed) {
+  KbConfig cfg{.scale = 100, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  NoiseConfig ncfg;
+  ncfg.alpha = 0.1;
+  auto n1 = InjectNoise(g, ncfg);
+  auto n2 = InjectNoise(g, ncfg);
+  EXPECT_EQ(n1.corrupted, n2.corrupted);
+}
+
+TEST(GfdGen, GeneratesRequestedCount) {
+  KbConfig cfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  GfdGenConfig gcfg;
+  gcfg.count = 500;
+  auto sigma = GenerateGfdSet(g, gcfg);
+  EXPECT_EQ(sigma.size(), 500u);
+}
+
+TEST(GfdGen, RespectsKBound) {
+  KbConfig cfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  GfdGenConfig gcfg;
+  gcfg.count = 300;
+  gcfg.k = 3;
+  for (const auto& phi : GenerateGfdSet(g, gcfg)) {
+    EXPECT_LE(phi.pattern.NumNodes(), 3u);
+    EXPECT_TRUE(phi.pattern.IsConnected());
+  }
+}
+
+TEST(GfdGen, ContainsNegativesAndRedundancy) {
+  KbConfig cfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  GfdGenConfig gcfg;
+  gcfg.count = 400;
+  auto sigma = GenerateGfdSet(g, gcfg);
+  size_t negatives = 0;
+  for (const auto& phi : sigma) negatives += phi.HasFalseRhs();
+  EXPECT_GT(negatives, 10u);
+  EXPECT_LT(negatives, 200u);
+}
+
+}  // namespace
+}  // namespace gfd

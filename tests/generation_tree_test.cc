@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "core/generation_tree.h"
+#include "pattern/canonical.h"
+#include "testlib.h"
+
+namespace gfd {
+namespace {
+
+PropertyGraph TriGraph() {
+  // persons knowing each other + cities; enough structure for spawning.
+  PropertyGraph::Builder b;
+  std::vector<NodeId> people, cities;
+  for (int i = 0; i < 20; ++i) people.push_back(b.AddNode("person"));
+  for (int i = 0; i < 10; ++i) cities.push_back(b.AddNode("city"));
+  for (int i = 0; i < 19; ++i) b.AddEdge(people[i], people[i + 1], "knows");
+  for (int i = 0; i < 20; ++i) b.AddEdge(people[i], cities[i % 10], "lives");
+  return std::move(b).Build();
+}
+
+TEST(GenerationTree, AddPatternDeduplicatesIsomorphs) {
+  GenerationTree tree;
+  DeltaEdge d{kNoVar, kNoVar, kWildcardLabel, kNoVar, kWildcardLabel};
+  Pattern a = SingleEdgePattern(1, 2, 3);
+  bool created = false;
+  int id1 = tree.AddPattern(a, 1, -1, d, &created);
+  EXPECT_TRUE(created);
+  // Isomorphic copy with node order swapped.
+  Pattern b;
+  VarId y = b.AddNode(3);
+  VarId x = b.AddNode(1);
+  b.AddEdge(x, y, 2);
+  b.set_pivot(x);
+  int id2 = tree.AddPattern(b, 1, 7, d, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(id1, id2);
+  // Parent 7 merged into P(Q).
+  EXPECT_EQ(tree.node(id1).parents.size(), 1u);
+  EXPECT_EQ(tree.node(id1).parents[0], 7);
+}
+
+TEST(GenerationTree, LevelsTrackNodes) {
+  GenerationTree tree;
+  DeltaEdge d{kNoVar, kNoVar, kWildcardLabel, kNoVar, kWildcardLabel};
+  tree.AddPattern(SingleNodePattern(1), 0, -1, d);
+  tree.AddPattern(SingleEdgePattern(1, 2, 3), 1, 0, d);
+  EXPECT_EQ(tree.level(0).size(), 1u);
+  EXPECT_EQ(tree.level(1).size(), 1u);
+  EXPECT_TRUE(tree.level(5).empty());
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(InitTreeTest, SeedsFrequentLabelsAndWildcard) {
+  auto g = TriGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.support_threshold = 10;
+  DiscoveryStats ds;
+  GenerationTree tree;
+  auto ids = InitTree(tree, stats, cfg, ds);
+  // person(20) and city(10) qualify; wildcard node added on top.
+  EXPECT_EQ(ids.size(), 3u);
+  cfg.wildcard_upgrades = false;
+  GenerationTree tree2;
+  DiscoveryStats ds2;
+  EXPECT_EQ(InitTree(tree2, stats, cfg, ds2).size(), 2u);
+  cfg.support_threshold = 15;
+  GenerationTree tree3;
+  DiscoveryStats ds3;
+  EXPECT_EQ(InitTree(tree3, stats, cfg, ds3).size(), 1u);  // person only
+}
+
+TEST(WildcardEdgeLabelsTest, RequiresDiversePairs) {
+  auto g = gfd::testing::BuildG2();  // located: city->country, city->city
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.wildcard_min_pairs = 2;
+  auto labels = WildcardEdgeLabels(stats, cfg);
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0], *g.FindLabel("located"));
+  cfg.wildcard_min_pairs = 3;
+  EXPECT_TRUE(WildcardEdgeLabels(stats, cfg).empty());
+}
+
+TEST(VSpawnTest, ExtendsFrequentPatternsOnly) {
+  auto g = TriGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.support_threshold = 5;
+  cfg.wildcard_upgrades = false;
+  DiscoveryStats ds;
+  GenerationTree tree;
+  auto l0 = InitTree(tree, stats, cfg, ds);
+  ASSERT_EQ(l0.size(), 2u);
+  // Mark only 'person' frequent.
+  for (int id : l0) {
+    auto& n = tree.node(id);
+    n.verified = true;
+    n.frequent = (n.pattern.NodeLabel(0) == *g.FindLabel("person"));
+  }
+  auto triples = stats.FrequentTriples(1);
+  auto spawned = VSpawn(tree, 1, triples, {}, cfg, ds);
+  ASSERT_FALSE(spawned.empty());
+  for (int id : spawned) {
+    const auto& n = tree.node(id);
+    EXPECT_EQ(n.level, 1);
+    EXPECT_EQ(n.pattern.NumEdges(), 1u);
+    EXPECT_TRUE(n.pattern.IsConnected());
+    // All extensions touch the person variable (the only frequent seed).
+    EXPECT_EQ(n.pattern.NodeLabel(n.pattern.pivot()),
+              *g.FindLabel("person"));
+  }
+}
+
+TEST(VSpawnTest, SpawnedPatternsKeepPivotVariableZero) {
+  auto g = TriGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.support_threshold = 5;
+  DiscoveryStats ds;
+  GenerationTree tree;
+  auto l0 = InitTree(tree, stats, cfg, ds);
+  for (int id : l0) {
+    tree.node(id).verified = true;
+    tree.node(id).frequent = true;
+  }
+  auto spawned = VSpawn(tree, 1, stats.FrequentTriples(1),
+                        WildcardEdgeLabels(stats, cfg), cfg, ds);
+  for (int id : spawned) {
+    EXPECT_EQ(tree.node(id).pattern.pivot(), 0u);
+  }
+}
+
+TEST(VSpawnTest, ClosingEdgeAtLevelTwo) {
+  // A graph with a 2-cycle so that closing-edge spawning applies.
+  PropertyGraph::Builder b;
+  std::vector<NodeId> ps;
+  for (int i = 0; i < 12; ++i) ps.push_back(b.AddNode("p"));
+  for (int i = 0; i + 1 < 12; i += 2) {
+    b.AddEdge(ps[i], ps[i + 1], "r");
+    b.AddEdge(ps[i + 1], ps[i], "r");
+  }
+  auto g = std::move(b).Build();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.support_threshold = 3;
+  cfg.wildcard_upgrades = false;
+  cfg.k = 2;  // closing edges only at level 2
+  DiscoveryStats ds;
+  GenerationTree tree;
+  auto l0 = InitTree(tree, stats, cfg, ds);
+  for (int id : l0) {
+    tree.node(id).verified = true;
+    tree.node(id).frequent = true;
+  }
+  auto triples = stats.FrequentTriples(1);
+  auto l1 = VSpawn(tree, 1, triples, {}, cfg, ds);
+  ASSERT_FALSE(l1.empty());
+  for (int id : l1) {
+    tree.node(id).verified = true;
+    tree.node(id).frequent = true;
+  }
+  auto l2 = VSpawn(tree, 2, triples, {}, cfg, ds);
+  // k=2 forbids new nodes, so level 2 must be exactly the mutual-edge
+  // pattern (p -r-> p, p <-r- p).
+  ASSERT_EQ(l2.size(), 1u);
+  EXPECT_EQ(tree.node(l2[0]).pattern.NumNodes(), 2u);
+  EXPECT_EQ(tree.node(l2[0]).pattern.NumEdges(), 2u);
+}
+
+TEST(VSpawnTest, RespectsLevelCap) {
+  auto g = TriGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.support_threshold = 1;
+  cfg.max_patterns_per_level = 2;
+  DiscoveryStats ds;
+  GenerationTree tree;
+  auto l0 = InitTree(tree, stats, cfg, ds);
+  for (int id : l0) {
+    tree.node(id).verified = true;
+    tree.node(id).frequent = true;
+  }
+  auto spawned = VSpawn(tree, 1, stats.FrequentTriples(1),
+                        WildcardEdgeLabels(stats, cfg), cfg, ds);
+  EXPECT_LE(spawned.size(), 2u);
+  EXPECT_TRUE(ds.level_cap_hit);
+}
+
+TEST(VSpawnTest, DeltaEdgeDescribesExtension) {
+  auto g = TriGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.support_threshold = 5;
+  cfg.wildcard_upgrades = false;
+  DiscoveryStats ds;
+  GenerationTree tree;
+  auto l0 = InitTree(tree, stats, cfg, ds);
+  for (int id : l0) {
+    tree.node(id).verified = true;
+    tree.node(id).frequent = true;
+  }
+  auto spawned = VSpawn(tree, 1, stats.FrequentTriples(1), {}, cfg, ds);
+  for (int id : spawned) {
+    const auto& n = tree.node(id);
+    ASSERT_NE(n.delta.fresh_var, kNoVar);  // level-1 spawns add a node
+    EXPECT_EQ(n.delta.fresh_var, 1u);
+    // The delta edge is the pattern's only edge.
+    ASSERT_EQ(n.pattern.NumEdges(), 1u);
+    EXPECT_EQ(n.pattern.edges()[0].src, n.delta.src);
+    EXPECT_EQ(n.pattern.edges()[0].dst, n.delta.dst);
+    EXPECT_EQ(n.pattern.edges()[0].label, n.delta.label);
+  }
+}
+
+}  // namespace
+}  // namespace gfd

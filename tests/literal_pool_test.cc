@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/literal_pool.h"
+#include "graph/stats.h"
+#include "testlib.h"
+
+namespace gfd {
+namespace {
+
+PropertyGraph AttrRichGraph() {
+  PropertyGraph::Builder b;
+  for (int i = 0; i < 10; ++i) {
+    NodeId v = b.AddNode("person");
+    b.SetAttr(v, "type", "a");
+    b.SetAttr(v, "city", i < 7 ? "rome" : "oslo");
+    if (i < 3) b.SetAttr(v, "rare", "x");
+  }
+  return std::move(b).Build();
+}
+
+TEST(ResolveGamma, ExplicitListWins) {
+  auto g = AttrRichGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.active_attrs = {3, 1};
+  auto gamma = ResolveActiveAttrs(stats, cfg);
+  EXPECT_EQ(gamma, (std::vector<AttrId>{3, 1}));
+}
+
+TEST(ResolveGamma, RanksByUsage) {
+  auto g = AttrRichGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.max_active_attrs = 2;
+  auto gamma = ResolveActiveAttrs(stats, cfg);
+  ASSERT_EQ(gamma.size(), 2u);
+  // type and city are used 10x each; rare only 3x and must be dropped.
+  AttrId rare = *g.FindAttr("rare");
+  EXPECT_EQ(std::count(gamma.begin(), gamma.end(), rare), 0);
+}
+
+TEST(ResolveGamma, FewerAttrsThanCap) {
+  auto g = AttrRichGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.max_active_attrs = 50;
+  EXPECT_EQ(ResolveActiveAttrs(stats, cfg).size(), 3u);
+}
+
+TEST(PoolFromStats, VarVarLiteralsComeFirst) {
+  auto g = AttrRichGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  Pattern q;
+  q.AddNode(*g.FindLabel("person"));
+  q.AddNode(*g.FindLabel("person"));
+  q.AddEdge(0, 1, 1);
+  q.set_pivot(0);
+  AttrId city = *g.FindAttr("city");
+  auto pool = BuildLiteralPool(q, {city}, stats, cfg);
+  ASSERT_FALSE(pool.empty());
+  EXPECT_EQ(pool[0].kind, LiteralKind::kVarVar);
+  // Constants for both variables follow.
+  int consts = 0;
+  for (const auto& l : pool) consts += (l.kind == LiteralKind::kVarConst);
+  EXPECT_EQ(consts, 4);  // 2 vars x 2 values (rome, oslo)
+}
+
+TEST(PoolFromStats, SingleNodeHasNoVarVar) {
+  auto g = AttrRichGraph();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  Pattern q = SingleNodePattern(*g.FindLabel("person"));
+  auto pool = BuildLiteralPool(q, {*g.FindAttr("city")}, stats, cfg);
+  for (const auto& l : pool) EXPECT_EQ(l.kind, LiteralKind::kVarConst);
+}
+
+TEST(PoolFromStats, RespectsTopValuesCap) {
+  PropertyGraph::Builder b;
+  for (int i = 0; i < 20; ++i) {
+    NodeId v = b.AddNode("n");
+    b.SetAttr(v, "k", "val" + std::to_string(i % 10));
+  }
+  auto g = std::move(b).Build();
+  GraphStats stats(g);
+  DiscoveryConfig cfg;
+  cfg.top_values_per_attr = 3;
+  Pattern q = SingleNodePattern(*g.FindLabel("n"));
+  auto pool = BuildLiteralPool(q, {*g.FindAttr("k")}, stats, cfg);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(PoolFromMatches, UsesMatchLocalFrequencies) {
+  auto g = AttrRichGraph();
+  DiscoveryConfig cfg;
+  cfg.top_values_per_attr = 1;
+  Pattern q = SingleNodePattern(*g.FindLabel("person"));
+  AttrId city = *g.FindAttr("city");
+  // Hand-built constants ranked with 'oslo' on top.
+  std::vector<VarConstFreq> consts{
+      {0, city, *g.FindValue("oslo"), 9},
+      {0, city, *g.FindValue("rome"), 2},
+  };
+  auto pool = BuildLiteralPoolFromMatches(q, {city}, consts, cfg);
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool[0], Literal::Const(0, city, *g.FindValue("oslo")));
+}
+
+TEST(PoolFromMatches, CrossAttrOptIn) {
+  auto g = AttrRichGraph();
+  DiscoveryConfig cfg;
+  Pattern q;
+  q.AddNode(*g.FindLabel("person"));
+  q.AddNode(*g.FindLabel("person"));
+  q.AddEdge(0, 1, 1);
+  q.set_pivot(0);
+  AttrId type = *g.FindAttr("type");
+  AttrId city = *g.FindAttr("city");
+  auto without = BuildLiteralPoolFromMatches(q, {type, city}, {}, cfg);
+  cfg.cross_attr_literals = true;
+  auto with_cross = BuildLiteralPoolFromMatches(q, {type, city}, {}, cfg);
+  EXPECT_GT(with_cross.size(), without.size());
+}
+
+TEST(PoolFromMatches, CapAtMaxPool) {
+  auto g = AttrRichGraph();
+  DiscoveryConfig cfg;
+  Pattern q;
+  for (int i = 0; i < 6; ++i) q.AddNode(kWildcardLabel);
+  for (int i = 1; i < 6; ++i) q.AddEdge(0, i, 1);
+  q.set_pivot(0);
+  // 15 var pairs x many attrs -> pool must clamp at kMaxPool.
+  std::vector<AttrId> gamma;
+  for (AttrId a = 0; a < 12; ++a) gamma.push_back(a);
+  auto pool = BuildLiteralPoolFromMatches(q, gamma, {}, cfg);
+  EXPECT_LE(pool.size(), DiscoveryConfig::kMaxPool);
+  EXPECT_EQ(pool.size(), DiscoveryConfig::kMaxPool);
+}
+
+}  // namespace
+}  // namespace gfd

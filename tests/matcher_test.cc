@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/property_graph.h"
+#include "match/matcher.h"
+#include "pattern/pattern.h"
+#include "testlib.h"
+#include "util/rng.h"
+
+namespace gfd {
+namespace {
+
+using gfd::testing::BuildG1;
+using gfd::testing::BuildG2;
+using gfd::testing::BuildG3;
+using gfd::testing::BuildQ1;
+using gfd::testing::BuildQ2;
+using gfd::testing::BuildQ3;
+
+TEST(Matcher, Q1MatchesOnceInG1) {
+  auto g = BuildG1();
+  CompiledPattern cq(BuildQ1(g));
+  EXPECT_EQ(CountMatches(g, cq), 1u);
+  EXPECT_EQ(PatternSupport(g, cq), 1u);
+}
+
+TEST(Matcher, Q2MatchesInG2WithWildcards) {
+  auto g = BuildG2();
+  CompiledPattern cq(BuildQ2(g));
+  // y,z wildcards over {Russia, Florida}: two ordered assignments.
+  EXPECT_EQ(CountMatches(g, cq), 2u);
+  EXPECT_EQ(PatternSupport(g, cq), 1u);  // one pivot city
+}
+
+TEST(Matcher, Q3MatchesMutualParentsInG3) {
+  auto g = BuildG3();
+  CompiledPattern cq(BuildQ3(g));
+  EXPECT_EQ(CountMatches(g, cq), 2u);  // (john,owen) and (owen,john)
+  EXPECT_EQ(PatternSupport(g, cq), 2u);
+}
+
+TEST(Matcher, DirectionRespected) {
+  PropertyGraph::Builder b;
+  NodeId a = b.AddNode("a");
+  NodeId c = b.AddNode("c");
+  b.AddEdge(a, c, "e");
+  auto g = std::move(b).Build();
+  Pattern forward = SingleEdgePattern(*g.FindLabel("a"), *g.FindLabel("e"),
+                                      *g.FindLabel("c"));
+  Pattern backward = SingleEdgePattern(*g.FindLabel("c"), *g.FindLabel("e"),
+                                       *g.FindLabel("a"));
+  EXPECT_EQ(CountMatches(g, CompiledPattern(forward)), 1u);
+  EXPECT_EQ(CountMatches(g, CompiledPattern(backward)), 0u);
+}
+
+TEST(Matcher, InjectivityEnforced) {
+  // Graph: one person with a self-edge. Pattern wants two distinct persons.
+  PropertyGraph::Builder b;
+  NodeId p = b.AddNode("person");
+  b.AddEdge(p, p, "knows");
+  auto g = std::move(b).Build();
+  LabelId person = *g.FindLabel("person");
+  LabelId knows = *g.FindLabel("knows");
+  Pattern q;
+  VarId x = q.AddNode(person);
+  VarId y = q.AddNode(person);
+  q.AddEdge(x, y, knows);
+  q.set_pivot(x);
+  EXPECT_EQ(CountMatches(g, CompiledPattern(q)), 0u);
+}
+
+TEST(Matcher, SelfLoopPatternMatchesSelfLoop) {
+  PropertyGraph::Builder b;
+  NodeId p = b.AddNode("person");
+  b.AddEdge(p, p, "knows");
+  NodeId q2 = b.AddNode("person");
+  (void)q2;
+  auto g = std::move(b).Build();
+  Pattern q;
+  VarId x = q.AddNode(*g.FindLabel("person"));
+  q.AddEdge(x, x, *g.FindLabel("knows"));
+  q.set_pivot(x);
+  EXPECT_EQ(CountMatches(g, CompiledPattern(q)), 1u);
+}
+
+TEST(Matcher, ParallelEdgesDoNotDuplicateMatches) {
+  PropertyGraph::Builder b;
+  NodeId a = b.AddNode("a");
+  NodeId c = b.AddNode("c");
+  b.AddEdge(a, c, "e");
+  b.AddEdge(a, c, "e");  // duplicate
+  auto g = std::move(b).Build();
+  Pattern q = SingleEdgePattern(*g.FindLabel("a"), *g.FindLabel("e"),
+                                *g.FindLabel("c"));
+  EXPECT_EQ(CountMatches(g, CompiledPattern(q)), 1u);
+}
+
+TEST(Matcher, WildcardEdgeLabel) {
+  PropertyGraph::Builder b;
+  NodeId a = b.AddNode("a");
+  NodeId c = b.AddNode("c");
+  b.AddEdge(a, c, "e1");
+  b.AddEdge(a, c, "e2");
+  auto g = std::move(b).Build();
+  Pattern q = SingleEdgePattern(*g.FindLabel("a"), kWildcardLabel,
+                                *g.FindLabel("c"));
+  // Two parallel edges with different labels still bind the same node
+  // pair: one match.
+  EXPECT_EQ(CountMatches(g, CompiledPattern(q)), 1u);
+}
+
+TEST(Matcher, TrianglePattern) {
+  PropertyGraph::Builder b;
+  std::vector<NodeId> v;
+  for (int i = 0; i < 4; ++i) v.push_back(b.AddNode("n"));
+  b.AddEdge(v[0], v[1], "e");
+  b.AddEdge(v[1], v[2], "e");
+  b.AddEdge(v[2], v[0], "e");
+  b.AddEdge(v[2], v[3], "e");  // tail
+  auto g = std::move(b).Build();
+  LabelId n = *g.FindLabel("n"), e = *g.FindLabel("e");
+  Pattern tri;
+  VarId x = tri.AddNode(n), y = tri.AddNode(n), z = tri.AddNode(n);
+  tri.AddEdge(x, y, e);
+  tri.AddEdge(y, z, e);
+  tri.AddEdge(z, x, e);
+  tri.set_pivot(x);
+  // Directed triangle: 3 rotations.
+  EXPECT_EQ(CountMatches(g, CompiledPattern(tri)), 3u);
+  EXPECT_EQ(PatternSupport(g, CompiledPattern(tri)), 3u);
+}
+
+TEST(Matcher, PivotAnchoredEnumeration) {
+  auto g = BuildG3();
+  CompiledPattern cq(BuildQ3(g));
+  int count = 0;
+  cq.ForEachMatchAtPivot(g, 0, [&](const Match& m) {
+    EXPECT_EQ(m[0], 0u);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Matcher, PivotSupportSetSortedDistinct) {
+  auto g = BuildG3();
+  CompiledPattern cq(BuildQ3(g));
+  auto s = PivotSupportSet(g, cq);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_LT(s[0], s[1]);
+}
+
+TEST(Matcher, HasAnyMatchShortCircuits) {
+  auto g = BuildG3();
+  CompiledPattern cq(BuildQ3(g));
+  EXPECT_TRUE(HasAnyMatch(g, cq));
+  // A pattern that cannot match: person -parent-> person -parent-> person
+  // chain of 3 distinct nodes in a 2-node graph.
+  Pattern chain;
+  LabelId person = *g.FindLabel("person");
+  LabelId parent = *g.FindLabel("parent");
+  VarId a = chain.AddNode(person), bb = chain.AddNode(person),
+        c = chain.AddNode(person);
+  chain.AddEdge(a, bb, parent);
+  chain.AddEdge(bb, c, parent);
+  chain.set_pivot(a);
+  EXPECT_FALSE(HasAnyMatch(g, CompiledPattern(chain)));
+}
+
+TEST(Matcher, StepBudgetAborts) {
+  // Dense bipartite graph: many candidate steps.
+  PropertyGraph::Builder b;
+  std::vector<NodeId> left, right;
+  for (int i = 0; i < 10; ++i) left.push_back(b.AddNode("l"));
+  for (int i = 0; i < 10; ++i) right.push_back(b.AddNode("r"));
+  for (NodeId l : left) {
+    for (NodeId r : right) b.AddEdge(l, r, "e");
+  }
+  auto g = std::move(b).Build();
+  Pattern q;
+  VarId x = q.AddNode(*g.FindLabel("l"));
+  VarId y = q.AddNode(*g.FindLabel("r"));
+  q.AddEdge(x, y, *g.FindLabel("e"));
+  q.set_pivot(x);
+  CompiledPattern cq(q);
+  MatchOptions opts;
+  opts.max_steps = 5;
+  MatchCounters ctr;
+  bool complete = cq.ForEachMatch(
+      g, [](const Match&) { return true; }, opts, &ctr);
+  EXPECT_FALSE(complete);
+  EXPECT_TRUE(ctr.budget_exhausted);
+}
+
+TEST(Matcher, WildcardPivotScansAllNodes) {
+  auto g = BuildG2();
+  Pattern q;
+  VarId x = q.AddNode(kWildcardLabel);
+  VarId y = q.AddNode(kWildcardLabel);
+  q.AddEdge(x, y, kWildcardLabel);
+  q.set_pivot(x);
+  CompiledPattern cq(q);
+  // SaintPetersburg has two out-edges.
+  EXPECT_EQ(CountMatches(g, cq), 2u);
+  EXPECT_EQ(PatternSupport(g, cq), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: the backtracking matcher agrees with a brute-force oracle
+// on random graphs and random patterns.
+// ---------------------------------------------------------------------------
+
+uint64_t OracleCount(const PropertyGraph& g, const Pattern& q) {
+  const size_t k = q.NumNodes();
+  std::vector<NodeId> assign(k, 0);
+  uint64_t count = 0;
+  // Odometer over all node assignments.
+  uint64_t total = 1;
+  for (size_t i = 0; i < k; ++i) total *= g.NumNodes();
+  for (uint64_t code = 0; code < total; ++code) {
+    uint64_t c = code;
+    for (size_t i = 0; i < k; ++i) {
+      assign[i] = static_cast<NodeId>(c % g.NumNodes());
+      c /= g.NumNodes();
+    }
+    // Injective?
+    bool ok = true;
+    for (size_t i = 0; i < k && ok; ++i) {
+      for (size_t j = i + 1; j < k; ++j) {
+        if (assign[i] == assign[j]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    for (size_t i = 0; i < k && ok; ++i) {
+      if (!LabelMatches(g.NodeLabel(assign[i]), q.NodeLabel(i))) ok = false;
+    }
+    for (const auto& e : q.edges()) {
+      if (!ok) break;
+      if (!g.HasEdge(assign[e.src], assign[e.dst], e.label)) ok = false;
+    }
+    if (ok) ++count;
+  }
+  return count;
+}
+
+class MatcherOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherOracle, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  // Random graph: 8 nodes, 2 labels, ~14 edges, 2 edge labels.
+  PropertyGraph::Builder b;
+  for (int i = 0; i < 8; ++i) {
+    b.AddNode(rng.Chance(0.5) ? "a" : "b");
+  }
+  for (int i = 0; i < 14; ++i) {
+    b.AddEdgeById(static_cast<NodeId>(rng.Below(8)),
+                  static_cast<NodeId>(rng.Below(8)),
+                  b.InternLabel(rng.Chance(0.5) ? "e" : "f"));
+  }
+  auto g = std::move(b).Build();
+
+  // Random connected pattern with 1..3 nodes (labels may be wildcard).
+  auto rand_label = [&](double wild_p) -> LabelId {
+    if (rng.Chance(wild_p)) return kWildcardLabel;
+    auto l = g.FindLabel(rng.Chance(0.5) ? "a" : "b");
+    return l ? *l : kWildcardLabel;
+  };
+  auto rand_elabel = [&](double wild_p) -> LabelId {
+    if (rng.Chance(wild_p)) return kWildcardLabel;
+    auto l = g.FindLabel(rng.Chance(0.5) ? "e" : "f");
+    return l ? *l : kWildcardLabel;
+  };
+  Pattern q;
+  size_t nvars = 1 + rng.Below(3);
+  for (size_t i = 0; i < nvars; ++i) q.AddNode(rand_label(0.3));
+  // Spanning edges keep it connected.
+  for (size_t i = 1; i < nvars; ++i) {
+    VarId other = static_cast<VarId>(rng.Below(i));
+    if (rng.Chance(0.5)) {
+      q.AddEdge(static_cast<VarId>(i), other, rand_elabel(0.3));
+    } else {
+      q.AddEdge(other, static_cast<VarId>(i), rand_elabel(0.3));
+    }
+  }
+  // Maybe one extra edge.
+  if (nvars >= 2 && rng.Chance(0.5)) {
+    VarId s = static_cast<VarId>(rng.Below(nvars));
+    VarId d = static_cast<VarId>(rng.Below(nvars));
+    if (s != d) q.AddEdge(s, d, rand_elabel(0.3));
+  }
+  q.set_pivot(static_cast<VarId>(rng.Below(nvars)));
+
+  ASSERT_TRUE(q.IsConnected());
+  EXPECT_EQ(CountMatches(g, CompiledPattern(q)), OracleCount(g, q))
+      << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MatcherOracle,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace gfd

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/cover.h"
+#include "core/seqdis.h"
+#include "datagen/gfd_gen.h"
+#include "datagen/kb.h"
+#include "gfd/problems.h"
+#include "parallel/fragment.h"
+#include "parallel/parcover.h"
+#include "parallel/pardis.h"
+
+namespace gfd {
+namespace {
+
+// Canonical sortable rendering of a GFD set for set-equality assertions.
+std::multiset<std::string> Render(const std::vector<Gfd>& gfds,
+                                  const PropertyGraph& g) {
+  std::multiset<std::string> out;
+  for (const auto& phi : gfds) out.insert(phi.ToString(g));
+  return out;
+}
+
+TEST(Fragmentation, EdgesPartitionedEvenly) {
+  KbConfig cfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  for (size_t n : {1u, 2u, 4u, 8u}) {
+    auto frag = VertexCutPartition(g, n);
+    ASSERT_EQ(frag.fragment_edges.size(), n);
+    size_t total = 0, max_sz = 0, min_sz = SIZE_MAX;
+    for (const auto& fe : frag.fragment_edges) {
+      total += fe.size();
+      max_sz = std::max(max_sz, fe.size());
+      min_sz = std::min(min_sz, fe.size());
+    }
+    EXPECT_EQ(total, g.NumEdges());
+    EXPECT_LE(max_sz - min_sz, g.NumEdges() / n / 4 + 2)
+        << "imbalanced at n=" << n;
+  }
+}
+
+TEST(Fragmentation, EveryEdgeAssignedOnce) {
+  KbConfig cfg{.scale = 100, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  auto frag = VertexCutPartition(g, 4);
+  std::vector<int> seen(g.NumEdges(), 0);
+  for (size_t f = 0; f < 4; ++f) {
+    for (EdgeId e : frag.fragment_edges[f]) {
+      EXPECT_EQ(frag.edge_fragment[e], f);
+      ++seen[e];
+    }
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(Fragmentation, ReplicationBounded) {
+  KbConfig cfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  auto frag = VertexCutPartition(g, 8);
+  EXPECT_GE(frag.replication, 1.0);
+  EXPECT_LE(frag.replication, 8.0);
+  // The greedy endpoint-affine placement should do much better than
+  // random (which would approach min(degree, n)).
+  EXPECT_LT(frag.replication, 4.0);
+}
+
+TEST(Fragmentation, NodeOwnersValid) {
+  KbConfig cfg{.scale = 100, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  auto frag = VertexCutPartition(g, 4);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LT(frag.node_owner[v], 4u);
+  }
+}
+
+TEST(Fragmentation, SingleFragmentDegenerate) {
+  KbConfig cfg{.scale = 100, .seed = 3};
+  auto g = MakeYago2Like(cfg);
+  auto frag = VertexCutPartition(g, 1);
+  EXPECT_EQ(frag.fragment_edges[0].size(), g.NumEdges());
+  EXPECT_DOUBLE_EQ(frag.replication, 1.0);
+}
+
+// --- ParDis == SeqDis --------------------------------------------------------
+
+class ParDisEquivalence : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParDisEquivalence, MatchesSequentialOutput) {
+  KbConfig kcfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(kcfg);
+  DiscoveryConfig cfg;
+  cfg.k = 3;
+  cfg.support_threshold = 8;
+  auto seq = SeqDis(g, cfg);
+
+  ParallelRunConfig pcfg;
+  pcfg.workers = GetParam();
+  ClusterStats cs;
+  auto par = ParDis(g, cfg, pcfg, &cs);
+
+  EXPECT_EQ(Render(par.positives, g), Render(seq.positives, g));
+  EXPECT_EQ(Render(par.negatives, g), Render(seq.negatives, g));
+  // Supports must agree GFD by GFD.
+  auto support_map = [&](const DiscoveryResult& r) {
+    std::map<std::string, uint64_t> m;
+    for (size_t i = 0; i < r.positives.size(); ++i) {
+      m[r.positives[i].ToString(g)] = r.positive_supports[i];
+    }
+    return m;
+  };
+  EXPECT_EQ(support_map(par), support_map(seq));
+  if (pcfg.workers > 1) {
+    EXPECT_GT(cs.messages, 0u);
+    EXPECT_GT(cs.bytes_shipped, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ParDisEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ParDisNoBalance, MatchesSequentialOutputToo) {
+  KbConfig kcfg{.scale = 120, .seed = 5};
+  auto g = MakeYago2Like(kcfg);
+  DiscoveryConfig cfg;
+  cfg.k = 3;
+  cfg.support_threshold = 8;
+  auto seq = SeqDis(g, cfg);
+  ParallelRunConfig pcfg;
+  pcfg.workers = 4;
+  pcfg.load_balance = false;
+  ClusterStats cs;
+  auto par = ParDis(g, cfg, pcfg, &cs);
+  EXPECT_EQ(Render(par.positives, g), Render(seq.positives, g));
+  EXPECT_EQ(Render(par.negatives, g), Render(seq.negatives, g));
+}
+
+TEST(ParDisNoBalance, ShipsMoreThanBalanced) {
+  KbConfig kcfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(kcfg);
+  DiscoveryConfig cfg;
+  cfg.k = 2;
+  cfg.support_threshold = 8;
+  ParallelRunConfig balanced{.workers = 4, .load_balance = true};
+  ParallelRunConfig unbalanced{.workers = 4, .load_balance = false};
+  ClusterStats cs_b, cs_u;
+  ParDis(g, cfg, balanced, &cs_b);
+  ParDis(g, cfg, unbalanced, &cs_u);
+  // Without pivot alignment the master merges shipped pivot sets per
+  // candidate: strictly more communication.
+  EXPECT_GT(cs_u.bytes_shipped, cs_b.bytes_shipped);
+}
+
+TEST(ParDisImdb, WorksAcrossGenerators) {
+  KbConfig kcfg{.scale = 120, .seed = 9};
+  auto g = MakeImdbLike(kcfg);
+  DiscoveryConfig cfg;
+  cfg.k = 2;
+  cfg.support_threshold = 8;
+  auto seq = SeqDis(g, cfg);
+  ParallelRunConfig pcfg;
+  pcfg.workers = 4;
+  auto par = ParDis(g, cfg, pcfg);
+  EXPECT_EQ(Render(par.positives, g), Render(seq.positives, g));
+  EXPECT_EQ(Render(par.negatives, g), Render(seq.negatives, g));
+}
+
+// --- ParCover ---------------------------------------------------------------
+
+TEST(ParCoverTest, EquivalentToSeqCover) {
+  KbConfig kcfg{.scale = 150, .seed = 3};
+  auto g = MakeYago2Like(kcfg);
+  GfdGenConfig gcfg;
+  gcfg.count = 400;
+  auto sigma = GenerateGfdSet(g, gcfg);
+
+  auto seq_cover = SeqCover(sigma);
+  ParallelRunConfig pcfg;
+  pcfg.workers = 4;
+  CoverStats pstats;
+  auto par_cover = ParCover(sigma, pcfg, &pstats);
+
+  // Mutual implication: both covers are equivalent to Sigma, hence to
+  // each other.
+  for (const auto& phi : seq_cover) {
+    EXPECT_TRUE(Implies(par_cover, phi)) << phi.ToString(g);
+  }
+  for (const auto& phi : par_cover) {
+    EXPECT_TRUE(Implies(seq_cover, phi)) << phi.ToString(g);
+  }
+  EXPECT_GT(pstats.removed, 0u);
+}
+
+TEST(ParCoverTest, CoverIsMinimal) {
+  KbConfig kcfg{.scale = 120, .seed = 7};
+  auto g = MakeYago2Like(kcfg);
+  GfdGenConfig gcfg;
+  gcfg.count = 200;
+  auto sigma = GenerateGfdSet(g, gcfg);
+  ParallelRunConfig pcfg;
+  pcfg.workers = 4;
+  auto cover = ParCover(sigma, pcfg);
+  for (size_t i = 0; i < cover.size(); ++i) {
+    std::vector<Gfd> others;
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) others.push_back(cover[j]);
+    }
+    EXPECT_FALSE(Implies(others, cover[i])) << cover[i].ToString(g);
+  }
+}
+
+TEST(ParCoverTest, NoGroupingSameResultMoreTests) {
+  KbConfig kcfg{.scale = 120, .seed = 7};
+  auto g = MakeYago2Like(kcfg);
+  GfdGenConfig gcfg;
+  gcfg.count = 200;
+  auto sigma = GenerateGfdSet(g, gcfg);
+  ParallelRunConfig pcfg;
+  pcfg.workers = 4;
+  CoverStats grouped, ungrouped;
+  auto c1 = ParCover(sigma, pcfg, &grouped);
+  auto c2 = ParCoverNoGrouping(sigma, pcfg, &ungrouped);
+  // Equivalent covers.
+  for (const auto& phi : c1) EXPECT_TRUE(Implies(c2, phi));
+  for (const auto& phi : c2) EXPECT_TRUE(Implies(c1, phi));
+}
+
+TEST(ParCoverTest, WorkerCountInvariant) {
+  KbConfig kcfg{.scale = 100, .seed = 11};
+  auto g = MakeYago2Like(kcfg);
+  GfdGenConfig gcfg;
+  gcfg.count = 150;
+  auto sigma = GenerateGfdSet(g, gcfg);
+  std::vector<Gfd> prev;
+  for (size_t w : {1u, 2u, 8u}) {
+    ParallelRunConfig pcfg;
+    pcfg.workers = w;
+    auto cover = ParCover(sigma, pcfg);
+    if (!prev.empty()) {
+      auto render = [&](const std::vector<Gfd>& v) {
+        std::multiset<std::string> s;
+        for (const auto& phi : v) s.insert(phi.ToString(g));
+        return s;
+      };
+      EXPECT_EQ(render(cover), render(prev)) << "workers=" << w;
+    }
+    prev = cover;
+  }
+}
+
+TEST(ParCoverTest, EmptyAndSingleton) {
+  ParallelRunConfig pcfg;
+  pcfg.workers = 4;
+  EXPECT_TRUE(ParCover({}, pcfg).empty());
+
+  PropertyGraph::Builder b;
+  NodeId v = b.AddNode("n");
+  b.SetAttr(v, "a", "1");
+  auto g = std::move(b).Build();
+  Gfd phi(SingleNodePattern(*g.FindLabel("n")), {},
+          Literal::Const(0, *g.FindAttr("a"), *g.FindValue("1")));
+  auto cover = ParCover({phi}, pcfg);
+  ASSERT_EQ(cover.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gfd

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "pattern/canonical.h"
+#include "pattern/pattern.h"
+#include "testlib.h"
+
+namespace gfd {
+namespace {
+
+using gfd::testing::BuildG1;
+using gfd::testing::BuildQ1;
+using gfd::testing::BuildQ2;
+using gfd::testing::BuildQ3;
+
+TEST(Pattern, SingleNodeFactory) {
+  Pattern p = SingleNodePattern(5);
+  EXPECT_EQ(p.NumNodes(), 1u);
+  EXPECT_EQ(p.NumEdges(), 0u);
+  EXPECT_EQ(p.pivot(), 0u);
+  EXPECT_TRUE(p.IsConnected());
+  EXPECT_EQ(p.RadiusAtPivot(), 0u);
+}
+
+TEST(Pattern, SingleEdgeFactory) {
+  Pattern p = SingleEdgePattern(1, 2, 3);
+  EXPECT_EQ(p.NumNodes(), 2u);
+  EXPECT_EQ(p.NumEdges(), 1u);
+  EXPECT_EQ(p.NodeLabel(0), 1u);
+  EXPECT_EQ(p.NodeLabel(1), 3u);
+  EXPECT_EQ(p.edges()[0].label, 2u);
+  EXPECT_TRUE(p.IsConnected());
+  EXPECT_EQ(p.RadiusAtPivot(), 1u);
+}
+
+TEST(Pattern, DisconnectedDetected) {
+  Pattern p;
+  p.AddNode(1);
+  p.AddNode(2);
+  EXPECT_FALSE(p.IsConnected());
+  p.AddEdge(0, 1, 3);
+  EXPECT_TRUE(p.IsConnected());
+}
+
+TEST(Pattern, RadiusDependsOnPivot) {
+  // path x0 -> x1 -> x2
+  Pattern p;
+  p.AddNode(1);
+  p.AddNode(1);
+  p.AddNode(1);
+  p.AddEdge(0, 1, 2);
+  p.AddEdge(1, 2, 2);
+  p.set_pivot(0);
+  EXPECT_EQ(p.RadiusAtPivot(), 2u);
+  p.set_pivot(1);
+  EXPECT_EQ(p.RadiusAtPivot(), 1u);
+}
+
+TEST(Pattern, RadiusIsUndirected) {
+  // x0 <- x1 -> x2 : radius at x0 is 2 via undirected paths.
+  Pattern p;
+  p.AddNode(1);
+  p.AddNode(1);
+  p.AddNode(1);
+  p.AddEdge(1, 0, 2);
+  p.AddEdge(1, 2, 2);
+  p.set_pivot(0);
+  EXPECT_EQ(p.RadiusAtPivot(), 2u);
+}
+
+TEST(Pattern, NeighborsDeduplicated) {
+  Pattern p;
+  p.AddNode(1);
+  p.AddNode(1);
+  p.AddEdge(0, 1, 2);
+  p.AddEdge(1, 0, 3);  // both directions
+  auto n = p.Neighbors(0);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_EQ(n[0], 1u);
+}
+
+TEST(Pattern, ToStringMentionsPivotAndLabels) {
+  auto g = BuildG1();
+  auto q = BuildQ1(g);
+  std::string s = q.ToString(g);
+  EXPECT_NE(s.find("person"), std::string::npos);
+  EXPECT_NE(s.find("create"), std::string::npos);
+  EXPECT_NE(s.find("pivot=x0"), std::string::npos);
+}
+
+TEST(Canonical, IsomorphicPatternsShareCode) {
+  // Same triangle written with two different node orders.
+  Pattern a;
+  a.AddNode(1);
+  a.AddNode(2);
+  a.AddNode(3);
+  a.AddEdge(0, 1, 9);
+  a.AddEdge(1, 2, 9);
+  a.AddEdge(2, 0, 9);
+  a.set_pivot(0);
+
+  Pattern b;
+  b.AddNode(3);
+  b.AddNode(1);
+  b.AddNode(2);
+  b.AddEdge(1, 2, 9);
+  b.AddEdge(2, 0, 9);
+  b.AddEdge(0, 1, 9);
+  b.set_pivot(1);  // the node labeled 1, same as a's pivot
+
+  EXPECT_EQ(CanonicalCode(a), CanonicalCode(b));
+  EXPECT_TRUE(ArePatternsIsomorphic(a, b));
+}
+
+TEST(Canonical, PivotDistinguishesOtherwiseEqualPatterns) {
+  Pattern a = SingleEdgePattern(1, 2, 1);
+  Pattern b = SingleEdgePattern(1, 2, 1);
+  b.set_pivot(1);
+  EXPECT_NE(CanonicalCode(a, true), CanonicalCode(b, true));
+  EXPECT_EQ(CanonicalCode(a, false), CanonicalCode(b, false));
+}
+
+TEST(Canonical, DifferentLabelsDifferentCodes) {
+  Pattern a = SingleEdgePattern(1, 2, 3);
+  Pattern b = SingleEdgePattern(1, 2, 4);
+  EXPECT_NE(CanonicalCode(a), CanonicalCode(b));
+}
+
+TEST(Canonical, DirectionMatters) {
+  Pattern a, b;
+  a.AddNode(1);
+  a.AddNode(2);
+  a.AddEdge(0, 1, 5);
+  a.set_pivot(0);
+  b.AddNode(1);
+  b.AddNode(2);
+  b.AddEdge(1, 0, 5);
+  b.set_pivot(0);
+  EXPECT_NE(CanonicalCode(a), CanonicalCode(b));
+}
+
+TEST(Embedding, IdentityEmbeddingExists) {
+  auto g = BuildG1();
+  auto q = BuildQ1(g);
+  EXPECT_TRUE(HasEmbedding(q, q, /*require_pivot=*/true));
+}
+
+TEST(Embedding, SingleNodeIntoEdgePattern) {
+  Pattern node = SingleNodePattern(1);
+  Pattern edge = SingleEdgePattern(1, 2, 3);
+  EXPECT_TRUE(HasEmbedding(node, edge, /*require_pivot=*/true));
+  // Pivot on the product side: the single node labeled 1 cannot go there.
+  Pattern edge2 = edge;
+  edge2.set_pivot(1);
+  EXPECT_FALSE(HasEmbedding(node, edge2, /*require_pivot=*/true));
+  EXPECT_TRUE(HasEmbedding(node, edge2, /*require_pivot=*/false));
+}
+
+TEST(Embedding, WildcardSubsumesConcrete) {
+  Pattern wild = SingleEdgePattern(kWildcardLabel, kWildcardLabel,
+                                   kWildcardLabel);
+  Pattern concrete = SingleEdgePattern(1, 2, 3);
+  EXPECT_TRUE(HasEmbedding(wild, concrete, true));
+  EXPECT_FALSE(HasEmbedding(concrete, wild, true));
+}
+
+TEST(Embedding, CountsAllMappings) {
+  // Q3 (mutual parent) embeds into itself twice without pivot pinning
+  // (swap x,y), once with pivot pinning.
+  auto g3 = gfd::testing::BuildG3();
+  auto q3 = BuildQ3(g3);
+  int with_pivot = 0, without_pivot = 0;
+  ForEachEmbedding(q3, q3, true, [&](const std::vector<VarId>&) {
+    ++with_pivot;
+    return true;
+  });
+  ForEachEmbedding(q3, q3, false, [&](const std::vector<VarId>&) {
+    ++without_pivot;
+    return true;
+  });
+  EXPECT_EQ(with_pivot, 1);
+  EXPECT_EQ(without_pivot, 2);
+}
+
+TEST(Embedding, RespectsEdgeLabels) {
+  Pattern a = SingleEdgePattern(1, 7, 1);
+  Pattern b = SingleEdgePattern(1, 8, 1);
+  EXPECT_FALSE(HasEmbedding(a, b, false));
+}
+
+TEST(Embedding, EarlyStopWorks) {
+  auto g3 = gfd::testing::BuildG3();
+  auto q3 = BuildQ3(g3);
+  int seen = 0;
+  ForEachEmbedding(q3, q3, false, [&](const std::vector<VarId>&) {
+    ++seen;
+    return false;  // stop immediately
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(Reduces, RemovingAnEdgeReduces) {
+  auto g3 = gfd::testing::BuildG3();
+  auto q3 = BuildQ3(g3);  // two edges
+  Pattern one_edge;
+  LabelId person = *g3.FindLabel("person");
+  LabelId parent = *g3.FindLabel("parent");
+  VarId x = one_edge.AddNode(person);
+  VarId y = one_edge.AddNode(person);
+  one_edge.AddEdge(x, y, parent);
+  one_edge.set_pivot(x);
+  EXPECT_TRUE(PatternReduces(one_edge, q3));
+  EXPECT_FALSE(PatternReduces(q3, one_edge));
+}
+
+TEST(Reduces, WildcardUpgradeReduces) {
+  Pattern concrete = SingleEdgePattern(1, 2, 3);
+  Pattern upgraded = SingleEdgePattern(1, 2, kWildcardLabel);
+  EXPECT_TRUE(PatternReduces(upgraded, concrete));
+  EXPECT_FALSE(PatternReduces(concrete, upgraded));
+}
+
+TEST(Reduces, IdenticalPatternDoesNotReduce) {
+  Pattern p = SingleEdgePattern(1, 2, 3);
+  EXPECT_FALSE(PatternReduces(p, p));
+}
+
+TEST(Reduces, ReturnsWitnessMapping) {
+  Pattern node = SingleNodePattern(1);
+  Pattern edge = SingleEdgePattern(1, 2, 3);
+  std::vector<VarId> f;
+  ASSERT_TRUE(PatternReduces(node, edge, &f));
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], 0u);  // pivot to pivot
+}
+
+TEST(Reduces, PivotMismatchBlocksReduction) {
+  // Sub-pattern with pivot on the "wrong" side cannot reduce.
+  Pattern sub = SingleEdgePattern(1, 2, 3);
+  sub.set_pivot(1);
+  Pattern super = SingleEdgePattern(1, 2, 3);
+  super.AddNode(4);
+  super.AddEdge(1, 2, 5);
+  // super pivot remains var 0 (label 1); sub pivot has label 3 -> no
+  // pivot-preserving embedding.
+  EXPECT_FALSE(PatternReduces(sub, super));
+}
+
+}  // namespace
+}  // namespace gfd

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/cover.h"
+#include "core/seqdis.h"
+#include "datagen/kb.h"
+#include "gfd/problems.h"
+#include "gfd/validation.h"
+#include "testlib.h"
+
+namespace gfd {
+namespace {
+
+// Shared discovery run on the YAGO2-like graph (scale kept small so the
+// suite runs in seconds).
+class SeqDisYago : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    KbConfig kcfg;
+    kcfg.scale = 200;
+    graph_ = new PropertyGraph(MakeYago2Like(kcfg));
+    DiscoveryConfig cfg;
+    cfg.k = 3;
+    cfg.support_threshold = 8;
+    cfg.max_lhs_size = 2;
+    result_ = new DiscoveryResult(SeqDis(*graph_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete graph_;
+    result_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static PropertyGraph* graph_;
+  static DiscoveryResult* result_;
+};
+
+PropertyGraph* SeqDisYago::graph_ = nullptr;
+DiscoveryResult* SeqDisYago::result_ = nullptr;
+
+TEST_F(SeqDisYago, FindsPositivesAndNegatives) {
+  EXPECT_GT(result_->positives.size(), 10u);
+  EXPECT_GT(result_->negatives.size(), 0u);
+  EXPECT_EQ(result_->positives.size(), result_->positive_supports.size());
+  EXPECT_EQ(result_->negatives.size(), result_->negative_supports.size());
+}
+
+TEST_F(SeqDisYago, AllDiscoveredGfdsAreSatisfied) {
+  // Every discovered GFD must hold on the graph (validation is embedded
+  // in discovery). Check a deterministic sample to keep runtime sane.
+  size_t checked = 0;
+  for (size_t i = 0; i < result_->positives.size() && checked < 40;
+       i += 7, ++checked) {
+    EXPECT_TRUE(SatisfiesGfd(*graph_, result_->positives[i]))
+        << result_->positives[i].ToString(*graph_);
+  }
+  checked = 0;
+  for (size_t i = 0; i < result_->negatives.size() && checked < 40;
+       i += 11, ++checked) {
+    EXPECT_TRUE(SatisfiesGfd(*graph_, result_->negatives[i]))
+        << result_->negatives[i].ToString(*graph_);
+  }
+}
+
+TEST_F(SeqDisYago, SupportsMeetThreshold) {
+  for (uint64_t s : result_->positive_supports) EXPECT_GE(s, 8u);
+  for (uint64_t s : result_->negative_supports) EXPECT_GE(s, 8u);
+}
+
+TEST_F(SeqDisYago, NoTrivialGfds) {
+  for (const auto& phi : result_->positives) {
+    EXPECT_FALSE(IsTrivialGfd(phi)) << phi.ToString(*graph_);
+  }
+  for (const auto& phi : result_->negatives) {
+    EXPECT_FALSE(IsTrivialGfd(phi)) << phi.ToString(*graph_);
+  }
+}
+
+TEST_F(SeqDisYago, PositivesAreReduced) {
+  // No discovered positive reduces another (sampled pairs; the full
+  // quadratic check is done on a smaller run below).
+  const auto& pos = result_->positives;
+  for (size_t i = 0; i < pos.size(); i += 13) {
+    for (size_t j = 0; j < pos.size(); j += 7) {
+      if (i == j) continue;
+      EXPECT_FALSE(GfdReduces(pos[i], pos[j]))
+          << pos[i].ToString(*graph_) << "  <<  " << pos[j].ToString(*graph_);
+    }
+  }
+}
+
+TEST_F(SeqDisYago, FindsPlantedTypeRules) {
+  // Single-node rules: producer => type='producer', etc.
+  AttrId type = *graph_->FindAttr("type");
+  ValueId producer = *graph_->FindValue("producer");
+  bool found = false;
+  for (const auto& phi : result_->positives) {
+    if (phi.pattern.NumNodes() == 1 && phi.lhs.empty() &&
+        phi.rhs == Literal::Const(0, type, producer)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "missing producer type rule";
+}
+
+TEST_F(SeqDisYago, FindsPlantedFamilyNameRuleWithWildcard) {
+  // GFD1 of Fig. 8: _ -hasChild-> _ implies equal familyname.
+  AttrId fam = *graph_->FindAttr("familyname");
+  LabelId has_child = *graph_->FindLabel("hasChild");
+  bool found = false;
+  for (const auto& phi : result_->positives) {
+    if (phi.pattern.NumNodes() != 2 || phi.pattern.NumEdges() != 1) continue;
+    const auto& e = phi.pattern.edges()[0];
+    if (e.label != has_child) continue;
+    if (phi.pattern.NodeLabel(0) != kWildcardLabel ||
+        phi.pattern.NodeLabel(1) != kWildcardLabel) {
+      continue;
+    }
+    if (phi.lhs.empty() && phi.rhs == Literal::Vars(0, fam, 1, fam)) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "missing wildcard familyname rule";
+}
+
+TEST_F(SeqDisYago, FindsPlantedCitizenshipNegative) {
+  // GFD3 of Fig. 8 flavor: citizenship of US and Norway cannot combine.
+  // Depending on scale it surfaces as the 3-variable named form
+  // {y.name='US', z.name='Norway'} or the 2-variable passport form
+  // {x.passport='no', y.name='US'} -- both encode the exclusivity.
+  ValueId us = *graph_->FindValue("US");
+  ValueId norway = *graph_->FindValue("Norway");
+  ValueId no_passport = *graph_->FindValue("no");
+  bool found = false;
+  for (const auto& phi : result_->negatives) {
+    bool has_us = false, has_no = false;
+    for (const auto& l : phi.lhs) {
+      if (l.kind != LiteralKind::kVarConst) continue;
+      if (l.c == us) has_us = true;
+      if (l.c == norway || l.c == no_passport) has_no = true;
+    }
+    if (has_us && has_no) found = true;
+  }
+  EXPECT_TRUE(found) << "missing US/Norway exclusivity negative";
+}
+
+TEST_F(SeqDisYago, FindsMutualParentNegative) {
+  // phi3 of Example 1: x -hasChild-> y -hasChild-> x is an illegal
+  // structure (families are acyclic by construction).
+  LabelId has_child = *graph_->FindLabel("hasChild");
+  bool found = false;
+  for (const auto& phi : result_->negatives) {
+    if (!phi.lhs.empty() || phi.pattern.NumNodes() != 2 ||
+        phi.pattern.NumEdges() != 2) {
+      continue;
+    }
+    int fwd = 0, bwd = 0;
+    for (const auto& e : phi.pattern.edges()) {
+      if (e.label != has_child && e.label != kWildcardLabel) continue;
+      if (e.src == 0 && e.dst == 1) ++fwd;
+      if (e.src == 1 && e.dst == 0) ++bwd;
+    }
+    if (fwd >= 1 && bwd >= 1) found = true;
+  }
+  EXPECT_TRUE(found) << "missing mutual hasChild negative";
+}
+
+TEST_F(SeqDisYago, StatsAreCoherent) {
+  const auto& st = result_->stats;
+  EXPECT_GT(st.patterns_spawned, 0u);
+  EXPECT_GT(st.patterns_frequent, 0u);
+  EXPECT_GE(st.candidates_generated, st.candidates_validated);
+  EXPECT_EQ(st.positives_found, result_->positives.size());
+  EXPECT_EQ(st.negatives_found, result_->negatives.size());
+  EXPECT_FALSE(st.budget_exceeded);
+}
+
+// --- Anti-monotonicity of support (Theorem 3) -------------------------------
+
+TEST(AntiMonotonicity, LhsExtensionNeverGainsSupport) {
+  KbConfig kcfg;
+  kcfg.scale = 120;
+  auto g = MakeYago2Like(kcfg);
+  AttrId type = *g.FindAttr("type");
+  AttrId gender = *g.FindAttr("gender");
+  LabelId cit = *g.FindLabel("citizenOf");
+  Pattern q;
+  VarId x = q.AddNode(kWildcardLabel);
+  VarId y = q.AddNode(kWildcardLabel);
+  q.AddEdge(x, y, cit);
+  q.set_pivot(x);
+  CompiledPattern cq(q);
+
+  ValueId country = *g.FindValue("country");
+  Gfd base(q, {}, Literal::Const(1, type, country));
+  Gfd ext(q, {Literal::Const(0, gender, *g.FindValue("male"))},
+          Literal::Const(1, type, country));
+  auto r_base = EvaluateGfd(g, cq, base);
+  auto r_ext = EvaluateGfd(g, cq, ext);
+  EXPECT_TRUE(GfdReduces(base, ext));
+  EXPECT_GE(r_base.gfd_support, r_ext.gfd_support);
+}
+
+TEST(AntiMonotonicity, PatternExtensionNeverGainsSupport) {
+  KbConfig kcfg;
+  kcfg.scale = 120;
+  auto g = MakeYago2Like(kcfg);
+  AttrId fam = *g.FindAttr("familyname");
+  LabelId has_child = *g.FindLabel("hasChild");
+
+  Pattern small;
+  VarId x = small.AddNode(kWildcardLabel);
+  VarId y = small.AddNode(kWildcardLabel);
+  small.AddEdge(x, y, has_child);
+  small.set_pivot(x);
+
+  Pattern big = small;
+  VarId z = big.AddNode(kWildcardLabel);
+  big.AddEdge(y, z, has_child);
+
+  Gfd phi_small(small, {}, Literal::Vars(0, fam, 1, fam));
+  Gfd phi_big(big, {}, Literal::Vars(0, fam, 1, fam));
+  ASSERT_TRUE(GfdReduces(phi_small, phi_big));
+
+  auto r_small = EvaluateGfd(g, CompiledPattern(small), phi_small);
+  auto r_big = EvaluateGfd(g, CompiledPattern(big), phi_big);
+  EXPECT_GE(r_small.gfd_support, r_big.gfd_support);
+  EXPECT_GE(r_small.pattern_support, r_big.pattern_support);
+}
+
+// --- Pruning ablation (the ParGFDn baseline behavior) -----------------------
+
+TEST(PruningAblation, NoPruneExplodesAndTripsBudget) {
+  KbConfig kcfg;
+  kcfg.scale = 120;
+  auto g = MakeYago2Like(kcfg);
+  DiscoveryConfig cfg;
+  cfg.k = 3;
+  cfg.support_threshold = 8;
+  auto pruned = SeqDis(g, cfg);
+  cfg.prune = false;
+  cfg.candidate_budget = pruned.stats.candidates_generated * 2;
+  auto unpruned = SeqDis(g, cfg);
+  EXPECT_TRUE(unpruned.stats.budget_exceeded)
+      << "un-pruned search should blow past twice the pruned budget";
+}
+
+TEST(PruningAblation, PrunedFindsPlantedRulesAnyway) {
+  KbConfig kcfg;
+  kcfg.scale = 120;
+  auto g = MakeYago2Like(kcfg);
+  DiscoveryConfig cfg;
+  cfg.k = 2;
+  cfg.support_threshold = 8;
+  auto res = SeqDis(g, cfg);
+  EXPECT_GT(res.positives.size(), 5u);
+}
+
+// --- Cover computation -------------------------------------------------------
+
+TEST(CoverTest, CoverIsSubsetAndEquivalent) {
+  KbConfig kcfg;
+  kcfg.scale = 120;
+  auto g = MakeYago2Like(kcfg);
+  DiscoveryConfig cfg;
+  cfg.k = 2;
+  cfg.support_threshold = 8;
+  auto res = SeqDis(g, cfg);
+  auto sigma = res.AllGfds();
+  CoverStats stats;
+  auto cover = SeqCover(sigma, &stats);
+  EXPECT_LE(cover.size(), sigma.size());
+  EXPECT_EQ(stats.implication_tests, sigma.size());
+  // Equivalence: every removed GFD is implied by the cover.
+  for (const auto& phi : sigma) {
+    bool in_cover =
+        std::find(cover.begin(), cover.end(), phi) != cover.end();
+    if (!in_cover) {
+      EXPECT_TRUE(Implies(cover, phi)) << phi.ToString(g);
+    }
+  }
+}
+
+TEST(CoverTest, CoverIsMinimal) {
+  KbConfig kcfg;
+  kcfg.scale = 100;
+  auto g = MakeYago2Like(kcfg);
+  DiscoveryConfig cfg;
+  cfg.k = 2;
+  cfg.support_threshold = 10;
+  auto res = SeqDis(g, cfg);
+  auto cover = SeqCover(res.AllGfds());
+  // No member of the cover is implied by the others.
+  for (size_t i = 0; i < cover.size(); ++i) {
+    std::vector<Gfd> others;
+    for (size_t j = 0; j < cover.size(); ++j) {
+      if (j != i) others.push_back(cover[j]);
+    }
+    EXPECT_FALSE(Implies(others, cover[i])) << cover[i].ToString(g);
+  }
+}
+
+TEST(CoverTest, RemovesExactDuplicates) {
+  auto g = gfd::testing::BuildG1();
+  AttrId type = *g.FindAttr("type");
+  Gfd phi(gfd::testing::BuildQ1(g),
+          {Literal::Const(1, type, *g.FindValue("film"))},
+          Literal::Const(0, type, *g.FindValue("producer")));
+  CoverStats stats;
+  auto cover = SeqCover({phi, phi, phi}, &stats);
+  EXPECT_EQ(cover.size(), 1u);
+}
+
+TEST(CoverTest, RemovesSpecializations) {
+  auto g = gfd::testing::BuildG1();
+  AttrId type = *g.FindAttr("type");
+  ValueId film = *g.FindValue("film");
+  ValueId producer = *g.FindValue("producer");
+  Gfd general(gfd::testing::BuildQ1(g), {},
+              Literal::Const(0, type, producer));
+  Gfd special(gfd::testing::BuildQ1(g), {Literal::Const(1, type, film)},
+              Literal::Const(0, type, producer));
+  auto cover = SeqCover({general, special});
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], general);
+}
+
+TEST(CoverTest, EmptyInput) {
+  EXPECT_TRUE(SeqCover({}).empty());
+}
+
+}  // namespace
+}  // namespace gfd

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/seqdis.h"
+#include "datagen/kb.h"
+#include "gfd/serialize.h"
+#include "testlib.h"
+
+namespace gfd {
+namespace {
+
+using gfd::testing::BuildG1;
+using gfd::testing::BuildG2;
+using gfd::testing::BuildQ1;
+using gfd::testing::BuildQ2;
+
+Gfd Phi1(const PropertyGraph& g) {
+  AttrId type = *g.FindAttr("type");
+  return Gfd(BuildQ1(g), {Literal::Const(1, type, *g.FindValue("film"))},
+             Literal::Const(0, type, *g.FindValue("producer")));
+}
+
+TEST(Serialize, RendersAllSections) {
+  auto g = BuildG1();
+  std::string s = SerializeGfd(Phi1(g), g);
+  EXPECT_NE(s.find("nodes=person|product"), std::string::npos);
+  EXPECT_NE(s.find("edges=0:create:1"), std::string::npos);
+  EXPECT_NE(s.find("pivot=0"), std::string::npos);
+  EXPECT_NE(s.find("lhs=1.type='film'"), std::string::npos);
+  EXPECT_NE(s.find("rhs=0.type='producer'"), std::string::npos);
+}
+
+TEST(Serialize, RoundTripsPositive) {
+  auto g = BuildG1();
+  Gfd phi = Phi1(g);
+  auto parsed = ParseGfd(SerializeGfd(phi, g), g);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, phi);
+}
+
+TEST(Serialize, RoundTripsNegativeAndWildcards) {
+  auto g = BuildG2();
+  AttrId name = *g.FindAttr("name");
+  Gfd phi(BuildQ2(g), {Literal::Vars(1, name, 2, name)}, Literal::False());
+  auto parsed = ParseGfd(SerializeGfd(phi, g), g);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, phi);
+  EXPECT_EQ(parsed->pattern.NodeLabel(1), kWildcardLabel);
+}
+
+TEST(Serialize, RoundTripsEmptyLhs) {
+  auto g = BuildG2();
+  AttrId name = *g.FindAttr("name");
+  Gfd phi(BuildQ2(g), {}, Literal::Vars(1, name, 2, name));
+  auto parsed = ParseGfd(SerializeGfd(phi, g), g);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, phi);
+}
+
+TEST(Serialize, RoundTripsValuesWithSpaces) {
+  auto g = BuildG2();
+  AttrId name = *g.FindAttr("name");
+  Gfd phi(BuildQ2(g),
+          {Literal::Const(0, name, *g.FindValue("Saint Petersburg"))},
+          Literal::False());
+  auto parsed = ParseGfd(SerializeGfd(phi, g), g);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, phi);
+}
+
+TEST(Serialize, RejectsUnknownVocabulary) {
+  auto g = BuildG1();
+  std::string error;
+  EXPECT_FALSE(ParseGfd("nodes=alien;edges=;pivot=0;lhs=;rhs=false", g,
+                        &error));
+  EXPECT_NE(error.find("unknown label"), std::string::npos);
+  EXPECT_FALSE(ParseGfd(
+      "nodes=person;edges=;pivot=0;lhs=;rhs=0.nosuch='x'", g, &error));
+}
+
+TEST(Serialize, RejectsStructuralErrors) {
+  auto g = BuildG1();
+  std::string error;
+  // Edge endpoint out of range.
+  EXPECT_FALSE(ParseGfd(
+      "nodes=person;edges=0:create:5;pivot=0;lhs=;rhs=false", g, &error));
+  // Pivot out of range.
+  EXPECT_FALSE(
+      ParseGfd("nodes=person;edges=;pivot=7;lhs=;rhs=false", g, &error));
+  // Missing rhs.
+  EXPECT_FALSE(ParseGfd("nodes=person;edges=;pivot=0;lhs=", g, &error));
+  // No nodes at all.
+  EXPECT_FALSE(ParseGfd("nodes=;edges=;pivot=0;lhs=;rhs=false", g, &error));
+  // Literal variable out of range.
+  EXPECT_FALSE(ParseGfd(
+      "nodes=person;edges=;pivot=0;lhs=;rhs=3.type='film'", g, &error));
+}
+
+TEST(Serialize, FileLevelRoundTripOfMinedRules) {
+  auto g = MakeYago2Like({.scale = 150, .seed = 3});
+  DiscoveryConfig cfg;
+  cfg.k = 2;
+  cfg.support_threshold = 8;
+  auto mined = SeqDis(g, cfg);
+  auto sigma = mined.AllGfds();
+  ASSERT_FALSE(sigma.empty());
+
+  std::stringstream ss;
+  SaveGfds(sigma, g, ss);
+  std::string error;
+  auto loaded = LoadGfds(ss, g, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), sigma.size());
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], sigma[i]) << i;
+  }
+}
+
+TEST(Serialize, LoadSkipsCommentsAndReportsLine) {
+  auto g = BuildG1();
+  std::stringstream ss("# comment\n\nnodes=person;edges=;pivot=0;lhs=;"
+                       "rhs=false\nnot a gfd\n");
+  std::string error;
+  auto loaded = LoadGfds(ss, g, &error);
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_NE(error.find("line 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gfd

@@ -1,0 +1,102 @@
+// Shared fixtures for the test suites: the graphs and GFDs of Example 1 /
+// Figure 1 of the paper, plus small helpers for building graphs and
+// patterns in tests.
+#ifndef GFD_TESTS_TESTLIB_H_
+#define GFD_TESTS_TESTLIB_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+#include "pattern/pattern.h"
+
+namespace gfd::testing {
+
+/// G1 (Fig. 1): person JohnWinter -create-> product SellingOut, where the
+/// product has type "film" but the person's type is "high_jumper" (the
+/// YAGO3 error). Extra vocabulary interned: value "producer" (used by phi1).
+inline PropertyGraph BuildG1() {
+  PropertyGraph::Builder b;
+  b.InternValue("producer");  // phi1's consequence constant
+  NodeId john = b.AddNode("person");
+  b.SetName(john, "JohnWinter");
+  b.SetAttr(john, "type", "high_jumper");
+  NodeId film = b.AddNode("product");
+  b.SetName(film, "SellingOut");
+  b.SetAttr(film, "type", "film");
+  b.AddEdge(john, film, "create");
+  return std::move(b).Build();
+}
+
+/// G2 (Fig. 1): city SaintPetersburg located in both country Russia and
+/// city Florida (the YAGO3 error).
+inline PropertyGraph BuildG2() {
+  PropertyGraph::Builder b;
+  NodeId sp = b.AddNode("city");
+  b.SetName(sp, "SaintPetersburg");
+  b.SetAttr(sp, "name", "Saint Petersburg");
+  NodeId ru = b.AddNode("country");
+  b.SetName(ru, "Russia");
+  b.SetAttr(ru, "name", "Russia");
+  NodeId fl = b.AddNode("city");
+  b.SetName(fl, "Florida");
+  b.SetAttr(fl, "name", "Florida");
+  b.AddEdge(sp, ru, "located");
+  b.AddEdge(sp, fl, "located");
+  return std::move(b).Build();
+}
+
+/// G3 (Fig. 1): John Brown and Owen Brown are each other's parent (the
+/// DBpedia error).
+inline PropertyGraph BuildG3() {
+  PropertyGraph::Builder b;
+  NodeId john = b.AddNode("person");
+  b.SetName(john, "JohnBrown");
+  b.SetAttr(john, "name", "John Brown");
+  NodeId owen = b.AddNode("person");
+  b.SetName(owen, "OwenBrown");
+  b.SetAttr(owen, "name", "Owen Brown");
+  b.AddEdge(john, owen, "parent");
+  b.AddEdge(owen, john, "parent");
+  return std::move(b).Build();
+}
+
+/// Q1 (Fig. 1): person x -create-> product y, pivot x. Labels resolved
+/// against `g`'s interner; g must contain the labels.
+inline Pattern BuildQ1(const PropertyGraph& g) {
+  Pattern q;
+  VarId x = q.AddNode(*g.FindLabel("person"));
+  VarId y = q.AddNode(*g.FindLabel("product"));
+  q.AddEdge(x, y, *g.FindLabel("create"));
+  q.set_pivot(x);
+  return q;
+}
+
+/// Q2 (Fig. 1): city x -located-> y:_ and x -located-> z:_, pivot x.
+inline Pattern BuildQ2(const PropertyGraph& g) {
+  Pattern q;
+  VarId x = q.AddNode(*g.FindLabel("city"));
+  VarId y = q.AddNode(kWildcardLabel);
+  VarId z = q.AddNode(kWildcardLabel);
+  LabelId located = *g.FindLabel("located");
+  q.AddEdge(x, y, located);
+  q.AddEdge(x, z, located);
+  q.set_pivot(x);
+  return q;
+}
+
+/// Q3 (Fig. 1): person x -parent-> person y and y -parent-> x, pivot x.
+inline Pattern BuildQ3(const PropertyGraph& g) {
+  Pattern q;
+  VarId x = q.AddNode(*g.FindLabel("person"));
+  VarId y = q.AddNode(*g.FindLabel("person"));
+  LabelId parent = *g.FindLabel("parent");
+  q.AddEdge(x, y, parent);
+  q.AddEdge(y, x, parent);
+  q.set_pivot(x);
+  return q;
+}
+
+}  // namespace gfd::testing
+
+#endif  // GFD_TESTS_TESTLIB_H_

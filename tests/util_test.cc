@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/tsv.h"
+
+namespace gfd {
+namespace {
+
+TEST(Interner, AssignsDenseIdsInOrder) {
+  StringInterner in;
+  EXPECT_EQ(in.Intern("a"), 0u);
+  EXPECT_EQ(in.Intern("b"), 1u);
+  EXPECT_EQ(in.Intern("c"), 2u);
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(Interner, ReturnsExistingIdOnReintern) {
+  StringInterner in;
+  uint32_t a = in.Intern("alpha");
+  EXPECT_EQ(in.Intern("alpha"), a);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(Interner, RoundTripsStrings) {
+  StringInterner in;
+  uint32_t id = in.Intern("hello world");
+  EXPECT_EQ(in.Get(id), "hello world");
+}
+
+TEST(Interner, FindMissingReturnsNullopt) {
+  StringInterner in;
+  in.Intern("x");
+  EXPECT_FALSE(in.Find("y").has_value());
+  EXPECT_TRUE(in.Find("x").has_value());
+}
+
+TEST(Interner, EmptyStringIsValid) {
+  StringInterner in;
+  uint32_t id = in.Intern("");
+  EXPECT_EQ(in.Get(id), "");
+  EXPECT_EQ(in.Find(""), id);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.Below(13), 13u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceZeroAndOne) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Chance(0.0));
+    EXPECT_TRUE(r.Chance(1.0));
+  }
+}
+
+TEST(Rng, ZipfStaysInRangeAndSkews) {
+  Rng r(13);
+  const uint64_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t z = r.Zipf(n);
+    ASSERT_LT(z, n);
+    ++counts[z];
+  }
+  // Rank 0 should be much more popular than rank 50.
+  EXPECT_GT(counts[0], counts[50] * 3);
+}
+
+TEST(Rng, ZipfSingleElement) {
+  Rng r(1);
+  EXPECT_EQ(r.Zipf(1), 0u);
+}
+
+TEST(Hash, CombineChangesSeed) {
+  size_t h1 = 0, h2 = 0;
+  HashCombine(h1, 1);
+  HashCombine(h2, 2);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Hash, VecHashDistinguishesOrder) {
+  VecHash vh;
+  std::vector<int> a{1, 2, 3}, b{3, 2, 1};
+  EXPECT_NE(vh(a), vh(b));
+}
+
+TEST(Hash, PairHashDistinguishesSwap) {
+  PairHash ph;
+  EXPECT_NE(ph(std::pair(1, 2)), ph(std::pair(2, 1)));
+}
+
+TEST(Tsv, SplitsFields) {
+  auto f = SplitFields("a\tbb\tccc");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "bb");
+  EXPECT_EQ(f[2], "ccc");
+}
+
+TEST(Tsv, EmptyTrailingField) {
+  auto f = SplitFields("a\t");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "");
+}
+
+TEST(Tsv, SingleField) {
+  auto f = SplitFields("solo");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "solo");
+}
+
+TEST(Tsv, KeyValueSplit) {
+  std::string_view k, v;
+  ASSERT_TRUE(SplitKeyValue("type=film", &k, &v));
+  EXPECT_EQ(k, "type");
+  EXPECT_EQ(v, "film");
+}
+
+TEST(Tsv, KeyValueKeepsLaterEquals) {
+  std::string_view k, v;
+  ASSERT_TRUE(SplitKeyValue("eq=a=b", &k, &v));
+  EXPECT_EQ(k, "eq");
+  EXPECT_EQ(v, "a=b");
+}
+
+TEST(Tsv, KeyValueRejectsMissingEquals) {
+  std::string_view k, v;
+  EXPECT_FALSE(SplitKeyValue("nokey", &k, &v));
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(pool, hits.size(), [&hits](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyIsNoop) {
+  ThreadPool pool(4);
+  ParallelFor(pool, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanWorkers) {
+  ThreadPool pool(16);
+  std::vector<int> hits(3, 0);
+  ParallelFor(pool, hits.size(), [&hits](size_t i) { hits[i]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+}  // namespace
+}  // namespace gfd
