@@ -5,7 +5,7 @@
 // parents), expresses the GFDs phi1/phi2/phi3 against them, validates,
 // and prints the violations each GFD catches.
 //
-// Build & run:  cmake -B build -G Ninja && cmake --build build
+// Build & run:  cmake -B build -S . && cmake --build build -j
 //               ./build/examples/quickstart
 #include <cstdio>
 

@@ -69,7 +69,9 @@ std::vector<Gfd> GenerateGfdSet(const PropertyGraph& g,
     }
     size_t nlhs = rng.Below(cfg.max_lhs + 1);
     std::vector<Literal> lhs;
-    for (size_t i = 0; i < nlhs; ++i) lhs.push_back(random_literal(p.NumNodes()));
+    for (size_t i = 0; i < nlhs; ++i) {
+      lhs.push_back(random_literal(p.NumNodes()));
+    }
     Literal rhs = rng.Chance(cfg.negative_fraction)
                       ? Literal::False()
                       : random_literal(p.NumNodes());

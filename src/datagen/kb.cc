@@ -64,7 +64,9 @@ class KbBuilder {
     for (size_t base = 0; base + 1 < people.size(); base += family_size) {
       size_t end = std::min(people.size(), base + family_size);
       std::string fam = "fam" + std::to_string(base);
-      for (size_t i = base; i < end; ++i) b_.SetAttr(people[i], "familyname", fam);
+      for (size_t i = base; i < end; ++i) {
+        b_.SetAttr(people[i], "familyname", fam);
+      }
       // First member is the root parent; each later member gets a parent
       // among earlier members (indices only increase: no cycles).
       for (size_t i = base + 1; i < end; ++i) {

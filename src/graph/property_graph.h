@@ -124,7 +124,9 @@ class PropertyGraph {
   size_t OutDegree(NodeId v) const {
     return out_offsets_[v + 1] - out_offsets_[v];
   }
-  size_t InDegree(NodeId v) const { return in_offsets_[v + 1] - in_offsets_[v]; }
+  size_t InDegree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
   size_t Degree(NodeId v) const { return OutDegree(v) + InDegree(v); }
 
   /// True iff an edge src -> dst with label matching `label` exists

@@ -44,7 +44,7 @@ TEST(Cluster, ConcurrentAccountingIsAtomic) {
 TEST(WallTimerTest, MeasuresElapsedAndResets) {
   WallTimer t;
   volatile double sink = 0;
-  for (int i = 0; i < 2'000'000; ++i) sink += i * 0.5;
+  for (int i = 0; i < 2'000'000; ++i) sink = sink + i * 0.5;
   double first = t.Seconds();
   EXPECT_GT(first, 0.0);
   double a = t.Millis();
