@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
 
     // Smoke 2: cover of the discovered set (fig 5ijk path).
     WallTimer t2;
-    auto cover = SeqCover(res.AllGfds());
+    auto cover = SeqCover(std::move(res).AllGfds());
     SmokeResult rc{"seqcover_dbpedia300", t2.Seconds(), {}};
     rc.counters.emplace_back("cover_size", double(cover.size()));
     std::printf("%-24s %8.3fs  |cov|=%zu\n", rc.name.c_str(), rc.seconds,

@@ -32,7 +32,7 @@ int main() {
   auto noisy = InjectNoise(clean, ncfg);
   std::printf("injected noise into %zu nodes\n", noisy.corrupted.size());
 
-  auto sigma = rules.AllGfds();
+  auto sigma = std::move(rules).AllGfds();
   auto detected = ViolationNodes(noisy.graph, sigma);
   size_t hits = 0;
   for (NodeId v : noisy.corrupted) {

@@ -68,13 +68,13 @@ int Discover(int argc, char** argv) {
   ParallelRunConfig pcfg;
   pcfg.workers = workers;
   auto result = ParDis(*g, cfg, pcfg);
-  auto cover = ParCover(result.AllGfds(), pcfg);
+  size_t positives = result.positives.size();
+  size_t negatives = result.negatives.size();
+  auto cover = ParCover(std::move(result).AllGfds(), pcfg);
   std::fprintf(stderr,
                "discovered %zu GFDs (%zu positive, %zu negative); cover has "
                "%zu\n",
-               result.positives.size() + result.negatives.size(),
-               result.positives.size(), result.negatives.size(),
-               cover.size());
+               positives + negatives, positives, negatives, cover.size());
   if (out_path) {
     std::ofstream out(out_path);
     SaveGfds(cover, *g, out);
@@ -154,7 +154,7 @@ int Demo() {
   ParallelRunConfig pcfg;
   pcfg.workers = 4;
   auto result = ParDis(g, cfg, pcfg);
-  auto cover = ParCover(result.AllGfds(), pcfg);
+  auto cover = ParCover(std::move(result).AllGfds(), pcfg);
   std::printf("mined cover of %zu GFDs; round-tripping through text...\n",
               cover.size());
   std::stringstream ss;

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     auto result = ParDis(g, cfg, pcfg, &cs);
     double mine_s = t.Seconds();
     t.Reset();
-    auto cover = ParCover(result.AllGfds(), pcfg);
+    auto cover = ParCover(std::move(result).AllGfds(), pcfg);
     double cover_s = t.Seconds();
     if (n == 1) base = mine_s + cover_s;
     std::printf("%-8zu %10.2f %10.2f %11.2fx %10lu %12.2f\n", n, mine_s,

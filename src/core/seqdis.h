@@ -14,6 +14,8 @@
 #ifndef GFD_CORE_SEQDIS_H_
 #define GFD_CORE_SEQDIS_H_
 
+#include <functional>
+#include <iterator>
 #include <vector>
 
 #include "core/config.h"
@@ -32,11 +34,38 @@ struct DiscoveryResult {
   std::vector<uint64_t> negative_supports;
   DiscoveryStats stats;
 
-  /// positives ++ negatives, for validation / cover computation.
-  std::vector<Gfd> AllGfds() const {
-    std::vector<Gfd> all = positives;
+  size_t NumGfds() const { return positives.size() + negatives.size(); }
+
+  /// positives ++ negatives, for validation / cover computation. Sized
+  /// up front so the concatenation allocates exactly once.
+  std::vector<Gfd> AllGfds() const& {
+    std::vector<Gfd> all;
+    all.reserve(NumGfds());
+    all.insert(all.end(), positives.begin(), positives.end());
     all.insert(all.end(), negatives.begin(), negatives.end());
     return all;
+  }
+
+  /// Consuming overload: no Gfd is copied. Picked automatically on
+  /// temporaries (`SeqDis(g, cfg).AllGfds()`) and via std::move when the
+  /// result's vectors are no longer needed.
+  std::vector<Gfd> AllGfds() && {
+    std::vector<Gfd> all = std::move(positives);
+    all.reserve(all.size() + negatives.size());
+    std::move(negatives.begin(), negatives.end(), std::back_inserter(all));
+    negatives.clear();
+    return all;
+  }
+
+  /// Const-ref iteration over positives ++ negatives without
+  /// materializing the concatenation. The callback returns false to stop.
+  void ForEachGfd(const std::function<bool(const Gfd&)>& fn) const {
+    for (const Gfd& phi : positives) {
+      if (!fn(phi)) return;
+    }
+    for (const Gfd& phi : negatives) {
+      if (!fn(phi)) return;
+    }
   }
 };
 

@@ -1,0 +1,348 @@
+#include "detect/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <unordered_map>
+
+#include "pattern/canonical.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace gfd {
+
+namespace {
+
+// An embedding between exactly-isomorphic patterns may still pair a
+// wildcard with a concrete label (ForEachEmbedding checks subsumption,
+// not equality); literal remapping needs a label-exact isomorphism so
+// that matches of the representative are exactly the matches of the
+// member. Returns f: member VarId -> rep VarId, or empty if none found.
+std::vector<VarId> ExactIsomorphism(const Pattern& member,
+                                    const Pattern& rep) {
+  std::vector<VarId> iso;
+  ForEachEmbedding(member, rep, /*require_pivot=*/true,
+                   [&](const std::vector<VarId>& f) {
+                     for (VarId u = 0; u < member.NumNodes(); ++u) {
+                       if (member.NodeLabel(u) != rep.NodeLabel(f[u])) {
+                         return true;  // not exact; keep searching
+                       }
+                     }
+                     for (const auto& e : member.edges()) {
+                       bool found = false;
+                       for (const auto& re : rep.edges()) {
+                         if (re.src == f[e.src] && re.dst == f[e.dst] &&
+                             re.label == e.label) {
+                           found = true;
+                           break;
+                         }
+                       }
+                       if (!found) return true;
+                     }
+                     iso = f;
+                     return false;  // exact isomorphism found, stop
+                   });
+  return iso;
+}
+
+}  // namespace
+
+struct ViolationEngine::RunState {
+  const DetectOptions& opts;
+  std::unique_ptr<std::atomic<size_t>[]> per_rule;  // emitted per rule
+  std::atomic<size_t> total{0};
+  std::atomic<bool> stop{false};  // global budget exhausted
+  std::atomic<bool> truncated{false};
+  std::atomic<uint64_t> pivots{0};
+  std::atomic<uint64_t> matches{0};
+  std::atomic<uint64_t> literal_evals{0};
+
+  RunState(const DetectOptions& o, size_t num_rules)
+      : opts(o), per_rule(new std::atomic<size_t>[num_rules]) {
+    for (size_t i = 0; i < num_rules; ++i) per_rule[i] = 0;
+  }
+
+  bool RuleCapped(uint32_t r) const {
+    return opts.max_violations_per_gfd != 0 &&
+           per_rule[r].load(std::memory_order_relaxed) >=
+               opts.max_violations_per_gfd;
+  }
+};
+
+ViolationEngine::ViolationEngine(std::vector<Gfd> rules)
+    : rules_(std::move(rules)) {
+  // Group rule indices by pivot-fixed canonical code: detection is
+  // pivot-centric (violations are pinned to the pivot's image), so only
+  // patterns agreeing on the pivot may share a plan.
+  std::unordered_map<std::vector<uint32_t>, std::vector<uint32_t>, VecHash>
+      by_code;
+  for (uint32_t i = 0; i < rules_.size(); ++i) {
+    by_code[CanonicalCode(rules_[i].pattern, /*fix_pivot=*/true)].push_back(
+        i);
+  }
+  // Deterministic group order regardless of hash-map iteration: by first
+  // member index.
+  std::vector<std::vector<uint32_t>> member_lists;
+  member_lists.reserve(by_code.size());
+  for (auto& [code, members] : by_code) {
+    member_lists.push_back(std::move(members));
+  }
+  std::sort(member_lists.begin(), member_lists.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+
+  for (auto& members : member_lists) {
+    const Pattern& rep = rules_[members[0]].pattern;
+    Group group(rep);
+    for (uint32_t idx : members) {
+      const Gfd& phi = rules_[idx];
+      std::vector<VarId> f = ExactIsomorphism(phi.pattern, rep);
+      if (f.empty() && idx != members[0]) {
+        // Defensive: equal canonical codes guarantee an exact isomorphism
+        // exists, but if the search ever fails, fall back to a private
+        // plan rather than produce wrong answers.
+        Group own(phi.pattern);
+        Member m{idx, phi.lhs, phi.rhs, {}};
+        m.to_rep.resize(phi.pattern.NumNodes());
+        for (VarId u = 0; u < phi.pattern.NumNodes(); ++u) m.to_rep[u] = u;
+        own.members.push_back(std::move(m));
+        groups_.push_back(std::move(own));
+        continue;
+      }
+      if (f.empty()) {  // representative: identity map
+        f.resize(phi.pattern.NumNodes());
+        for (VarId u = 0; u < phi.pattern.NumNodes(); ++u) f[u] = u;
+      }
+      Member m{idx, {}, MapLiteral(phi.rhs, f), f};
+      m.lhs.reserve(phi.lhs.size());
+      for (const Literal& l : phi.lhs) m.lhs.push_back(MapLiteral(l, f));
+      group.members.push_back(std::move(m));
+    }
+    groups_.push_back(std::move(group));
+  }
+}
+
+bool ViolationEngine::EvalPivot(const PropertyGraph& g, const Group& group,
+                                NodeId v, RunState& st,
+                                std::vector<Violation>& out) const {
+  if (st.stop.load(std::memory_order_relaxed)) return false;
+  // Members whose rule still wants violations at this pivot.
+  std::vector<const Member*> active;
+  active.reserve(group.members.size());
+  for (const Member& m : group.members) {
+    if (!st.RuleCapped(m.gfd_index)) active.push_back(&m);
+  }
+  if (active.empty()) return true;
+  st.pivots.fetch_add(1, std::memory_order_relaxed);
+
+  group.plan.ForEachMatchAtPivot(
+      g, v,
+      [&](const Match& match) {
+        st.matches.fetch_add(1, std::memory_order_relaxed);
+        for (size_t i = 0; i < active.size();) {
+          const Member& m = *active[i];
+          st.literal_evals.fetch_add(1, std::memory_order_relaxed);
+          bool violates = MatchSatisfiesAll(g, match, m.lhs) &&
+                          !MatchSatisfies(g, match, m.rhs);
+          if (violates) {
+            // Claim a per-rule slot first, then a global one; fetch_add
+            // makes both caps exact under concurrency.
+            size_t cap = st.opts.max_violations_per_gfd;
+            size_t prev = st.per_rule[m.gfd_index].fetch_add(
+                1, std::memory_order_relaxed);
+            if (cap != 0 && prev >= cap) {
+              st.truncated.store(true, std::memory_order_relaxed);
+              active.erase(active.begin() + i);
+              continue;
+            }
+            size_t budget = st.opts.max_total_violations;
+            if (budget != 0 &&
+                st.total.fetch_add(1, std::memory_order_relaxed) >= budget) {
+              st.truncated.store(true, std::memory_order_relaxed);
+              st.stop.store(true, std::memory_order_relaxed);
+              return false;
+            }
+            if (budget == 0) {
+              st.total.fetch_add(1, std::memory_order_relaxed);
+            }
+            const Gfd& rule = rules_[m.gfd_index];
+            Violation viol;
+            viol.gfd_index = m.gfd_index;
+            viol.pivot = v;
+            viol.failed_rhs = rule.rhs;
+            viol.match.resize(rule.pattern.NumNodes());
+            for (VarId u = 0; u < rule.pattern.NumNodes(); ++u) {
+              viol.match[u] = match[m.to_rep[u]];
+            }
+            out.push_back(std::move(viol));
+            if (cap != 0 && st.RuleCapped(m.gfd_index)) {
+              st.truncated.store(true, std::memory_order_relaxed);
+              active.erase(active.begin() + i);
+              continue;
+            }
+          }
+          ++i;
+        }
+        return !active.empty();
+      },
+      st.opts.match);
+  return !st.stop.load(std::memory_order_relaxed);
+}
+
+DetectionResult ViolationEngine::Detect(const PropertyGraph& g,
+                                        const DetectOptions& opts) const {
+  RunState st(opts, rules_.size());
+  DetectionResult result;
+  result.stats.num_rules = rules_.size();
+  result.stats.num_groups = groups_.size();
+
+  size_t workers = std::max<size_t>(1, opts.workers);
+  if (workers == 1) {
+    for (const Group& group : groups_) {
+      for (NodeId v : group.plan.PivotCandidates(g)) {
+        if (!EvalPivot(g, group, v, st, result.violations)) break;
+      }
+      if (st.stop.load(std::memory_order_relaxed)) break;
+    }
+  } else {
+    ThreadPool pool(workers);
+    std::vector<std::vector<Violation>> buffers(workers);
+    for (const Group& group : groups_) {
+      // Contiguous pivot ranges, one per worker; worker-local buffers
+      // avoid any locking on the hot path.
+      std::vector<NodeId> pivots = group.plan.PivotCandidates(g);
+      size_t chunk = (pivots.size() + workers - 1) / workers;
+      for (size_t w = 0; w < workers && w * chunk < pivots.size(); ++w) {
+        size_t lo = w * chunk;
+        size_t hi = std::min(pivots.size(), lo + chunk);
+        pool.Submit([&, lo, hi, w] {
+          for (size_t i = lo; i < hi; ++i) {
+            if (!EvalPivot(g, group, pivots[i], st, buffers[w])) break;
+          }
+        });
+      }
+      pool.Wait();
+      if (st.stop.load(std::memory_order_relaxed)) break;
+    }
+    for (auto& buf : buffers) {
+      result.violations.insert(result.violations.end(),
+                               std::make_move_iterator(buf.begin()),
+                               std::make_move_iterator(buf.end()));
+    }
+  }
+
+  std::sort(result.violations.begin(), result.violations.end());
+  result.stats.pivots_scanned = st.pivots.load();
+  result.stats.matches_seen = st.matches.load();
+  result.stats.literal_evals = st.literal_evals.load();
+  result.stats.truncated = st.truncated.load();
+  return result;
+}
+
+DetectionResult ViolationEngine::DetectSharded(const PropertyGraph& g,
+                                               const Fragmentation& frag,
+                                               const DetectOptions& opts,
+                                               ClusterStats* cstats) const {
+  RunState st(opts, rules_.size());
+  DetectionResult result;
+  result.stats.num_rules = rules_.size();
+  result.stats.num_groups = groups_.size();
+
+  size_t shards = std::max<size_t>(1, frag.num_fragments);
+  Cluster cluster(shards);
+  // Candidate lists are computed once (a full-graph scan each) and read
+  // by all fragments, instead of shards x groups recomputations.
+  std::vector<std::vector<NodeId>> candidates;
+  candidates.reserve(groups_.size());
+  for (const Group& group : groups_) {
+    candidates.push_back(group.plan.PivotCandidates(g));
+  }
+  std::vector<std::vector<Violation>> buffers(shards);
+  cluster.RunStep([&](size_t w) {
+    for (size_t gi = 0; gi < groups_.size(); ++gi) {
+      for (NodeId v : candidates[gi]) {
+        // Pivot-aligned ownership: every pivot is evaluated by exactly
+        // one fragment, so the union over fragments is the full answer.
+        if (frag.node_owner[v] != w) continue;
+        if (!EvalPivot(g, groups_[gi], v, st, buffers[w])) return;
+      }
+    }
+  });
+  for (size_t w = 0; w < shards; ++w) {
+    if (buffers[w].empty()) continue;
+    // Each fragment ships its violation list to the master; a violation
+    // record is its fixed header plus one NodeId per pattern variable.
+    size_t bytes = 0;
+    for (const Violation& viol : buffers[w]) {
+      bytes += sizeof(Violation) + viol.match.size() * sizeof(NodeId);
+    }
+    cluster.CountShipment(buffers[w].size(),
+                          bytes / std::max<size_t>(1, buffers[w].size()));
+    result.violations.insert(result.violations.end(),
+                             std::make_move_iterator(buffers[w].begin()),
+                             std::make_move_iterator(buffers[w].end()));
+  }
+  if (cstats) {
+    cstats->messages = cluster.messages();
+    cstats->bytes_shipped = cluster.bytes();
+    cstats->replication = frag.replication;
+  }
+
+  std::sort(result.violations.begin(), result.violations.end());
+  result.stats.pivots_scanned = st.pivots.load();
+  result.stats.matches_seen = st.matches.load();
+  result.stats.literal_evals = st.literal_evals.load();
+  result.stats.truncated = st.truncated.load();
+  return result;
+}
+
+DetectionResult DetectNaive(const PropertyGraph& g, std::span<const Gfd> rules,
+                            const DetectOptions& opts) {
+  DetectionResult result;
+  result.stats.num_rules = rules.size();
+  result.stats.num_groups = rules.size();  // one private plan per rule
+  size_t total = 0;
+  for (uint32_t i = 0; i < rules.size(); ++i) {
+    const Gfd& phi = rules[i];
+    CompiledPattern plan(phi.pattern);
+    size_t emitted = 0;
+    bool stop = false;
+    for (NodeId v : plan.PivotCandidates(g)) {
+      ++result.stats.pivots_scanned;
+      plan.ForEachMatchAtPivot(
+          g, v,
+          [&](const Match& m) {
+            ++result.stats.matches_seen;
+            ++result.stats.literal_evals;
+            if (MatchSatisfiesAll(g, m, phi.lhs) &&
+                !MatchSatisfies(g, m, phi.rhs)) {
+              result.violations.push_back({i, v, m, phi.rhs});
+              ++emitted;
+              ++total;
+              if (opts.max_violations_per_gfd != 0 &&
+                  emitted >= opts.max_violations_per_gfd) {
+                result.stats.truncated = true;
+                return false;
+              }
+              if (opts.max_total_violations != 0 &&
+                  total >= opts.max_total_violations) {
+                result.stats.truncated = true;
+                stop = true;
+                return false;
+              }
+            }
+            return true;
+          },
+          opts.match);
+      if (stop) break;
+      if (opts.max_violations_per_gfd != 0 &&
+          emitted >= opts.max_violations_per_gfd) {
+        break;
+      }
+    }
+    if (stop) break;
+  }
+  std::sort(result.violations.begin(), result.violations.end());
+  return result;
+}
+
+}  // namespace gfd

@@ -1,0 +1,138 @@
+// Batched multi-GFD violation detection with shared match plans.
+//
+// Evaluating a discovered cover rule by rule repeats the expensive part --
+// subgraph-isomorphism enumeration -- once per GFD, even though mined rule
+// sets are dominated by literal variants over a handful of distinct
+// pattern topologies (the same observation ParCover exploits via Lemma 6).
+// The ViolationEngine instead:
+//   1. groups its rules by pivot-preserving pattern isomorphism
+//      (pattern/canonical.h canonical codes),
+//   2. compiles ONE CompiledPattern per group and remaps every member's
+//      literals into the representative's variable space, and
+//   3. evaluates all literals of all grouped GFDs against each enumerated
+//      match in a single backtracking pass per pattern group,
+// so the matcher cost is paid |groups| times instead of |rules| times.
+//
+// Execution is parallel over pivot ranges (util/thread_pool.h) and, for
+// the simulated shared-nothing path, over vertex-cut fragments
+// (parallel/fragment.h) with pivot-aligned ownership: every pivot is
+// evaluated by exactly one fragment, so sharded output equals sequential
+// output while shipped violations are accounted through the Cluster.
+#ifndef GFD_DETECT_ENGINE_H_
+#define GFD_DETECT_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "detect/violation.h"
+#include "gfd/gfd.h"
+#include "graph/property_graph.h"
+#include "match/matcher.h"
+#include "parallel/cluster.h"
+#include "parallel/fragment.h"
+#include "pattern/pattern.h"
+
+namespace gfd {
+
+/// Budgets of one detection run. Zero means "unlimited" throughout.
+struct DetectOptions {
+  /// Per-rule cap: stop collecting violations of a GFD once it has this
+  /// many (its matches still enumerate while other rules in the group
+  /// need them).
+  size_t max_violations_per_gfd = 0;
+  /// Global budget across all rules; the run stops once reached.
+  size_t max_total_violations = 0;
+  /// Worker threads over pivot ranges. 1 = sequential (fully
+  /// deterministic even with caps; with caps and >1 workers, *which*
+  /// violations are kept can vary run to run -- uncapped output is
+  /// deterministic at any worker count, sorted per Violation ordering).
+  size_t workers = 1;
+  /// Backtracking budget per (group, pivot) enumeration.
+  MatchOptions match;
+};
+
+struct DetectStats {
+  size_t num_rules = 0;
+  size_t num_groups = 0;         ///< distinct pattern topologies compiled
+  uint64_t pivots_scanned = 0;   ///< (group, pivot-candidate) pairs tried
+  uint64_t matches_seen = 0;     ///< matches enumerated across all groups
+  uint64_t literal_evals = 0;    ///< per-match per-rule LHS/RHS evaluations
+  bool truncated = false;        ///< some cap or budget cut the run short
+};
+
+struct DetectionResult {
+  /// Sorted by (gfd_index, pivot, match); see Violation::operator<=>.
+  std::vector<Violation> violations;
+  DetectStats stats;
+};
+
+/// A loaded rule set, grouped and compiled once, reusable across any
+/// number of graphs and detection runs. Immutable after construction.
+class ViolationEngine {
+ public:
+  /// Groups `rules` by pattern isomorphism and compiles one match plan
+  /// per group. Precondition: every pattern is connected (as produced by
+  /// discovery and by gfd/serialize.h).
+  explicit ViolationEngine(std::vector<Gfd> rules);
+
+  size_t NumRules() const { return rules_.size(); }
+  size_t NumGroups() const { return groups_.size(); }
+  const Gfd& rule(size_t i) const { return rules_[i]; }
+  std::span<const Gfd> rules() const { return rules_; }
+
+  /// Finds violations of every rule in `g`. Parallel over pivot ranges
+  /// when opts.workers > 1.
+  DetectionResult Detect(const PropertyGraph& g,
+                         const DetectOptions& opts = {}) const;
+
+  /// Sharded run over a vertex-cut fragmentation: fragment f evaluates
+  /// exactly the pivots it owns (frag.node_owner), one Cluster worker per
+  /// fragment, and ships its violations to the master (accounted in
+  /// `cstats`). Uncapped output is identical to Detect; when a cap or
+  /// global budget bites, fragments race for the remaining slots, so
+  /// *which* violations are kept can differ (same caveat as
+  /// DetectOptions::workers > 1).
+  DetectionResult DetectSharded(const PropertyGraph& g,
+                                const Fragmentation& frag,
+                                const DetectOptions& opts = {},
+                                ClusterStats* cstats = nullptr) const;
+
+ private:
+  /// One rule's literals remapped into its group representative's
+  /// variable space, plus the inverse map to translate matches back.
+  struct Member {
+    uint32_t gfd_index;
+    std::vector<Literal> lhs;      // over the representative's VarIds
+    Literal rhs;                   // over the representative's VarIds
+    std::vector<VarId> to_rep;     // member VarId -> representative VarId
+  };
+  struct Group {
+    CompiledPattern plan;
+    std::vector<Member> members;
+
+    explicit Group(const Pattern& rep) : plan(rep) {}
+  };
+
+  // Shared mutable state of one run (budget counters; defined in the .cc).
+  struct RunState;
+
+  // Evaluates one (group, pivot) pair, appending violations to `out`.
+  // Returns false once the global budget is exhausted (callers stop).
+  bool EvalPivot(const PropertyGraph& g, const Group& group, NodeId v,
+                 RunState& st, std::vector<Violation>& out) const;
+
+  std::vector<Gfd> rules_;
+  std::vector<Group> groups_;
+};
+
+/// The baseline the engine is benchmarked against: one full matcher run
+/// per rule (the per-GFD FindViolations loop of gfd/validation.h),
+/// producing the same records. Used by bench_detect and the property
+/// tests that cross-check the batched engine.
+DetectionResult DetectNaive(const PropertyGraph& g, std::span<const Gfd> rules,
+                            const DetectOptions& opts = {});
+
+}  // namespace gfd
+
+#endif  // GFD_DETECT_ENGINE_H_

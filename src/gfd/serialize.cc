@@ -1,5 +1,6 @@
 #include "gfd/serialize.h"
 
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -28,18 +29,21 @@ std::string LitToText(const Literal& l, const PropertyGraph& g) {
   return "false";
 }
 
+// Non-throwing decimal VarId parse (ParseGfd must never throw: the
+// lenient loader's contract is to skip bad lines, not to terminate).
+bool ParseVarId(std::string_view s, VarId* out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
 // Parses "<var>.<attr>" into (var, attr id); returns false on failure.
 bool ParseTerm(std::string_view s, const PropertyGraph& g, VarId* var,
                AttrId* attr) {
   size_t dot = s.find('.');
   if (dot == std::string_view::npos || dot == 0) return false;
-  char* end = nullptr;
-  std::string head(s.substr(0, dot));
-  unsigned long v = std::strtoul(head.c_str(), &end, 10);
-  if (!end || *end != '\0') return false;
+  if (!ParseVarId(s.substr(0, dot), var)) return false;
   auto a = g.FindAttr(s.substr(dot + 1));
   if (!a) return false;
-  *var = static_cast<VarId>(v);
   *attr = *a;
   return true;
 }
@@ -124,8 +128,11 @@ std::optional<Gfd> ParseGfd(std::string_view line, const PropertyGraph& g,
           SetError(error, "unknown edge label: " + std::string(parts[1]));
           return std::nullopt;
         }
-        VarId s = static_cast<VarId>(std::stoul(std::string(parts[0])));
-        VarId d = static_cast<VarId>(std::stoul(std::string(parts[2])));
+        VarId s, d;
+        if (!ParseVarId(parts[0], &s) || !ParseVarId(parts[2], &d)) {
+          SetError(error, "malformed edge endpoint: " + std::string(edge));
+          return std::nullopt;
+        }
         if (s >= pattern.NumNodes() || d >= pattern.NumNodes()) {
           SetError(error, "edge endpoint out of range");
           return std::nullopt;
@@ -133,7 +140,11 @@ std::optional<Gfd> ParseGfd(std::string_view line, const PropertyGraph& g,
         pattern.AddEdge(s, d, *l);
       }
     } else if (key == "pivot") {
-      VarId p = static_cast<VarId>(std::stoul(std::string(value)));
+      VarId p;
+      if (!ParseVarId(value, &p)) {
+        SetError(error, "malformed pivot: " + std::string(value));
+        return std::nullopt;
+      }
       if (p >= pattern.NumNodes()) {
         SetError(error, "pivot out of range");
         return std::nullopt;
@@ -200,6 +211,7 @@ std::optional<std::vector<Gfd>> LoadGfds(std::istream& in,
   size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     std::string sub_error;
     auto phi = ParseGfd(line, g, &sub_error);
@@ -210,6 +222,24 @@ std::optional<std::vector<Gfd>> LoadGfds(std::istream& in,
     }
     out.push_back(std::move(*phi));
   }
+  return out;
+}
+
+std::vector<Gfd> LoadGfdsLenient(std::istream& in, const PropertyGraph& g,
+                                 size_t* skipped) {
+  std::vector<Gfd> out;
+  size_t dropped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (auto phi = ParseGfd(line, g)) {
+      out.push_back(std::move(*phi));
+    } else {
+      ++dropped;
+    }
+  }
+  if (skipped) *skipped = dropped;
   return out;
 }
 

@@ -42,6 +42,18 @@ std::optional<std::vector<Gfd>> LoadGfds(std::istream& in,
                                          const PropertyGraph& g,
                                          std::string* error = nullptr);
 
+/// Lenient variant for *serving* rules against a graph whose vocabulary
+/// may have drifted from the mining graph (TSV round trips only persist
+/// vocabulary that is in use): rules referencing labels / attributes /
+/// values the graph does not intern are skipped instead of failing the
+/// whole file, and `*skipped` (if non-null) receives their count. Note
+/// the semantic trade: a skipped rule whose RHS names a value the graph
+/// has never seen could only ever be violated, so lenient loading is a
+/// robustness/completeness trade-off -- callers should surface the
+/// skipped count.
+std::vector<Gfd> LoadGfdsLenient(std::istream& in, const PropertyGraph& g,
+                                 size_t* skipped = nullptr);
+
 }  // namespace gfd
 
 #endif  // GFD_GFD_SERIALIZE_H_

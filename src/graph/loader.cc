@@ -24,6 +24,9 @@ std::optional<PropertyGraph> LoadGraphTsv(std::istream& in,
   size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    // Tolerate CRLF input: getline keeps the '\r', which would otherwise
+    // end up inside the last field of every record.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     auto fields = SplitFields(line);
     if (fields[0] == "N") {

@@ -188,6 +188,44 @@ TEST(Loader, RejectsShortRecords) {
   EXPECT_FALSE(LoadGraphTsv(bad2).has_value());
 }
 
+TEST(Loader, ErrorMessagesCarryLineNumbers) {
+  // Malformed record on (1-based) line 3: comments and blanks still count.
+  std::stringstream bad1("# header\nN\ta\tperson\nN\tb\n");
+  std::string err;
+  EXPECT_FALSE(LoadGraphTsv(bad1, &err).has_value());
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+  // Dangling edge on line 4.
+  std::stringstream bad2("N\ta\tperson\n\nN\tb\tcity\nE\ta\tzz\tknows\n");
+  EXPECT_FALSE(LoadGraphTsv(bad2, &err).has_value());
+  EXPECT_NE(err.find("line 4"), std::string::npos) << err;
+  // Attribute without '=' on line 2.
+  std::stringstream bad3("N\ta\tperson\nN\tb\tcity\tbroken\n");
+  EXPECT_FALSE(LoadGraphTsv(bad3, &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  // Unknown tag on line 1.
+  std::stringstream bad4("X\ta\tb\n");
+  EXPECT_FALSE(LoadGraphTsv(bad4, &err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+}
+
+TEST(Loader, ToleratesCrlfLineEndings) {
+  std::stringstream ss(
+      "# exported on Windows\r\nN\ta\tperson\ttype=person\r\n"
+      "N\tb\tcity\r\n\r\nE\ta\tb\tlives\r\n");
+  std::string err;
+  auto g = LoadGraphTsv(ss, &err);
+  ASSERT_TRUE(g.has_value()) << err;
+  EXPECT_EQ(g->NumNodes(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+  // The '\r' must not leak into the last field of any record: labels,
+  // attribute values, and edge labels are all clean.
+  EXPECT_TRUE(g->FindLabel("city").has_value());
+  EXPECT_FALSE(g->FindLabel("city\r").has_value());
+  EXPECT_TRUE(g->FindLabel("lives").has_value());
+  ASSERT_TRUE(g->FindAttr("type").has_value());
+  EXPECT_EQ(g->ValueName(*g->GetAttr(0, *g->FindAttr("type"))), "person");
+}
+
 TEST(Stats, EdgeTriplesSortedDescending) {
   auto g = SmallGraph();
   GraphStats stats(g);

@@ -127,5 +127,27 @@ TEST(Serialize, LoadSkipsCommentsAndReportsLine) {
   EXPECT_NE(error.find("line 4"), std::string::npos);
 }
 
+TEST(Serialize, LenientLoadSkipsUnresolvableRulesAndKeepsTheRest) {
+  auto g = BuildG1();
+  // Line 2 references a value G1 never interned (vocabulary drift after a
+  // TSV round trip); line 3 a label it never interned.
+  // Hand-corrupted lines must be *skipped*, never crash the parse: a
+  // non-numeric pivot, non-numeric edge endpoints, and a term whose
+  // variable is not a number all used to reach throwing std::stoul.
+  std::stringstream ss(
+      "nodes=person;edges=;pivot=0;lhs=;rhs=false\n"
+      "nodes=person;edges=;pivot=0;lhs=;rhs=0.type='astronaut'\n"
+      "nodes=martian;edges=;pivot=0;lhs=;rhs=false\n"
+      "nodes=person;edges=;pivot=oops;lhs=;rhs=false\n"
+      "nodes=person|product;edges=a:create:b;pivot=0;lhs=;rhs=false\n"
+      "nodes=person;edges=;pivot=0;lhs=;rhs=x.type='film'\n"
+      "nodes=person|product;edges=0:create:1;pivot=0;lhs=;rhs=false\n");
+  size_t skipped = 0;
+  auto loaded = LoadGfdsLenient(ss, g, &skipped);
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(skipped, 5u);
+  for (const auto& phi : loaded) EXPECT_TRUE(phi.HasFalseRhs());
+}
+
 }  // namespace
 }  // namespace gfd

@@ -1,0 +1,303 @@
+// gfdtool: the production-facing command line over the library -- mine
+// rules from a TSV graph, persist them, and serve them back as
+// data-quality checks through the batched violation engine.
+//
+//   gfdtool gen <out.tsv> [--kind yago2|dbpedia|imdb] [--scale N]
+//           [--seed S] [--noise ALPHA]
+//       Generate a knowledge-graph-shaped TSV (optionally corrupted).
+//   gfdtool discover <graph.tsv> [-k K] [-s SIGMA] [-w WORKERS]
+//           [-o rules.gfd]
+//       Mine a cover of minimum sigma-frequent GFDs and save/print it.
+//   gfdtool detect <graph.tsv> <rules.gfd> [-w WORKERS] [--shards N]
+//           [--max-per-gfd N] [--max-total N]
+//       Batched violation detection: group rules by pattern, one match
+//       plan per group, structured violation records. Exit 3 when
+//       violations were found.
+//   gfdtool validate <graph.tsv> <rules.gfd>
+//       Boolean check G |= Sigma, rule by rule. Exit 3 on violation.
+//   gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] [-o cover.gfd]
+//       Reduce a rule file to a minimal equivalent cover.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "datagen/kb.h"
+#include "datagen/noise.h"
+#include "detect/engine.h"
+#include "gfd/serialize.h"
+#include "gfd/validation.h"
+#include "graph/loader.h"
+#include "parallel/fragment.h"
+#include "parallel/parcover.h"
+#include "parallel/pardis.h"
+#include "util/timer.h"
+
+using namespace gfd;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: gfdtool gen <out.tsv> [--kind yago2|dbpedia|imdb] "
+      "[--scale N] [--seed S] [--noise ALPHA]\n"
+      "       gfdtool discover <graph.tsv> [-k K] [-s SIGMA] [-w WORKERS] "
+      "[-o rules.gfd]\n"
+      "       gfdtool detect <graph.tsv> <rules.gfd> [-w WORKERS] "
+      "[--shards N] [--max-per-gfd N] [--max-total N]\n"
+      "       gfdtool validate <graph.tsv> <rules.gfd>\n"
+      "       gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] "
+      "[-o cover.gfd]\n");
+  return 2;
+}
+
+std::optional<PropertyGraph> LoadGraph(const char* path) {
+  std::string error;
+  auto g = LoadGraphTsvFile(path, &error);
+  if (!g) std::fprintf(stderr, "error loading %s: %s\n", path, error.c_str());
+  return g;
+}
+
+std::optional<std::vector<Gfd>> LoadRules(const char* path,
+                                          const PropertyGraph& g) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return std::nullopt;
+  }
+  // Lenient: serving tolerates vocabulary drift between the mining and
+  // the checked graph (a TSV round trip only keeps in-use vocabulary).
+  size_t skipped = 0;
+  auto rules = LoadGfdsLenient(in, g, &skipped);
+  if (skipped) {
+    std::fprintf(stderr,
+                 "%s: skipped %zu rule(s) referencing vocabulary this "
+                 "graph does not intern\n",
+                 path, skipped);
+  }
+  if (rules.empty()) {
+    std::fprintf(stderr, "%s: no loadable rules\n", path);
+    return std::nullopt;
+  }
+  return rules;
+}
+
+// Writes `gfds` to `path`, or stdout when path is null.
+void EmitRules(std::span<const Gfd> gfds, const PropertyGraph& g,
+               const char* path) {
+  if (path) {
+    std::ofstream out(path);
+    SaveGfds(gfds, g, out);
+    std::fprintf(stderr, "wrote %zu rules to %s\n", gfds.size(), path);
+  } else {
+    std::ostringstream os;
+    SaveGfds(gfds, g, os);
+    std::fputs(os.str().c_str(), stdout);
+  }
+}
+
+// Shared flag scanning: returns the value after `flag` or null.
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], flag)) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+// Count-valued flag ("-w 4", "--shards 3"). Rejects "-w -1" / "-w x"
+// instead of letting a negative wrap to a 2^64-sized thread pool.
+// Returns false (after complaining) on a malformed value; `min` is 0 for
+// budget flags where 0 means "unlimited".
+bool CountFlag(int argc, char** argv, const char* flag, size_t* out,
+               long long min = 1) {
+  const char* v = FlagValue(argc, argv, flag);
+  if (!v) return true;
+  char* end = nullptr;
+  long long n = std::strtoll(v, &end, 10);
+  if (!end || *end != '\0' || n < min || n > 1 << 30) {
+    std::fprintf(stderr, "%s expects a count >= %lld, got '%s'\n", flag, min,
+                 v);
+    return false;
+  }
+  *out = static_cast<size_t>(n);
+  return true;
+}
+
+int Gen(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const char* out_path = argv[0];
+  KbConfig cfg;
+  if (!CountFlag(argc, argv, "--scale", &cfg.scale)) return Usage();
+  if (const char* v = FlagValue(argc, argv, "--seed")) {
+    cfg.seed = std::strtoull(v, nullptr, 10);
+  }
+  const char* kind = FlagValue(argc, argv, "--kind");
+  PropertyGraph g;
+  if (!kind || !std::strcmp(kind, "yago2")) {
+    g = MakeYago2Like(cfg);
+  } else if (!std::strcmp(kind, "dbpedia")) {
+    g = MakeDbpediaLike(cfg);
+  } else if (!std::strcmp(kind, "imdb")) {
+    g = MakeImdbLike(cfg);
+  } else {
+    std::fprintf(stderr, "unknown --kind %s\n", kind);
+    return Usage();
+  }
+  if (const char* v = FlagValue(argc, argv, "--noise")) {
+    NoiseConfig ncfg;
+    ncfg.alpha = std::strtod(v, nullptr);
+    ncfg.seed = cfg.seed + 1;
+    auto noisy = InjectNoise(g, ncfg);
+    std::fprintf(stderr, "corrupted %zu of %zu nodes\n",
+                 noisy.corrupted.size(), g.NumNodes());
+    g = std::move(noisy.graph);
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  SaveGraphTsv(g, out);
+  std::fprintf(stderr, "wrote %s: %zu nodes, %zu edges\n", out_path,
+               g.NumNodes(), g.NumEdges());
+  return 0;
+}
+
+int Discover(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto g = LoadGraph(argv[0]);
+  if (!g) return 1;
+  DiscoveryConfig cfg;
+  cfg.k = 3;
+  cfg.support_threshold = std::max<uint64_t>(10, g->NumNodes() / 100);
+  ParallelRunConfig pcfg;
+  size_t k = cfg.k, sigma = cfg.support_threshold;
+  if (!CountFlag(argc, argv, "-k", &k) ||
+      !CountFlag(argc, argv, "-s", &sigma) ||
+      !CountFlag(argc, argv, "-w", &pcfg.workers)) {
+    return Usage();
+  }
+  cfg.k = static_cast<uint32_t>(k);
+  cfg.support_threshold = sigma;
+  WallTimer t;
+  auto result = ParDis(*g, cfg, pcfg);
+  size_t positives = result.positives.size();
+  size_t negatives = result.negatives.size();
+  auto cover = ParCover(std::move(result).AllGfds(), pcfg);
+  std::fprintf(stderr,
+               "discovered %zu GFDs (%zu positive, %zu negative) in %.2fs; "
+               "cover has %zu\n",
+               positives + negatives, positives, negatives, t.Seconds(),
+               cover.size());
+  EmitRules(cover, *g, FlagValue(argc, argv, "-o"));
+  return 0;
+}
+
+int Detect(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto g = LoadGraph(argv[0]);
+  if (!g) return 1;
+  auto rules = LoadRules(argv[1], *g);
+  if (!rules) return 1;
+
+  DetectOptions opts;
+  opts.workers = 4;
+  if (!CountFlag(argc, argv, "-w", &opts.workers) ||
+      !CountFlag(argc, argv, "--max-per-gfd", &opts.max_violations_per_gfd,
+                 /*min=*/0) ||
+      !CountFlag(argc, argv, "--max-total", &opts.max_total_violations,
+                 /*min=*/0)) {
+    return Usage();
+  }
+
+  WallTimer build;
+  ViolationEngine engine(std::move(*rules));
+  std::fprintf(stderr,
+               "compiled %zu rules into %zu pattern groups (%.1fms)\n",
+               engine.NumRules(), engine.NumGroups(),
+               build.Seconds() * 1e3);
+
+  WallTimer t;
+  DetectionResult result;
+  size_t shards = 0;
+  if (!CountFlag(argc, argv, "--shards", &shards)) return Usage();
+  if (shards > 0) {
+    auto frag = VertexCutPartition(*g, shards);
+    ClusterStats cstats;
+    result = engine.DetectSharded(*g, frag, opts, &cstats);
+    std::fprintf(stderr,
+                 "sharded over %zu fragments: %lu messages, %lu bytes "
+                 "shipped, replication %.2f\n",
+                 frag.num_fragments,
+                 static_cast<unsigned long>(cstats.messages),
+                 static_cast<unsigned long>(cstats.bytes_shipped),
+                 cstats.replication);
+  } else {
+    result = engine.Detect(*g, opts);
+  }
+  for (const Violation& v : result.violations) {
+    std::printf("%s\n", DescribeViolation(*g, engine.rules(), v).c_str());
+  }
+  std::fprintf(stderr,
+               "%zu violation(s) in %.2fs%s: %lu pivots scanned, %lu "
+               "matches, %lu literal evals\n",
+               result.violations.size(), t.Seconds(),
+               result.stats.truncated ? " (truncated by budget)" : "",
+               static_cast<unsigned long>(result.stats.pivots_scanned),
+               static_cast<unsigned long>(result.stats.matches_seen),
+               static_cast<unsigned long>(result.stats.literal_evals));
+  return result.violations.empty() ? 0 : 3;
+}
+
+int Validate(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto g = LoadGraph(argv[0]);
+  if (!g) return 1;
+  auto rules = LoadRules(argv[1], *g);
+  if (!rules) return 1;
+  size_t violated = 0;
+  for (const auto& phi : *rules) {
+    CompiledPattern plan(phi.pattern);
+    auto check = EvaluateGfd(*g, plan, phi, {}, /*abort_on_violation=*/true);
+    if (!check.satisfied) {
+      ++violated;
+      std::printf("VIOLATED: %s\n", phi.ToString(*g).c_str());
+    }
+  }
+  std::printf("%zu/%zu rules violated\n", violated, rules->size());
+  return violated == 0 ? 0 : 3;
+}
+
+int Cover(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto g = LoadGraph(argv[0]);
+  if (!g) return 1;
+  auto rules = LoadRules(argv[1], *g);
+  if (!rules) return 1;
+  ParallelRunConfig pcfg;
+  if (!CountFlag(argc, argv, "-w", &pcfg.workers)) return Usage();
+  size_t before = rules->size();
+  CoverStats stats;
+  auto cover = ParCover(std::move(*rules), pcfg, &stats);
+  std::fprintf(stderr, "cover: %zu -> %zu rules (%lu implication tests)\n",
+               before, cover.size(),
+               static_cast<unsigned long>(stats.implication_tests));
+  EmitRules(cover, *g, FlagValue(argc, argv, "-o"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (!std::strcmp(argv[1], "gen")) return Gen(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "discover")) return Discover(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "detect")) return Detect(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "validate")) return Validate(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "cover")) return Cover(argc - 2, argv + 2);
+  return Usage();
+}
