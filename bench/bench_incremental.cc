@@ -1,0 +1,235 @@
+// Incremental-detection smoke bench, run as a ctest entry on every CI
+// build next to bench_detect: mines a rule workload from a clean YAGO2-
+// shaped graph at scale 300, corrupts a copy (the serving graph), then
+// replays random update deltas of 0.1% / 1% / 10% of the edge count and
+// times DetectIncremental against a full re-detect over the updated
+// snapshot. For every delta the incremental added/removed records are
+// cross-checked byte-identical to the diff of two full runs; timings land
+// in BENCH_incremental.json.
+//
+// Usage: bench_incremental [output.json]
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/noise.h"
+#include "detect/engine.h"
+#include "graph/graph_view.h"
+#include "pattern/canonical.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+using namespace gfd;
+using namespace gfd::bench;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double seconds = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+void WriteJson(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::perror(path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"gfd-bench-incremental-v1\",\n");
+  std::fprintf(f, "  \"benches\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"seconds\": %.6f",
+                 r.name.c_str(), r.seconds);
+    for (const auto& [k, v] : r.counters) {
+      std::fprintf(f, ", \"%s\": %.3f", k.c_str(), v);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+// Same serving-shaped workload as bench_detect: the largest pattern
+// groups of a mined cover, up to `per_group` literal variants each.
+std::vector<Gfd> BuildWorkload(const PropertyGraph& g, size_t max_groups,
+                               size_t per_group) {
+  auto cfg = ScaledConfig(g);
+  auto all = SeqDis(g, cfg).AllGfds();
+  std::unordered_map<std::vector<uint32_t>, std::vector<size_t>, VecHash>
+      by_code;
+  for (size_t i = 0; i < all.size(); ++i) {
+    by_code[CanonicalCode(all[i].pattern, /*fix_pivot=*/true)].push_back(i);
+  }
+  std::vector<std::vector<size_t>> groups;
+  for (auto& [code, members] : by_code) groups.push_back(std::move(members));
+  std::sort(groups.begin(), groups.end(), [](const auto& a, const auto& b) {
+    return a.size() != b.size() ? a.size() > b.size() : a[0] < b[0];
+  });
+  std::vector<Gfd> rules;
+  for (size_t gi = 0; gi < groups.size() && gi < max_groups; ++gi) {
+    for (size_t i = 0; i < groups[gi].size() && i < per_group; ++i) {
+      rules.push_back(std::move(all[groups[gi][i]]));
+    }
+  }
+  return rules;
+}
+
+// An update stream over g: 40% edge inserts (label-plausible endpoints),
+// 30% deletes of existing edges, 30% attribute sets (some introducing
+// brand-new values, as real patches do).
+GraphDelta RandomDelta(const PropertyGraph& g, size_t ops, uint64_t seed) {
+  Rng rng(seed);
+  GraphDelta d;
+  std::vector<bool> gone(g.NumEdges(), false);
+  for (size_t i = 0; i < ops; ++i) {
+    double roll = rng.NextDouble();
+    if (roll < 0.4) {
+      EdgeId e = static_cast<EdgeId>(rng.Below(g.NumEdges()));
+      EdgeId e2 = static_cast<EdgeId>(rng.Below(g.NumEdges()));
+      d.InsertEdge(g.EdgeSrc(e), g.EdgeDst(e2), g.EdgeLabel(e));
+    } else if (roll < 0.7) {
+      EdgeId e = static_cast<EdgeId>(rng.Below(g.NumEdges()));
+      if (gone[e]) continue;
+      gone[e] = true;
+      d.DeleteEdge(g.EdgeSrc(e), g.EdgeDst(e), g.EdgeLabel(e));
+    } else {
+      NodeId v = static_cast<NodeId>(rng.Below(g.NumNodes()));
+      auto attrs = g.NodeAttrs(v);
+      if (attrs.empty()) continue;
+      AttrId key = attrs[rng.Below(attrs.size())].key;
+      ValueId val =
+          rng.Chance(0.25)
+              ? d.InternValue(g, "patched_" + std::to_string(rng.Below(8)))
+              : static_cast<ValueId>(rng.Below(g.values().size()));
+      d.SetAttr(v, key, val);
+    }
+  }
+  return d;
+}
+
+// Min of `reps` timed runs (sub-10ms bodies need the min to be stable).
+template <typename Fn>
+double TimedMin(int reps, const Fn& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.Seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = argc > 1 ? argv[1] : "BENCH_incremental.json";
+
+  auto clean = Yago2Like(300);
+  auto rules = BuildWorkload(clean, /*max_groups=*/10, /*per_group=*/25);
+  auto noisy = InjectNoise(clean, {.alpha = 0.08, .beta = 0.6, .seed = 3});
+  const PropertyGraph& g0 = noisy.graph;
+
+  ViolationEngine engine(rules);
+  std::printf("workload: %zu rules in %zu pattern groups on |V|=%zu "
+              "|E|=%zu (+noise)\n",
+              engine.NumRules(), engine.NumGroups(), g0.NumNodes(),
+              g0.NumEdges());
+  if (engine.NumRules() < 20 || engine.NumGroups() < 5) {
+    std::fprintf(stderr, "workload too small to be meaningful\n");
+    return 1;
+  }
+
+  const int kReps = 3;
+  DetectionResult full_old;
+  double full_old_s =
+      TimedMin(kReps, [&] { full_old = engine.Detect(g0, {.workers = 1}); });
+  std::printf("%-28s %8.3fs  %zu violations\n", "full_detect_base",
+              full_old_s, full_old.violations.size());
+
+  std::vector<Row> rows;
+  rows.push_back({"full_detect_base",
+                  full_old_s,
+                  {{"violations", double(full_old.violations.size())}}});
+
+  bool verified = true;
+  double speedup_smallest = 0;
+  const struct {
+    double frac;
+    const char* tag;
+  } kDeltas[] = {{0.001, "0.1pct"}, {0.01, "1pct"}, {0.1, "10pct"}};
+  for (const auto& [frac, tag] : kDeltas) {
+    size_t ops = std::max<size_t>(1, static_cast<size_t>(
+                                         frac * double(g0.NumEdges())));
+    GraphDelta delta = RandomDelta(g0, ops, /*seed=*/41 + ops);
+    std::string error;
+    auto view = GraphView::Apply(g0, delta, &error);
+    if (!view) {
+      std::fprintf(stderr, "delta apply failed: %s\n", error.c_str());
+      return 1;
+    }
+    PropertyGraph g1 = view->Materialize();
+
+    DetectionResult full_new;
+    double full_s = TimedMin(
+        kReps, [&] { full_new = engine.Detect(g1, {.workers = 1}); });
+    IncrementalDiff inc;
+    double inc_s = TimedMin(
+        kReps, [&] { inc = engine.DetectIncremental(*view, {.workers = 1}); });
+
+    // Byte-identical diff check against two full runs.
+    std::vector<Violation> added, removed;
+    std::set_difference(full_new.violations.begin(),
+                        full_new.violations.end(),
+                        full_old.violations.begin(),
+                        full_old.violations.end(), std::back_inserter(added));
+    std::set_difference(full_old.violations.begin(),
+                        full_old.violations.end(),
+                        full_new.violations.begin(),
+                        full_new.violations.end(),
+                        std::back_inserter(removed));
+    bool ok = inc.added == added && inc.removed == removed;
+    verified = verified && ok;
+
+    double speedup = inc_s > 0 ? full_s / inc_s : 0;
+    if (frac == 0.001) speedup_smallest = speedup;
+    std::printf("%-28s %8.3fs  +%zu -%zu (%zu affected, %lu touched "
+                "matches)\n",
+                (std::string("incremental_") + tag).c_str(), inc_s,
+                inc.added.size(), inc.removed.size(),
+                inc.stats.affected_nodes,
+                static_cast<unsigned long>(inc.stats.matches_seen));
+    std::printf("%-28s %8.3fs  %zu violations; speedup %.1fx, diffs %s\n",
+                (std::string("full_redetect_") + tag).c_str(), full_s,
+                full_new.violations.size(), speedup,
+                ok ? "identical" : "DIVERGED");
+
+    rows.push_back({std::string("incremental_") + tag,
+                    inc_s,
+                    {{"delta_ops", double(delta.ops.size())},
+                     {"affected", double(inc.stats.affected_nodes)},
+                     {"touched_matches", double(inc.stats.matches_seen)},
+                     {"added", double(inc.added.size())},
+                     {"removed", double(inc.removed.size())}}});
+    rows.push_back({std::string("full_redetect_") + tag,
+                    full_s,
+                    {{"violations", double(full_new.violations.size())},
+                     {"speedup_vs_incremental", speedup}}});
+  }
+
+  rows.push_back({"summary",
+                  0,
+                  {{"verified", verified ? 1.0 : 0.0},
+                   {"speedup_0.1pct", speedup_smallest}}});
+  std::printf("incremental vs full at 0.1%% delta: %.1fx; diffs %s\n",
+              speedup_smallest, verified ? "identical" : "DIVERGED");
+
+  WriteJson(out, rows);
+  std::printf("wrote %s\n", out);
+  return verified ? 0 : 1;
+}

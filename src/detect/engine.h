@@ -22,11 +22,13 @@
 #define GFD_DETECT_ENGINE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "detect/violation.h"
 #include "gfd/gfd.h"
+#include "graph/graph_view.h"
 #include "graph/property_graph.h"
 #include "match/matcher.h"
 #include "parallel/cluster.h"
@@ -67,6 +69,37 @@ struct DetectionResult {
   DetectStats stats;
 };
 
+/// Budgets of one incremental run. Caps are deliberately absent: the
+/// added/removed diff is only well-defined when both sides enumerate
+/// completely (a capped run could report a "removed" violation that was
+/// merely cut off by a budget).
+struct IncrementalOptions {
+  /// Worker threads over the affected pivot ranges. Output is
+  /// deterministic at any worker count.
+  size_t workers = 1;
+  /// Backtracking budget per (group, pivot) enumeration. Leave unlimited
+  /// unless incomplete diffs are acceptable.
+  MatchOptions match;
+};
+
+struct IncrementalStats {
+  size_t affected_nodes = 0;     ///< delta-touched vertices (the anchors)
+  size_t anchor_plans = 0;       ///< (group, variable) plans consulted
+  uint64_t anchors_scanned = 0;  ///< (plan, anchor) enumerations, both sides
+  uint64_t matches_seen = 0;     ///< delta-touching matches, both sides
+  uint64_t literal_evals = 0;    ///< per-match per-rule LHS/RHS evaluations
+  size_t violations_before = 0;  ///< violations at touched matches, old side
+  size_t violations_after = 0;   ///< violations at touched matches, new side
+};
+
+/// The violation diff induced by one delta: exactly the records that
+/// diffing two full Detect runs (old graph vs. new graph) would produce.
+struct IncrementalDiff {
+  std::vector<Violation> added;    ///< sorted per Violation ordering
+  std::vector<Violation> removed;  ///< sorted per Violation ordering
+  IncrementalStats stats;
+};
+
 /// A loaded rule set, grouped and compiled once, reusable across any
 /// number of graphs and detection runs. Immutable after construction.
 class ViolationEngine {
@@ -98,6 +131,25 @@ class ViolationEngine {
                                 const DetectOptions& opts = {},
                                 ClusterStats* cstats = nullptr) const;
 
+  /// Incremental detection over an update stream (the serving path): given
+  /// a view = base graph + delta, computes the violations the delta added
+  /// and removed without re-scanning the graph. Work is localized to the
+  /// matches whose embedding touches a delta-affected vertex -- the only
+  /// matches whose violation status can differ between base and view: a
+  /// destroyed match contains both endpoints of a deleted edge, a created
+  /// match both endpoints of an inserted one, and an attribute flip sits
+  /// on a matched node. Each pattern group therefore carries one plan per
+  /// variable (the paper's work unit Q(F_s) |><| e(F_t), Section 6.2,
+  /// anchored at the delta instead of a fragment), and enumeration seeds
+  /// those plans from the affected node set on both sides; a stateless
+  /// minimum-variable attribution rule ensures every delta-touching match
+  /// is evaluated exactly once per side. The sorted set-difference of the
+  /// two sides is provably identical to diffing two full Detect runs:
+  /// matches not touching the delta evaluate identically on both sides
+  /// and cancel.
+  IncrementalDiff DetectIncremental(const GraphView& view,
+                                    const IncrementalOptions& opts = {}) const;
+
  private:
   /// One rule's literals remapped into its group representative's
   /// variable space, plus the inverse map to translate matches back.
@@ -110,8 +162,20 @@ class ViolationEngine {
   struct Group {
     CompiledPattern plan;
     std::vector<Member> members;
+    /// One plan per variable, rooted there instead of at the pivot: plan
+    /// i enumerates exactly the matches binding variable i to a given
+    /// node. Built lazily on the first DetectIncremental call (Detect
+    /// never needs them); anchor_plans[pivot] duplicates `plan`.
+    mutable std::vector<CompiledPattern> anchor_plans;
+    mutable std::once_flag anchor_once;
 
     explicit Group(const Pattern& rep) : plan(rep) {}
+    Group(Group&& o) noexcept
+        : plan(std::move(o.plan)),
+          members(std::move(o.members)),
+          anchor_plans(std::move(o.anchor_plans)) {}
+
+    const std::vector<CompiledPattern>& AnchorPlans() const;
   };
 
   // Shared mutable state of one run (budget counters; defined in the .cc).
@@ -119,8 +183,19 @@ class ViolationEngine {
 
   // Evaluates one (group, pivot) pair, appending violations to `out`.
   // Returns false once the global budget is exhausted (callers stop).
-  bool EvalPivot(const PropertyGraph& g, const Group& group, NodeId v,
-                 RunState& st, std::vector<Violation>& out) const;
+  // GraphT is PropertyGraph or GraphView.
+  template <typename GraphT>
+  bool EvalPivot(const GraphT& g, const Group& group, NodeId v, RunState& st,
+                 std::vector<Violation>& out) const;
+
+  // One side of an incremental run: enumerates every match of every
+  // group that binds an affected node at some variable (each exactly
+  // once) and returns the violations among them, sorted.
+  template <typename GraphT>
+  std::vector<Violation> RunAnchored(const GraphT& g,
+                                     std::span<const NodeId> affected,
+                                     const std::vector<bool>& is_affected,
+                                     size_t workers, RunState& st) const;
 
   std::vector<Gfd> rules_;
   std::vector<Group> groups_;

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "gfd/gfd.h"
+#include "graph/graph_view.h"
 #include "graph/property_graph.h"
 #include "match/matcher.h"
 
@@ -40,6 +41,11 @@ struct Violation {
 /// attribute values that contradict the consequence.
 std::string DescribeViolation(const PropertyGraph& g,
                               std::span<const Gfd> rules, const Violation& v);
+
+/// View overload: evidence values resolve through the delta overlay (a
+/// violation added by an attribute update names the post-update value).
+std::string DescribeViolation(const GraphView& g, std::span<const Gfd> rules,
+                              const Violation& v);
 
 }  // namespace gfd
 

@@ -1,0 +1,299 @@
+#include "graph/graph_view.h"
+
+#include <algorithm>
+
+namespace gfd {
+
+namespace {
+
+uint32_t InternExtra(std::vector<std::string>& extras, size_t base_size,
+                     std::string_view s) {
+  for (size_t i = 0; i < extras.size(); ++i) {
+    if (extras[i] == s) return static_cast<uint32_t>(base_size + i);
+  }
+  extras.emplace_back(s);
+  return static_cast<uint32_t>(base_size + extras.size() - 1);
+}
+
+const std::string& ExtName(const std::vector<std::string>& extras,
+                           const StringInterner& base, uint32_t id) {
+  return id < base.size() ? base.Get(id) : extras[id - base.size()];
+}
+
+}  // namespace
+
+LabelId GraphDelta::InternLabel(const PropertyGraph& base,
+                                std::string_view s) {
+  if (auto l = base.FindLabel(s)) return *l;
+  return InternExtra(extra_labels, base.labels().size(), s);
+}
+
+AttrId GraphDelta::InternAttr(const PropertyGraph& base, std::string_view s) {
+  if (auto a = base.FindAttr(s)) return *a;
+  return InternExtra(extra_attrs, base.attrs().size(), s);
+}
+
+ValueId GraphDelta::InternValue(const PropertyGraph& base,
+                                std::string_view s) {
+  if (auto v = base.FindValue(s)) return *v;
+  return InternExtra(extra_values, base.values().size(), s);
+}
+
+const std::string& GraphDelta::LabelName(const PropertyGraph& base,
+                                         LabelId l) const {
+  return ExtName(extra_labels, base.labels(), l);
+}
+
+const std::string& GraphDelta::AttrName(const PropertyGraph& base,
+                                        AttrId a) const {
+  return ExtName(extra_attrs, base.attrs(), a);
+}
+
+const std::string& GraphDelta::ValueName(const PropertyGraph& base,
+                                         ValueId v) const {
+  return ExtName(extra_values, base.values(), v);
+}
+
+std::vector<EdgeId>& GraphView::TouchOut(NodeId v) {
+  auto [it, fresh] =
+      out_touched_.try_emplace(v, static_cast<uint32_t>(out_lists_.size()));
+  if (fresh) {
+    auto span = base_->OutEdges(v);
+    out_lists_.emplace_back(span.begin(), span.end());
+  }
+  return out_lists_[it->second];
+}
+
+std::vector<EdgeId>& GraphView::TouchIn(NodeId v) {
+  auto [it, fresh] =
+      in_touched_.try_emplace(v, static_cast<uint32_t>(in_lists_.size()));
+  if (fresh) {
+    auto span = base_->InEdges(v);
+    in_lists_.emplace_back(span.begin(), span.end());
+  }
+  return in_lists_[it->second];
+}
+
+std::optional<GraphView> GraphView::Apply(const PropertyGraph& base,
+                                          const GraphDelta& delta,
+                                          std::string* error) {
+  GraphView view;
+  view.base_ = &base;
+  view.base_edges_ = static_cast<EdgeId>(base.NumEdges());
+  view.num_ops_ = delta.ops.size();
+  view.extra_labels_ = delta.extra_labels;
+  view.extra_attrs_ = delta.extra_attrs;
+  view.extra_values_ = delta.extra_values;
+
+  auto fail = [&](size_t op_index, const std::string& msg) {
+    if (error) *error = "op " + std::to_string(op_index + 1) + ": " + msg;
+    return std::nullopt;
+  };
+  const size_t num_labels = base.labels().size() + delta.extra_labels.size();
+  const size_t num_attrs = base.attrs().size() + delta.extra_attrs.size();
+  const size_t num_values = base.values().size() + delta.extra_values.size();
+
+  std::vector<NodeId> affected;
+  for (size_t i = 0; i < delta.ops.size(); ++i) {
+    const GraphDelta::Op& op = delta.ops[i];
+    if (op.src >= base.NumNodes()) {
+      return fail(i, "node " + std::to_string(op.src) + " out of range");
+    }
+    affected.push_back(op.src);
+    switch (op.kind) {
+      case GraphDelta::OpKind::kInsertEdge:
+      case GraphDelta::OpKind::kDeleteEdge: {
+        if (op.dst >= base.NumNodes()) {
+          return fail(i, "node " + std::to_string(op.dst) + " out of range");
+        }
+        if (op.label >= num_labels) {
+          return fail(i, "edge label id out of range");
+        }
+        affected.push_back(op.dst);
+        if (op.kind == GraphDelta::OpKind::kInsertEdge) {
+          EdgeId id =
+              view.base_edges_ + static_cast<EdgeId>(view.added_.size());
+          view.added_.push_back({op.src, op.dst, op.label, /*alive=*/true});
+          view.TouchOut(op.src).push_back(id);
+          view.TouchIn(op.dst).push_back(id);
+          break;
+        }
+        // Delete: resolve against the *current* out-list of src (exact
+        // label; the wildcard never labels data edges).
+        std::vector<EdgeId>& out = view.TouchOut(op.src);
+        auto hit = std::find_if(out.begin(), out.end(), [&](EdgeId e) {
+          return view.EdgeDst(e) == op.dst && view.EdgeLabel(e) == op.label;
+        });
+        if (hit == out.end()) {
+          return fail(i, "delete of missing edge " + std::to_string(op.src) +
+                             " -" + delta.LabelName(base, op.label) + "-> " +
+                             std::to_string(op.dst));
+        }
+        EdgeId victim = *hit;
+        out.erase(hit);
+        std::vector<EdgeId>& in = view.TouchIn(op.dst);
+        in.erase(std::find(in.begin(), in.end(), victim));
+        if (victim < view.base_edges_) {
+          view.deleted_base_.insert(victim);
+        } else {
+          view.added_[victim - view.base_edges_].alive = false;
+          ++view.deleted_inserted_;
+        }
+        break;
+      }
+      case GraphDelta::OpKind::kSetAttr: {
+        if (op.key >= num_attrs) return fail(i, "attribute id out of range");
+        if (op.value >= num_values) return fail(i, "value id out of range");
+        auto& overlay = view.attr_overlay_[op.src];
+        auto hit = std::find_if(overlay.begin(), overlay.end(),
+                                [&](const Attribute& a) {
+                                  return a.key == op.key;
+                                });
+        if (hit != overlay.end()) {
+          hit->value = op.value;  // last write wins
+        } else {
+          overlay.push_back({op.key, op.value});
+        }
+        ++view.attr_sets_;
+        break;
+      }
+    }
+  }
+
+  // Materialized lists keep the base invariant: sorted by (neighbor,
+  // label), which the matcher's parallel-edge dedup relies on.
+  for (auto& list : view.out_lists_) {
+    std::sort(list.begin(), list.end(), [&](EdgeId a, EdgeId b) {
+      NodeId na = view.EdgeDst(a), nb = view.EdgeDst(b);
+      if (na != nb) return na < nb;
+      return view.EdgeLabel(a) < view.EdgeLabel(b);
+    });
+  }
+  for (auto& list : view.in_lists_) {
+    std::sort(list.begin(), list.end(), [&](EdgeId a, EdgeId b) {
+      NodeId na = view.EdgeSrc(a), nb = view.EdgeSrc(b);
+      if (na != nb) return na < nb;
+      return view.EdgeLabel(a) < view.EdgeLabel(b);
+    });
+  }
+
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  view.affected_ = std::move(affected);
+
+  for (const AddedEdge& e : view.added_) {
+    if (e.alive) ++view.inserted_alive_;
+  }
+  view.num_edges_ =
+      base.NumEdges() - view.deleted_base_.size() + view.inserted_alive_;
+  return view;
+}
+
+bool GraphView::HasEdge(NodeId src, NodeId dst, LabelId label) const {
+  auto it = out_touched_.find(src);
+  if (it == out_touched_.end()) return base_->HasEdge(src, dst, label);
+  const std::vector<EdgeId>& edges = out_lists_[it->second];
+  // Binary search on dst (lists sorted by (dst, label)), as in the base.
+  auto lo = std::lower_bound(edges.begin(), edges.end(), dst,
+                             [&](EdgeId e, NodeId d) {
+                               return EdgeDst(e) < d;
+                             });
+  for (; lo != edges.end() && EdgeDst(*lo) == dst; ++lo) {
+    if (LabelMatches(EdgeLabel(*lo), label)) return true;
+  }
+  return false;
+}
+
+const std::string& GraphView::LabelName(LabelId l) const {
+  return l < base_->labels().size() ? base_->LabelName(l)
+                                    : extra_labels_[l - base_->labels().size()];
+}
+
+const std::string& GraphView::AttrName(AttrId a) const {
+  return a < base_->attrs().size() ? base_->AttrName(a)
+                                   : extra_attrs_[a - base_->attrs().size()];
+}
+
+const std::string& GraphView::ValueName(ValueId v) const {
+  return v < base_->values().size() ? base_->ValueName(v)
+                                    : extra_values_[v - base_->values().size()];
+}
+
+std::optional<LabelId> GraphView::FindLabel(std::string_view s) const {
+  if (auto l = base_->FindLabel(s)) return l;
+  for (size_t i = 0; i < extra_labels_.size(); ++i) {
+    if (extra_labels_[i] == s) {
+      return static_cast<LabelId>(base_->labels().size() + i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<AttrId> GraphView::FindAttr(std::string_view s) const {
+  if (auto a = base_->FindAttr(s)) return a;
+  for (size_t i = 0; i < extra_attrs_.size(); ++i) {
+    if (extra_attrs_[i] == s) {
+      return static_cast<AttrId>(base_->attrs().size() + i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ValueId> GraphView::FindValue(std::string_view s) const {
+  if (auto v = base_->FindValue(s)) return v;
+  for (size_t i = 0; i < extra_values_.size(); ++i) {
+    if (extra_values_[i] == s) {
+      return static_cast<ValueId>(base_->values().size() + i);
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyGraph GraphView::Materialize() const {
+  PropertyGraph::Builder b;
+  // Reproduce the base interners in id order (the builder pre-interns the
+  // wildcard, which is base label id 0), then the delta extensions, so
+  // every id the view hands out stays valid in the materialized graph.
+  for (uint32_t l = 0; l < base_->labels().size(); ++l) {
+    b.InternLabel(base_->LabelName(l));
+  }
+  for (const std::string& s : extra_labels_) b.InternLabel(s);
+  for (uint32_t a = 0; a < base_->attrs().size(); ++a) {
+    b.InternAttr(base_->AttrName(a));
+  }
+  for (const std::string& s : extra_attrs_) b.InternAttr(s);
+  for (uint32_t v = 0; v < base_->values().size(); ++v) {
+    b.InternValue(base_->ValueName(v));
+  }
+  for (const std::string& s : extra_values_) b.InternValue(s);
+
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    b.AddNodeById(NodeLabel(v));
+    if (!NodeName(v).empty()) b.SetName(v, NodeName(v));
+    auto it = attr_overlay_.find(v);
+    const std::vector<Attribute>* overlay =
+        it == attr_overlay_.end() ? nullptr : &it->second;
+    for (const Attribute& a : base_->NodeAttrs(v)) {
+      bool overridden =
+          overlay && std::any_of(overlay->begin(), overlay->end(),
+                                 [&](const Attribute& o) {
+                                   return o.key == a.key;
+                                 });
+      if (!overridden) b.SetAttrById(v, a.key, a.value);
+    }
+    if (overlay) {
+      for (const Attribute& a : *overlay) b.SetAttrById(v, a.key, a.value);
+    }
+  }
+  for (EdgeId e = 0; e < base_edges_; ++e) {
+    if (deleted_base_.count(e)) continue;
+    b.AddEdgeById(base_->EdgeSrc(e), base_->EdgeDst(e), base_->EdgeLabel(e));
+  }
+  for (const AddedEdge& e : added_) {
+    if (e.alive) b.AddEdgeById(e.src, e.dst, e.label);
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace gfd

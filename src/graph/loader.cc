@@ -84,6 +84,108 @@ std::optional<PropertyGraph> LoadGraphTsvFile(const std::string& path,
   return LoadGraphTsv(in, error);
 }
 
+std::optional<GraphDelta> LoadGraphDeltaTsv(std::istream& in,
+                                            const PropertyGraph& g,
+                                            std::string* error) {
+  // Node references resolve through names; unnamed nodes answer to the
+  // "n<id>" aliases SaveGraphTsv emits.
+  std::unordered_map<std::string, NodeId> ids;
+  ids.reserve(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const std::string& name = g.NodeName(v);
+    ids.emplace(name.empty() ? "n" + std::to_string(v) : name, v);
+  }
+
+  GraphDelta d;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = SplitFields(line);
+    auto at = [&](std::string_view name) -> std::optional<NodeId> {
+      auto it = ids.find(std::string(name));
+      if (it == ids.end()) {
+        SetError(error, "line " + std::to_string(lineno) +
+                            ": unknown node '" + std::string(name) + "'");
+        return std::nullopt;
+      }
+      return it->second;
+    };
+    if (fields[0] == "E+" || fields[0] == "E-") {
+      if (fields.size() < 4) {
+        SetError(error, "line " + std::to_string(lineno) + ": short " +
+                            std::string(fields[0]) + " record");
+        return std::nullopt;
+      }
+      auto src = at(fields[1]);
+      auto dst = at(fields[2]);
+      if (!src || !dst) return std::nullopt;
+      LabelId l = d.InternLabel(g, fields[3]);
+      if (fields[0] == "E+") {
+        d.InsertEdge(*src, *dst, l);
+      } else {
+        d.DeleteEdge(*src, *dst, l);
+      }
+    } else if (fields[0] == "A") {
+      if (fields.size() < 3) {
+        SetError(error, "line " + std::to_string(lineno) + ": short A record");
+        return std::nullopt;
+      }
+      auto v = at(fields[1]);
+      if (!v) return std::nullopt;
+      for (size_t i = 2; i < fields.size(); ++i) {
+        std::string_view key, value;
+        if (!SplitKeyValue(fields[i], &key, &value)) {
+          SetError(error, "line " + std::to_string(lineno) +
+                              ": attribute without '='");
+          return std::nullopt;
+        }
+        d.SetAttr(*v, d.InternAttr(g, key), d.InternValue(g, value));
+      }
+    } else {
+      SetError(error, "line " + std::to_string(lineno) + ": unknown tag '" +
+                          std::string(fields[0]) + "'");
+      return std::nullopt;
+    }
+  }
+  return d;
+}
+
+std::optional<GraphDelta> LoadGraphDeltaTsvFile(const std::string& path,
+                                                const PropertyGraph& g,
+                                                std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return LoadGraphDeltaTsv(in, g, error);
+}
+
+void SaveGraphDeltaTsv(const PropertyGraph& g, const GraphDelta& d,
+                       std::ostream& out) {
+  auto name_of = [&](NodeId v) {
+    const std::string& name = g.NodeName(v);
+    return name.empty() ? "n" + std::to_string(v) : name;
+  };
+  for (const GraphDelta::Op& op : d.ops) {
+    switch (op.kind) {
+      case GraphDelta::OpKind::kInsertEdge:
+      case GraphDelta::OpKind::kDeleteEdge:
+        out << (op.kind == GraphDelta::OpKind::kInsertEdge ? "E+" : "E-")
+            << '\t' << name_of(op.src) << '\t' << name_of(op.dst) << '\t'
+            << d.LabelName(g, op.label) << '\n';
+        break;
+      case GraphDelta::OpKind::kSetAttr:
+        out << "A\t" << name_of(op.src) << '\t' << d.AttrName(g, op.key)
+            << '=' << d.ValueName(g, op.value) << '\n';
+        break;
+    }
+  }
+}
+
 void SaveGraphTsv(const PropertyGraph& g, std::ostream& out) {
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
     const std::string& name = g.NodeName(v);

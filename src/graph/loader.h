@@ -1,10 +1,19 @@
-// TSV serialization of property graphs.
+// TSV serialization of property graphs and of update deltas over them.
 //
-// Format (one record per line, tab-separated):
+// Graph format (one record per line, tab-separated):
 //   N <node-string-id> <label> [key=value ...]
 //   E <src-string-id> <dst-string-id> <label>
 // Lines starting with '#' and blank lines are ignored. Node string ids are
 // arbitrary tokens; they are preserved as node names in the loaded graph.
+//
+// Delta format (one update op per line, tab-separated, order preserved):
+//   E+ <src-string-id> <dst-string-id> <label>     insert edge
+//   E- <src-string-id> <dst-string-id> <label>     delete edge
+//   A  <node-string-id> <key>=<value> [...]        set attribute(s)
+// Node references resolve through the graph's node names (unnamed nodes
+// answer to "n<id>", matching SaveGraphTsv's output). Labels, keys, and
+// values the graph never interned are added to the delta's extension
+// vocabulary, so updates may introduce brand-new values.
 #ifndef GFD_GRAPH_LOADER_H_
 #define GFD_GRAPH_LOADER_H_
 
@@ -12,6 +21,7 @@
 #include <optional>
 #include <string>
 
+#include "graph/graph_view.h"
 #include "graph/property_graph.h"
 
 namespace gfd {
@@ -28,6 +38,25 @@ std::optional<PropertyGraph> LoadGraphTsvFile(const std::string& path,
 
 /// Writes `g` to `out` in the format accepted by LoadGraphTsv.
 void SaveGraphTsv(const PropertyGraph& g, std::ostream& out);
+
+/// Parses a delta against `g`'s node names and vocabulary. Returns
+/// std::nullopt and fills `*error` (if non-null) with a line-numbered
+/// message ("line N: ...") on malformed input (unknown tag, unknown node,
+/// short record, attribute without '=').
+std::optional<GraphDelta> LoadGraphDeltaTsv(std::istream& in,
+                                            const PropertyGraph& g,
+                                            std::string* error = nullptr);
+
+/// Convenience file-based wrapper.
+std::optional<GraphDelta> LoadGraphDeltaTsvFile(const std::string& path,
+                                                const PropertyGraph& g,
+                                                std::string* error = nullptr);
+
+/// Writes `d` to `out` in the format accepted by LoadGraphDeltaTsv,
+/// resolving node and vocabulary names through `g` plus the delta's
+/// extension tables.
+void SaveGraphDeltaTsv(const PropertyGraph& g, const GraphDelta& d,
+                       std::ostream& out);
 
 }  // namespace gfd
 

@@ -99,8 +99,9 @@ CompiledPattern::CompiledPattern(const Pattern& q) : pattern_(q) {
   }
 }
 
+template <typename GraphT>
 bool CompiledPattern::Backtrack(
-    const PropertyGraph& g, size_t depth, Match& h, std::vector<NodeId>& used,
+    const GraphT& g, size_t depth, Match& h, std::vector<NodeId>& used,
     const std::function<bool(const Match&)>& on_match,
     const MatchOptions& opts, MatchCounters& counters, bool& stop) const {
   if (depth == steps_.size()) {
@@ -164,8 +165,9 @@ bool CompiledPattern::Backtrack(
   return true;
 }
 
+template <typename GraphT>
 bool CompiledPattern::ForEachMatchAtPivot(
-    const PropertyGraph& g, NodeId v,
+    const GraphT& g, NodeId v,
     const std::function<bool(const Match&)>& on_match,
     const MatchOptions& opts, MatchCounters* counters) const {
   MatchCounters local;
@@ -194,8 +196,9 @@ bool CompiledPattern::ForEachMatchAtPivot(
   return !ctr.budget_exhausted;
 }
 
+template <typename GraphT>
 bool CompiledPattern::ForEachMatch(
-    const PropertyGraph& g, const std::function<bool(const Match&)>& on_match,
+    const GraphT& g, const std::function<bool(const Match&)>& on_match,
     const MatchOptions& opts, MatchCounters* counters) const {
   MatchCounters local;
   MatchCounters& ctr = counters ? *counters : local;
@@ -214,8 +217,8 @@ bool CompiledPattern::ForEachMatch(
   return !ctr.budget_exhausted;
 }
 
-std::vector<NodeId> CompiledPattern::PivotCandidates(
-    const PropertyGraph& g) const {
+template <typename GraphT>
+std::vector<NodeId> CompiledPattern::PivotCandidates(const GraphT& g) const {
   LabelId l = pattern_.NodeLabel(pattern_.pivot());
   if (l != kWildcardLabel) {
     auto span = g.NodesWithLabel(l);
@@ -225,6 +228,22 @@ std::vector<NodeId> CompiledPattern::PivotCandidates(
   for (NodeId v = 0; v < g.NumNodes(); ++v) all[v] = v;
   return all;
 }
+
+// Instantiate the enumeration for the immutable CSR graph and for the
+// delta-overlay view (see the extern declarations in matcher.h).
+#define GFD_INSTANTIATE_MATCHER(GraphT)                                      \
+  template bool CompiledPattern::ForEachMatchAtPivot<GraphT>(                \
+      const GraphT&, NodeId, const std::function<bool(const Match&)>&,       \
+      const MatchOptions&, MatchCounters*) const;                            \
+  template bool CompiledPattern::ForEachMatch<GraphT>(                       \
+      const GraphT&, const std::function<bool(const Match&)>&,               \
+      const MatchOptions&, MatchCounters*) const;                            \
+  template std::vector<NodeId> CompiledPattern::PivotCandidates<GraphT>(     \
+      const GraphT&) const;
+
+GFD_INSTANTIATE_MATCHER(PropertyGraph)
+GFD_INSTANTIATE_MATCHER(GraphView)
+#undef GFD_INSTANTIATE_MATCHER
 
 std::vector<NodeId> PivotSupportSet(const PropertyGraph& g,
                                     const CompiledPattern& q,

@@ -14,6 +14,14 @@
 // lie within the pattern radius of the pivot), then backtracks per pivot
 // candidate. All discovery-side queries -- supp(Q,G), Q(G,Xl,z),
 // validation -- are phrased as per-pivot callbacks with early exit.
+//
+// Enumeration is generic over the graph type: any type exposing the
+// PropertyGraph read interface (NodeLabel, Out/InEdges, EdgeSrc/Dst/Label,
+// Out/InDegree, HasEdge, NodesWithLabel, NumNodes) works. The library
+// instantiates the plans for PropertyGraph and for the delta-overlay
+// GraphView (graph/graph_view.h) in matcher.cc, which is what lets the
+// incremental detection path run one compiled plan against the pre- and
+// post-update graphs.
 #ifndef GFD_MATCH_MATCHER_H_
 #define GFD_MATCH_MATCHER_H_
 
@@ -22,6 +30,7 @@
 #include <limits>
 #include <vector>
 
+#include "graph/graph_view.h"
 #include "graph/property_graph.h"
 #include "pattern/pattern.h"
 #include "util/ids.h"
@@ -56,22 +65,26 @@ class CompiledPattern {
 
   /// Enumerates matches with h(pivot) = v. The callback returns false to
   /// stop early (within this pivot). Returns false iff the step budget was
-  /// exhausted mid-enumeration (results may be incomplete).
+  /// exhausted mid-enumeration (results may be incomplete). GraphT is
+  /// PropertyGraph or GraphView (instantiated in matcher.cc).
+  template <typename GraphT>
   bool ForEachMatchAtPivot(
-      const PropertyGraph& g, NodeId v,
+      const GraphT& g, NodeId v,
       const std::function<bool(const Match&)>& on_match,
       const MatchOptions& opts = {}, MatchCounters* counters = nullptr) const;
 
   /// Enumerates all matches in G (all pivots). Callback semantics as above,
   /// except returning false aborts the entire enumeration.
-  bool ForEachMatch(const PropertyGraph& g,
+  template <typename GraphT>
+  bool ForEachMatch(const GraphT& g,
                     const std::function<bool(const Match&)>& on_match,
                     const MatchOptions& opts = {},
                     MatchCounters* counters = nullptr) const;
 
   /// Candidate pivot nodes of G (label pre-filter only; callers still need
   /// the full match test).
-  std::vector<NodeId> PivotCandidates(const PropertyGraph& g) const;
+  template <typename GraphT>
+  std::vector<NodeId> PivotCandidates(const GraphT& g) const;
 
  private:
   struct EdgeCheck {
@@ -90,7 +103,8 @@ class CompiledPattern {
     uint32_t min_in_deg;
   };
 
-  bool Backtrack(const PropertyGraph& g, size_t depth, Match& h,
+  template <typename GraphT>
+  bool Backtrack(const GraphT& g, size_t depth, Match& h,
                  std::vector<NodeId>& used,
                  const std::function<bool(const Match&)>& on_match,
                  const MatchOptions& opts, MatchCounters& counters,
@@ -99,6 +113,25 @@ class CompiledPattern {
   Pattern pattern_;
   std::vector<Step> steps_;  // steps_[0].var == pivot
 };
+
+// The enumeration templates are defined in matcher.cc and explicitly
+// instantiated there for the two graph types of the library.
+extern template bool CompiledPattern::ForEachMatchAtPivot<PropertyGraph>(
+    const PropertyGraph&, NodeId, const std::function<bool(const Match&)>&,
+    const MatchOptions&, MatchCounters*) const;
+extern template bool CompiledPattern::ForEachMatchAtPivot<GraphView>(
+    const GraphView&, NodeId, const std::function<bool(const Match&)>&,
+    const MatchOptions&, MatchCounters*) const;
+extern template bool CompiledPattern::ForEachMatch<PropertyGraph>(
+    const PropertyGraph&, const std::function<bool(const Match&)>&,
+    const MatchOptions&, MatchCounters*) const;
+extern template bool CompiledPattern::ForEachMatch<GraphView>(
+    const GraphView&, const std::function<bool(const Match&)>&,
+    const MatchOptions&, MatchCounters*) const;
+extern template std::vector<NodeId>
+CompiledPattern::PivotCandidates<PropertyGraph>(const PropertyGraph&) const;
+extern template std::vector<NodeId> CompiledPattern::PivotCandidates<GraphView>(
+    const GraphView&) const;
 
 /// Q(G,z): distinct pivot nodes that admit at least one match (pattern
 /// support, Section 4.2). Sorted ascending.

@@ -1,0 +1,307 @@
+// GraphDelta / GraphView semantics: overlay adjacency, attribute
+// overrides, extension vocabulary, materialization, the delta TSV
+// loader, and equivalence of matcher enumeration over a view vs. over
+// the materialized graph.
+#include "graph/graph_view.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datagen/synthetic.h"
+#include "graph/loader.h"
+#include "match/matcher.h"
+#include "util/rng.h"
+
+namespace gfd {
+namespace {
+
+// a:person -knows-> b:person, a -knows-> c:person (parallel pair target),
+// c -likes-> a; attributes on a and b.
+PropertyGraph BuildBase() {
+  PropertyGraph::Builder b;
+  NodeId a = b.AddNode("person");
+  b.SetName(a, "a");
+  b.SetAttr(a, "city", "paris");
+  NodeId v = b.AddNode("person");
+  b.SetName(v, "b");
+  b.SetAttr(v, "city", "rome");
+  NodeId c = b.AddNode("person");
+  b.SetName(c, "c");
+  b.AddEdge(a, v, "knows");
+  b.AddEdge(a, c, "knows");
+  b.AddEdge(c, a, "likes");
+  return std::move(b).Build();
+}
+
+TEST(GraphView, EmptyDeltaIsTransparent) {
+  auto g = BuildBase();
+  auto view = GraphView::Apply(g, {});
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->NumNodes(), g.NumNodes());
+  EXPECT_EQ(view->NumEdges(), g.NumEdges());
+  EXPECT_TRUE(view->AffectedNodes().empty());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(view->OutEdges(v).data(), g.OutEdges(v).data());  // same span
+  }
+}
+
+TEST(GraphView, InsertEdgeAppearsOnlyInTheView) {
+  auto g = BuildBase();
+  GraphDelta d;
+  LabelId knows = *g.FindLabel("knows");
+  d.InsertEdge(1, 2, knows);  // b -knows-> c
+  auto view = GraphView::Apply(g, d);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(view->HasEdge(1, 2, knows));
+  EXPECT_FALSE(g.HasEdge(1, 2, knows));
+  EXPECT_EQ(view->NumEdges(), g.NumEdges() + 1);
+  EXPECT_EQ(view->OutDegree(1), 1u);
+  EXPECT_EQ(view->InDegree(2), 2u);
+  // The new edge id is past the base edge-id space and resolves.
+  EdgeId e = view->OutEdges(1)[0];
+  EXPECT_GE(e, g.NumEdges());
+  EXPECT_EQ(view->EdgeSrc(e), 1u);
+  EXPECT_EQ(view->EdgeDst(e), 2u);
+  EXPECT_EQ(view->EdgeLabel(e), knows);
+  // Affected set: both endpoints.
+  EXPECT_EQ(std::vector<NodeId>(view->AffectedNodes().begin(),
+                                view->AffectedNodes().end()),
+            (std::vector<NodeId>{1, 2}));
+}
+
+TEST(GraphView, DeleteEdgeRemovesOneParallelOccurrence) {
+  auto g = BuildBase();
+  GraphDelta d;
+  LabelId knows = *g.FindLabel("knows");
+  d.DeleteEdge(0, 1, knows);
+  auto view = GraphView::Apply(g, d);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_FALSE(view->HasEdge(0, 1, knows));
+  EXPECT_TRUE(view->HasEdge(0, 2, knows));  // the sibling edge survives
+  EXPECT_EQ(view->OutDegree(0), 1u);
+  EXPECT_EQ(view->InDegree(1), 0u);
+  EXPECT_EQ(view->NumEdges(), g.NumEdges() - 1);
+}
+
+TEST(GraphView, InsertThenDeleteIsANoOpDeleteThenReinsertIsNot) {
+  auto g = BuildBase();
+  LabelId likes = *g.FindLabel("likes");
+  {
+    GraphDelta d;
+    d.InsertEdge(1, 2, likes);
+    d.DeleteEdge(1, 2, likes);
+    auto view = GraphView::Apply(g, d);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_FALSE(view->HasEdge(1, 2, likes));
+    EXPECT_EQ(view->NumEdges(), g.NumEdges());
+  }
+  {
+    GraphDelta d;
+    d.DeleteEdge(2, 0, likes);
+    d.InsertEdge(2, 0, likes);
+    auto view = GraphView::Apply(g, d);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_TRUE(view->HasEdge(2, 0, likes));
+    EXPECT_EQ(view->NumEdges(), g.NumEdges());
+  }
+}
+
+TEST(GraphView, DeleteOfMissingEdgeFailsWithOpContext) {
+  auto g = BuildBase();
+  GraphDelta d;
+  d.InsertEdge(0, 1, *g.FindLabel("likes"));
+  d.DeleteEdge(1, 0, *g.FindLabel("knows"));  // no such edge
+  std::string error;
+  auto view = GraphView::Apply(g, d, &error);
+  EXPECT_FALSE(view.has_value());
+  EXPECT_NE(error.find("op 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("missing edge"), std::string::npos) << error;
+}
+
+TEST(GraphView, OutOfRangeNodeFails) {
+  auto g = BuildBase();
+  GraphDelta d;
+  d.InsertEdge(0, 99, *g.FindLabel("knows"));
+  std::string error;
+  EXPECT_FALSE(GraphView::Apply(g, d, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(GraphView, AttrOverlayShadowsBaseAndExtendsVocabulary) {
+  auto g = BuildBase();
+  GraphDelta d;
+  AttrId city = *g.FindAttr("city");
+  ValueId rome = *g.FindValue("rome");
+  // Overwrite an existing attribute with an existing value...
+  d.SetAttr(0, city, rome);
+  // ...and set a brand-new attribute to a brand-new value.
+  AttrId mood = d.InternAttr(g, "mood");
+  ValueId happy = d.InternValue(g, "happy");
+  d.SetAttr(2, mood, happy);
+  // Last write wins per (node, key).
+  ValueId paris = *g.FindValue("paris");
+  d.SetAttr(0, city, paris);
+  d.SetAttr(0, city, rome);
+
+  auto view = GraphView::Apply(g, d);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->GetAttr(0, city), rome);
+  // The base is untouched; unchanged nodes pass through.
+  EXPECT_EQ(g.GetAttr(0, city), paris);
+  EXPECT_EQ(view->GetAttr(1, city), *g.FindValue("rome"));
+  ASSERT_TRUE(view->GetAttr(2, mood).has_value());
+  EXPECT_EQ(view->ValueName(*view->GetAttr(2, mood)), "happy");
+  EXPECT_EQ(view->AttrName(mood), "mood");
+  EXPECT_EQ(view->FindAttr("mood"), mood);
+  EXPECT_FALSE(g.FindAttr("mood").has_value());
+  // Attr targets are affected nodes.
+  auto affected = view->AffectedNodes();
+  EXPECT_TRUE(std::find(affected.begin(), affected.end(), 2u) !=
+              affected.end());
+}
+
+TEST(GraphView, MaterializePreservesIdsAndContent) {
+  auto g = BuildBase();
+  GraphDelta d;
+  LabelId knows = *g.FindLabel("knows");
+  d.DeleteEdge(0, 1, knows);
+  d.InsertEdge(1, 0, knows);
+  d.SetAttr(1, d.InternAttr(g, "mood"), d.InternValue(g, "grim"));
+  auto view = GraphView::Apply(g, d);
+  ASSERT_TRUE(view.has_value());
+
+  PropertyGraph m = view->Materialize();
+  EXPECT_EQ(m.NumNodes(), view->NumNodes());
+  EXPECT_EQ(m.NumEdges(), view->NumEdges());
+  // Vocabulary ids carried over, including the extension.
+  EXPECT_EQ(m.FindLabel("knows"), knows);
+  EXPECT_EQ(*m.FindAttr("mood"), *view->FindAttr("mood"));
+  for (NodeId v = 0; v < m.NumNodes(); ++v) {
+    EXPECT_EQ(m.NodeLabel(v), view->NodeLabel(v));
+    EXPECT_EQ(m.NodeName(v), view->NodeName(v));
+    for (NodeId u = 0; u < m.NumNodes(); ++u) {
+      EXPECT_EQ(m.HasEdge(v, u, kWildcardLabel),
+                view->HasEdge(v, u, kWildcardLabel));
+    }
+  }
+  EXPECT_EQ(m.GetAttr(1, *m.FindAttr("mood")),
+            view->GetAttr(1, *view->FindAttr("mood")));
+}
+
+TEST(GraphView, MatcherEnumeratesViewExactlyAsMaterialized) {
+  // Random graph + random delta: every pattern enumeration over the view
+  // must agree with enumeration over the compacted graph.
+  auto g = MakeSynthetic({.nodes = 120,
+                          .edges = 300,
+                          .node_labels = 5,
+                          .edge_labels = 4,
+                          .attrs = 3,
+                          .values = 12,
+                          .seed = 21});
+  Rng rng(77);
+  GraphDelta d;
+  for (int i = 0; i < 30; ++i) {
+    EdgeId e = static_cast<EdgeId>(rng.Below(g.NumEdges()));
+    if (rng.Chance(0.5)) {
+      d.InsertEdge(static_cast<NodeId>(rng.Below(g.NumNodes())),
+                   static_cast<NodeId>(rng.Below(g.NumNodes())),
+                   g.EdgeLabel(e));
+    } else {
+      d.InsertEdge(g.EdgeSrc(e), g.EdgeDst(e), g.EdgeLabel(e));
+    }
+  }
+  auto view = GraphView::Apply(g, d);
+  ASSERT_TRUE(view.has_value());
+  auto m = view->Materialize();
+
+  // A 2-edge pattern over the most frequent labels.
+  Pattern q;
+  VarId x = q.AddNode(kWildcardLabel);
+  VarId y = q.AddNode(kWildcardLabel);
+  VarId z = q.AddNode(kWildcardLabel);
+  q.AddEdge(x, y, g.EdgeLabel(0));
+  q.AddEdge(y, z, kWildcardLabel);
+  q.set_pivot(x);
+  CompiledPattern plan(q);
+
+  std::vector<Match> from_view, from_graph;
+  plan.ForEachMatch(*view, [&](const Match& h) {
+    from_view.push_back(h);
+    return true;
+  });
+  plan.ForEachMatch(m, [&](const Match& h) {
+    from_graph.push_back(h);
+    return true;
+  });
+  std::sort(from_view.begin(), from_view.end());
+  std::sort(from_graph.begin(), from_graph.end());
+  EXPECT_EQ(from_view, from_graph);
+  EXPECT_FALSE(from_view.empty());
+}
+
+TEST(DeltaLoader, ParsesOpsInOrderAndRoundTrips) {
+  auto g = BuildBase();
+  std::istringstream in(
+      "# a delta\n"
+      "E+\ta\tc\tlikes\n"
+      "E-\ta\tb\tknows\n"
+      "A\tb\tcity=berlin\tmood=sunny\n");
+  std::string error;
+  auto d = LoadGraphDeltaTsv(in, g, &error);
+  ASSERT_TRUE(d.has_value()) << error;
+  ASSERT_EQ(d->ops.size(), 4u);
+  EXPECT_EQ(d->ops[0].kind, GraphDelta::OpKind::kInsertEdge);
+  EXPECT_EQ(d->ops[0].src, 0u);
+  EXPECT_EQ(d->ops[0].dst, 2u);
+  EXPECT_EQ(d->ops[1].kind, GraphDelta::OpKind::kDeleteEdge);
+  EXPECT_EQ(d->ops[2].kind, GraphDelta::OpKind::kSetAttr);
+  EXPECT_EQ(d->ops[3].kind, GraphDelta::OpKind::kSetAttr);
+  // "berlin" and "mood" are extension vocabulary.
+  EXPECT_EQ(d->extra_values.size(), 2u);  // berlin, sunny
+  EXPECT_EQ(d->extra_attrs.size(), 1u);   // mood
+
+  std::ostringstream out;
+  SaveGraphDeltaTsv(g, *d, out);
+  std::istringstream in2(out.str());
+  auto d2 = LoadGraphDeltaTsv(in2, g, &error);
+  ASSERT_TRUE(d2.has_value()) << error;
+  EXPECT_EQ(d2->ops, d->ops);
+  EXPECT_EQ(d2->extra_values, d->extra_values);
+}
+
+TEST(DeltaLoader, ReportsLineNumberedErrors) {
+  auto g = BuildBase();
+  struct Case {
+    const char* text;
+    const char* expect;
+  } cases[] = {
+      {"E+\ta\tb\n", "line 1: short E+ record"},
+      {"# ok\nE-\ta\tnobody\tknows\n", "line 2: unknown node 'nobody'"},
+      {"A\ta\tcity\n", "line 1: attribute without '='"},
+      {"X\ta\tb\tc\n", "line 1: unknown tag 'X'"},
+  };
+  for (const auto& c : cases) {
+    std::istringstream in(c.text);
+    std::string error;
+    EXPECT_FALSE(LoadGraphDeltaTsv(in, g, &error).has_value());
+    EXPECT_NE(error.find(c.expect), std::string::npos)
+        << "got: " << error << " want: " << c.expect;
+  }
+}
+
+TEST(DeltaLoader, ResolvesUnnamedNodesThroughSaveAliases) {
+  PropertyGraph::Builder b;
+  b.AddNode("thing");
+  b.AddNode("thing");
+  auto g = std::move(b).Build();  // nodes unnamed -> aliases n0 / n1
+  std::istringstream in("E+\tn0\tn1\trel\n");
+  std::string error;
+  auto d = LoadGraphDeltaTsv(in, g, &error);
+  ASSERT_TRUE(d.has_value()) << error;
+  EXPECT_EQ(d->ops[0].src, 0u);
+  EXPECT_EQ(d->ops[0].dst, 1u);
+}
+
+}  // namespace
+}  // namespace gfd

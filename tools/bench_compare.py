@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json trajectory files.
+
+Compares every BENCH_*.json under --current against the file of the same
+name under --baseline (the artifact downloaded from the latest successful
+main run) and fails when any timed metric slowed down by more than
+--threshold. Metrics are the per-bench "seconds" fields; counter fields
+(violations, matches, ...) are informational and never gate.
+
+Rows faster than --min-seconds in the baseline are skipped: at
+sub-10-millisecond scale, CI-runner jitter swamps any real signal.
+
+Exit codes: 0 ok / baseline missing (warn-only bootstrap), 1 regression,
+2 usage or malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load_benches(path):
+    """Returns {bench name: seconds} for one BENCH_*.json file."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benches", []):
+        name = row.get("name")
+        seconds = row.get("seconds")
+        if name is None or not isinstance(seconds, (int, float)):
+            continue
+        out[name] = float(seconds)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="directory holding this build's BENCH_*.json")
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding the baseline BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative slowdown (default 0.25)")
+    parser.add_argument("--min-seconds", type=float, default=0.01,
+                        help="ignore baseline rows faster than this")
+    args = parser.parse_args()
+
+    current_files = sorted(Path(args.current).glob("BENCH_*.json"))
+    if not current_files:
+        print(f"error: no BENCH_*.json under {args.current}", file=sys.stderr)
+        return 2
+
+    baseline_dir = Path(args.baseline)
+    if not baseline_dir.is_dir() or not any(baseline_dir.glob("BENCH_*.json")):
+        print(f"warn: no baseline under {args.baseline}; "
+              "skipping the perf gate (bootstrap run)")
+        return 0
+
+    regressions = []
+    lines = []
+    for cur_path in current_files:
+        base_path = baseline_dir / cur_path.name
+        if not base_path.exists():
+            lines.append((cur_path.name, "-", "-", "-", "new file"))
+            continue
+        try:
+            cur = load_benches(cur_path)
+            base = load_benches(base_path)
+        except (json.JSONDecodeError, OSError) as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
+        for name, base_s in sorted(base.items()):
+            if name not in cur:
+                lines.append((cur_path.name, name, f"{base_s:.3f}", "-",
+                              "dropped"))
+                continue
+            cur_s = cur[name]
+            if base_s < args.min_seconds:
+                continue  # sub-jitter rows never gate
+            ratio = (cur_s - base_s) / base_s
+            status = "ok"
+            if ratio > args.threshold:
+                status = "REGRESSION"
+                regressions.append((cur_path.name, name, base_s, cur_s, ratio))
+            elif ratio < -args.threshold:
+                status = "improved"
+            lines.append((cur_path.name, name, f"{base_s:.3f}",
+                          f"{cur_s:.3f}", f"{ratio:+.1%} {status}"))
+
+    header = ("file", "bench", "base(s)", "cur(s)", "delta")
+    widths = [max(len(str(row[i])) for row in [header] + lines)
+              for i in range(5)]
+    for row in [header] + lines:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as f:
+            f.write("### Perf gate\n\n")
+            f.write("| " + " | ".join(header) + " |\n")
+            f.write("|" + "---|" * 5 + "\n")
+            for row in lines:
+                f.write("| " + " | ".join(str(c) for c in row) + " |\n")
+            f.write("\n")
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) slowed down more than "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for file, name, base_s, cur_s, ratio in regressions:
+            print(f"  {file}:{name}: {base_s:.3f}s -> {cur_s:.3f}s "
+                  f"({ratio:+.1%})", file=sys.stderr)
+        return 1
+    print("\nperf gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
