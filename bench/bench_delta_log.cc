@@ -1,0 +1,263 @@
+// Delta-log durability smoke bench, run as a ctest entry on every CI
+// build next to bench_incremental: times the serving-side persistence
+// primitives of serve/ -- append throughput (fsync'd, growing overlay),
+// startup replay vs. log length, and snapshot compaction cost vs.
+// overlay size -- against a YAGO2-shaped graph at scale 300. Every
+// restart is verified byte-identical: the reopened store's materialized
+// graph must equal the in-process one. Timings land in
+// BENCH_delta_log.json.
+//
+// Usage: bench_delta_log [output.json]
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/graph_view.h"
+#include "graph/loader.h"
+#include "serve/graph_store.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace gfd;
+using namespace gfd::bench;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Row {
+  std::string name;
+  double seconds = 0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+void WriteJson(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::perror(path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"gfd-bench-delta-log-v1\",\n");
+  std::fprintf(f, "  \"benches\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f, "    {\"name\": \"%s\", \"seconds\": %.6f",
+                 r.name.c_str(), r.seconds);
+    for (const auto& [k, v] : r.counters) {
+      std::fprintf(f, ", \"%s\": %.3f", k.c_str(), v);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+// A stateful update-stream generator over a fixed base graph: 50% edge
+// inserts (label-plausible endpoints), 25% deletes of still-alive base
+// edges, 25% attribute sets (some introducing brand-new values). State
+// carries across batches so a later batch never deletes an edge an
+// earlier one already removed.
+class StreamGen {
+ public:
+  StreamGen(const PropertyGraph& g, uint64_t seed)
+      : g_(g), rng_(seed), gone_(g.NumEdges(), false) {}
+
+  GraphDelta NextBatch(size_t ops) {
+    GraphDelta d;
+    for (size_t i = 0; i < ops; ++i) {
+      double roll = rng_.NextDouble();
+      if (roll < 0.5) {
+        EdgeId e = static_cast<EdgeId>(rng_.Below(g_.NumEdges()));
+        EdgeId e2 = static_cast<EdgeId>(rng_.Below(g_.NumEdges()));
+        d.InsertEdge(g_.EdgeSrc(e), g_.EdgeDst(e2), g_.EdgeLabel(e));
+      } else if (roll < 0.75) {
+        EdgeId e = static_cast<EdgeId>(rng_.Below(g_.NumEdges()));
+        if (gone_[e]) continue;
+        gone_[e] = true;
+        d.DeleteEdge(g_.EdgeSrc(e), g_.EdgeDst(e), g_.EdgeLabel(e));
+      } else {
+        NodeId v = static_cast<NodeId>(rng_.Below(g_.NumNodes()));
+        auto attrs = g_.NodeAttrs(v);
+        if (attrs.empty()) continue;
+        AttrId key = attrs[rng_.Below(attrs.size())].key;
+        ValueId val =
+            rng_.Chance(0.25)
+                ? d.InternValue(g_,
+                                "patched_" + std::to_string(rng_.Below(8)))
+                : static_cast<ValueId>(rng_.Below(g_.values().size()));
+        d.SetAttr(v, key, val);
+      }
+    }
+    return d;
+  }
+
+ private:
+  const PropertyGraph& g_;
+  Rng rng_;
+  std::vector<bool> gone_;
+};
+
+std::string GraphBytes(const PropertyGraph& g) {
+  std::ostringstream os;
+  SaveGraphTsv(g, os);
+  return std::move(os).str();
+}
+
+// A fresh store under the system temp dir holding `g`, with `batches`
+// batches of `ops_per_batch` ops appended (no compaction). Returns the
+// directory.
+std::string BuildStore(const PropertyGraph& g, size_t batches,
+                       size_t ops_per_batch, uint64_t seed) {
+  std::string dir =
+      (fs::temp_directory_path() / "gfd_bench_delta_log").string();
+  fs::remove_all(dir);
+  std::string error;
+  if (!GraphStore::Init(dir, g, &error)) {
+    std::fprintf(stderr, "init failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  auto store = GraphStore::Open(dir, {}, &error);
+  if (!store) {
+    std::fprintf(stderr, "open failed: %s\n", error.c_str());
+    std::exit(1);
+  }
+  // Batches are expressed over the store's own base, per the Append
+  // contract (vocab-preserving snapshots make it id-identical to `g`
+  // here, but that is the store's guarantee to rely on, not the bench's).
+  StreamGen gen(store->base(), seed);
+  for (size_t b = 0; b < batches; ++b) {
+    if (!store->Append(gen.NextBatch(ops_per_batch), &error)) {
+      std::fprintf(stderr, "append failed: %s\n", error.c_str());
+      std::exit(1);
+    }
+  }
+  return dir;
+}
+
+// Min of `reps` timed runs (sub-10ms bodies need the min to be stable).
+template <typename Fn>
+double TimedMin(int reps, const Fn& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.Seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out = argc > 1 ? argv[1] : "BENCH_delta_log.json";
+  auto g = Yago2Like(300);
+  std::printf("base graph: |V|=%zu |E|=%zu\n", g.NumNodes(), g.NumEdges());
+
+  std::vector<Row> rows;
+  bool verified = true;
+
+  // --- Append throughput (durable, fsync per batch, growing overlay) ----
+  {
+    const size_t kBatches = 128, kOps = 8;
+    std::string dir = BuildStore(g, 0, 0, /*seed=*/11);
+    std::string error;
+    auto store = GraphStore::Open(dir, {}, &error);
+    if (!store) {
+      std::fprintf(stderr, "open failed: %s\n", error.c_str());
+      return 1;
+    }
+    StreamGen gen(store->base(), /*seed=*/11);
+    WallTimer t;
+    for (size_t b = 0; b < kBatches; ++b) {
+      if (!store->Append(gen.NextBatch(kOps), &error)) {
+        std::fprintf(stderr, "append failed: %s\n", error.c_str());
+        return 1;
+      }
+    }
+    double s = t.Seconds();
+    double log_bytes = static_cast<double>(
+        fs::file_size(fs::path(dir) / "deltas.log"));
+    std::printf("%-28s %8.3fs  %zu batches x %zu ops, %.0f bytes logged\n",
+                "append_128x8", s, kBatches, kOps, log_bytes);
+    rows.push_back({"append_128x8",
+                    s,
+                    {{"batches", double(kBatches)},
+                     {"batch_ops", double(kOps)},
+                     {"batches_per_sec", s > 0 ? kBatches / s : 0},
+                     {"log_bytes", log_bytes}}});
+  }
+
+  // --- Replay time vs. log length --------------------------------------
+  for (size_t batches : {32UL, 128UL}) {
+    std::string dir = BuildStore(g, batches, 8, /*seed=*/23);
+    // In-process reference state for the restart-determinism check.
+    std::string expect;
+    {
+      std::string error;
+      auto ref = GraphStore::Open(dir, {}, &error);
+      expect = GraphBytes(ref->MaterializeCurrent());
+    }
+    std::string error;
+    double s = TimedMin(3, [&] {
+      auto store = GraphStore::Open(dir, {}, &error);
+      if (!store) std::exit(1);
+    });
+    auto reopened = GraphStore::Open(dir, {}, &error);
+    bool ok = GraphBytes(reopened->MaterializeCurrent()) == expect;
+    verified = verified && ok;
+    std::string name = "replay_" + std::to_string(batches) + "batches";
+    std::printf("%-28s %8.3fs  %zu ops replayed, restart %s\n", name.c_str(),
+                s, reopened->overlay().ops.size(),
+                ok ? "byte-identical" : "DIVERGED");
+    rows.push_back({name,
+                    s,
+                    {{"batches", double(batches)},
+                     {"overlay_ops", double(reopened->overlay().ops.size())},
+                     {"verified", ok ? 1.0 : 0.0}}});
+  }
+
+  // --- Compaction cost vs. overlay size --------------------------------
+  for (size_t batches : {32UL, 128UL}) {
+    std::string dir = BuildStore(g, batches, 8, /*seed=*/37);
+    std::string error;
+    auto store = GraphStore::Open(dir, {}, &error);
+    size_t overlay_ops = store->overlay().ops.size();
+    WallTimer t;
+    if (!store->Compact(&error)) {
+      std::fprintf(stderr, "compact failed: %s\n", error.c_str());
+      return 1;
+    }
+    double s = t.Seconds();
+    // Restart after the compaction boundary must land on the same bytes.
+    auto reopened = GraphStore::Open(dir, {}, &error);
+    bool ok = reopened &&
+              GraphBytes(reopened->MaterializeCurrent()) ==
+                  GraphBytes(store->MaterializeCurrent());
+    verified = verified && ok;
+    double snap_bytes = static_cast<double>(fs::file_size(
+        fs::path(dir) / ("snapshot-" + std::to_string(store->last_seq()) +
+                         ".tsv")));
+    std::string name = "compact_" + std::to_string(overlay_ops) + "ops";
+    std::printf("%-28s %8.3fs  snapshot %.0f bytes, restart %s\n",
+                name.c_str(), s, snap_bytes,
+                ok ? "byte-identical" : "DIVERGED");
+    rows.push_back({name,
+                    s,
+                    {{"overlay_ops", double(overlay_ops)},
+                     {"snapshot_bytes", snap_bytes},
+                     {"verified", ok ? 1.0 : 0.0}}});
+  }
+
+  rows.push_back({"summary", 0, {{"verified", verified ? 1.0 : 0.0}}});
+  std::printf("restart determinism: %s\n",
+              verified ? "byte-identical" : "DIVERGED");
+
+  fs::remove_all(fs::temp_directory_path() / "gfd_bench_delta_log");
+  WriteJson(out, rows);
+  std::printf("wrote %s\n", out);
+  return verified ? 0 : 1;
+}

@@ -189,8 +189,9 @@ bool ViolationEngine::EvalPivot(const GraphT& g, const Group& group,
   return !st.stop.load(std::memory_order_relaxed);
 }
 
-DetectionResult ViolationEngine::Detect(const PropertyGraph& g,
-                                        const DetectOptions& opts) const {
+template <typename GraphT>
+DetectionResult ViolationEngine::DetectImpl(const GraphT& g,
+                                            const DetectOptions& opts) const {
   RunState st(opts, rules_.size());
   DetectionResult result;
   result.stats.num_rules = rules_.size();
@@ -237,6 +238,16 @@ DetectionResult ViolationEngine::Detect(const PropertyGraph& g,
   result.stats.literal_evals = st.literal_evals.load();
   result.stats.truncated = st.truncated.load();
   return result;
+}
+
+DetectionResult ViolationEngine::Detect(const PropertyGraph& g,
+                                        const DetectOptions& opts) const {
+  return DetectImpl(g, opts);
+}
+
+DetectionResult ViolationEngine::Detect(const GraphView& g,
+                                        const DetectOptions& opts) const {
+  return DetectImpl(g, opts);
 }
 
 DetectionResult ViolationEngine::DetectSharded(const PropertyGraph& g,
@@ -294,22 +305,6 @@ DetectionResult ViolationEngine::DetectSharded(const PropertyGraph& g,
   result.stats.literal_evals = st.literal_evals.load();
   result.stats.truncated = st.truncated.load();
   return result;
-}
-
-const std::vector<CompiledPattern>& ViolationEngine::Group::AnchorPlans()
-    const {
-  // Lazy: Detect-only workloads never pay for the per-variable plans.
-  // call_once makes concurrent DetectIncremental calls on one engine safe.
-  std::call_once(anchor_once, [&] {
-    const Pattern& rep = plan.pattern();
-    anchor_plans.reserve(rep.NumNodes());
-    for (VarId u = 0; u < rep.NumNodes(); ++u) {
-      Pattern q = rep;
-      q.set_pivot(u);
-      anchor_plans.emplace_back(q);
-    }
-  });
-  return anchor_plans;
 }
 
 template <typename GraphT>
@@ -428,6 +423,18 @@ IncrementalDiff ViolationEngine::DetectIncremental(
   std::set_difference(before.begin(), before.end(), after.begin(),
                       after.end(), std::back_inserter(diff.removed));
   return diff;
+}
+
+DeltaVerdict ClassifyDelta(const ViolationEngine& engine,
+                           const GraphView& view, const IncrementalDiff& diff,
+                           size_t workers) {
+  if (!diff.added.empty()) return DeltaVerdict::kAddedViolations;
+  DetectOptions probe;
+  probe.max_total_violations = 1;  // existence probe: stop at the first
+  probe.workers = workers;
+  DetectionResult any = engine.Detect(view, probe);
+  return any.violations.empty() ? DeltaVerdict::kClean
+                                : DeltaVerdict::kPreexistingOnly;
 }
 
 DetectionResult DetectNaive(const PropertyGraph& g, std::span<const Gfd> rules,

@@ -22,10 +22,10 @@
 #define GFD_DETECT_ENGINE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "detect/anchor_plans.h"
 #include "detect/violation.h"
 #include "gfd/gfd.h"
 #include "graph/graph_view.h"
@@ -119,6 +119,13 @@ class ViolationEngine {
   DetectionResult Detect(const PropertyGraph& g,
                          const DetectOptions& opts = {}) const;
 
+  /// Full detection over a delta-overlay view (same records a Detect over
+  /// view.Materialize() would produce, without materializing). Used to
+  /// answer "does the updated graph have any violation at all" -- e.g.
+  /// with a max_total_violations=1 budget as an existence probe.
+  DetectionResult Detect(const GraphView& g,
+                         const DetectOptions& opts = {}) const;
+
   /// Sharded run over a vertex-cut fragmentation: fragment f evaluates
   /// exactly the pivots it owns (frag.node_owner), one Cluster worker per
   /// fragment, and ships its violations to the master (accounted in
@@ -162,24 +169,26 @@ class ViolationEngine {
   struct Group {
     CompiledPattern plan;
     std::vector<Member> members;
-    /// One plan per variable, rooted there instead of at the pivot: plan
-    /// i enumerates exactly the matches binding variable i to a given
-    /// node. Built lazily on the first DetectIncremental call (Detect
-    /// never needs them); anchor_plans[pivot] duplicates `plan`.
-    mutable std::vector<CompiledPattern> anchor_plans;
-    mutable std::once_flag anchor_once;
+    /// Per-variable anchor plans, built lazily on the first
+    /// DetectIncremental call (Detect never needs them). The lazy state
+    /// lives behind a stable pointer, so Groups move safely even after
+    /// the plans were built (anchor_plans.h has the full story).
+    LazyAnchorPlans anchors;
 
     explicit Group(const Pattern& rep) : plan(rep) {}
-    Group(Group&& o) noexcept
-        : plan(std::move(o.plan)),
-          members(std::move(o.members)),
-          anchor_plans(std::move(o.anchor_plans)) {}
 
-    const std::vector<CompiledPattern>& AnchorPlans() const;
+    const std::vector<CompiledPattern>& AnchorPlans() const {
+      return anchors.Get(plan.pattern());
+    }
   };
 
   // Shared mutable state of one run (budget counters; defined in the .cc).
   struct RunState;
+
+  // Common body of the two Detect overloads. GraphT is PropertyGraph or
+  // GraphView.
+  template <typename GraphT>
+  DetectionResult DetectImpl(const GraphT& g, const DetectOptions& opts) const;
 
   // Evaluates one (group, pivot) pair, appending violations to `out`.
   // Returns false once the global budget is exhausted (callers stop).
@@ -200,6 +209,27 @@ class ViolationEngine {
   std::vector<Gfd> rules_;
   std::vector<Group> groups_;
 };
+
+/// Classification of a post-update state, for exit-code style reporting
+/// on the serving path: an update that merely *removes* violations must
+/// not be confused with one that left none behind.
+enum class DeltaVerdict {
+  kClean,            ///< the updated graph has no violations at all
+  kAddedViolations,  ///< the update introduced at least one new violation
+  kPreexistingOnly,  ///< nothing added, but violations predating the
+                     ///< update (possibly elsewhere in the graph) persist
+};
+
+/// Classifies `view` given the diff its delta induced. Added violations
+/// are read straight off `diff`; distinguishing clean from
+/// pre-existing-only takes one budgeted full scan of the view
+/// (max_total_violations = 1, so it stops at the first survivor --
+/// worst case, a genuinely clean graph, costs a full no-hit scan; a
+/// serving loop that tracks a running violation count across batches
+/// avoids the scan entirely, see ROADMAP).
+DeltaVerdict ClassifyDelta(const ViolationEngine& engine,
+                           const GraphView& view, const IncrementalDiff& diff,
+                           size_t workers = 1);
 
 /// The baseline the engine is benchmarked against: one full matcher run
 /// per rule (the per-GFD FindViolations loop of gfd/validation.h),

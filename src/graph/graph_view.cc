@@ -54,6 +54,38 @@ const std::string& GraphDelta::ValueName(const PropertyGraph& base,
   return ExtName(extra_values, base.values(), v);
 }
 
+void GraphDelta::Append(const PropertyGraph& base, const GraphDelta& other) {
+  // Translate an id of `other`'s vocabulary into this delta's: base ids
+  // are shared, extension ids resolve by name (interning on first sight).
+  auto map_label = [&](LabelId l) {
+    if (l < base.labels().size()) return l;
+    return InternLabel(base, other.LabelName(base, l));
+  };
+  auto map_attr = [&](AttrId a) {
+    if (a < base.attrs().size()) return a;
+    return InternAttr(base, other.AttrName(base, a));
+  };
+  auto map_value = [&](ValueId v) {
+    if (v < base.values().size()) return v;
+    return InternValue(base, other.ValueName(base, v));
+  };
+  ops.reserve(ops.size() + other.ops.size());
+  for (const Op& op : other.ops) {
+    Op mapped = op;
+    switch (op.kind) {
+      case OpKind::kInsertEdge:
+      case OpKind::kDeleteEdge:
+        mapped.label = map_label(op.label);
+        break;
+      case OpKind::kSetAttr:
+        mapped.key = map_attr(op.key);
+        mapped.value = map_value(op.value);
+        break;
+    }
+    ops.push_back(mapped);
+  }
+}
+
 std::vector<EdgeId>& GraphView::TouchOut(NodeId v) {
   auto [it, fresh] =
       out_touched_.try_emplace(v, static_cast<uint32_t>(out_lists_.size()));

@@ -86,6 +86,14 @@ struct GraphDelta {
   const std::string& AttrName(const PropertyGraph& base, AttrId a) const;
   const std::string& ValueName(const PropertyGraph& base, ValueId v) const;
 
+  /// Appends `other` -- a delta over the same `base` -- to this one: ops
+  /// are concatenated in stream order and `other`'s extension vocabulary
+  /// is re-interned *by name*, so two batches that each introduced the
+  /// same new string agree on its id in the merged delta. This is how an
+  /// update stream of many batches collapses into the single overlay
+  /// GraphView::Apply consumes.
+  void Append(const PropertyGraph& base, const GraphDelta& other);
+
   bool empty() const { return ops.empty(); }
   size_t size() const { return ops.size(); }
 };

@@ -14,6 +14,28 @@ namespace {
 void SetError(std::string* error, const std::string& msg) {
   if (error) *error = msg;
 }
+
+// The name a node answers to in TSV files: its own name, or the "n<id>"
+// alias SaveGraphTsv emits for unnamed nodes.
+std::string NodeAlias(const PropertyGraph& g, NodeId v) {
+  const std::string& name = g.NodeName(v);
+  if (!name.empty()) return name;
+  std::string alias = "n";
+  alias += std::to_string(v);
+  return alias;
+}
+
+// Unescapes one raw field, reporting a line-numbered error on a dangling
+// backslash or unknown escape instead of silently keeping corrupt data.
+std::optional<std::string> Unescape(std::string_view field, size_t lineno,
+                                    std::string* error) {
+  auto s = UnescapeField(field);
+  if (!s) {
+    SetError(error, "line " + std::to_string(lineno) + ": bad escape in '" +
+                        std::string(field) + "'");
+  }
+  return s;
+}
 }  // namespace
 
 std::optional<PropertyGraph> LoadGraphTsv(std::istream& in,
@@ -29,20 +51,40 @@ std::optional<PropertyGraph> LoadGraphTsv(std::istream& in,
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     auto fields = SplitFields(line);
-    if (fields[0] == "N") {
+    if (fields[0] == "L" || fields[0] == "K" || fields[0] == "V") {
+      // Vocabulary declaration: intern in file order so a with_vocab save
+      // reloads with identical ids (Intern dedups, so re-declaring the
+      // builder's pre-interned wildcard is a no-op).
+      if (fields.size() < 2) {
+        SetError(error, "line " + std::to_string(lineno) + ": short " +
+                            std::string(fields[0]) + " record");
+        return std::nullopt;
+      }
+      auto name = Unescape(fields[1], lineno, error);
+      if (!name) return std::nullopt;
+      if (fields[0] == "L") {
+        b.InternLabel(*name);
+      } else if (fields[0] == "K") {
+        b.InternAttr(*name);
+      } else {
+        b.InternValue(*name);
+      }
+    } else if (fields[0] == "N") {
       if (fields.size() < 3) {
         SetError(error, "line " + std::to_string(lineno) + ": short N record");
         return std::nullopt;
       }
-      std::string name(fields[1]);
-      if (ids.count(name)) {
-        SetError(error,
-                 "line " + std::to_string(lineno) + ": duplicate node " + name);
+      auto name = Unescape(fields[1], lineno, error);
+      auto label = Unescape(fields[2], lineno, error);
+      if (!name || !label) return std::nullopt;
+      if (ids.count(*name)) {
+        SetError(error, "line " + std::to_string(lineno) +
+                            ": duplicate node " + *name);
         return std::nullopt;
       }
-      NodeId v = b.AddNode(fields[2]);
-      b.SetName(v, name);
-      ids.emplace(std::move(name), v);
+      NodeId v = b.AddNode(*label);
+      b.SetName(v, *name);
+      ids.emplace(std::move(*name), v);
       for (size_t i = 3; i < fields.size(); ++i) {
         std::string_view key, value;
         if (!SplitKeyValue(fields[i], &key, &value)) {
@@ -50,21 +92,28 @@ std::optional<PropertyGraph> LoadGraphTsv(std::istream& in,
                               ": attribute without '='");
           return std::nullopt;
         }
-        b.SetAttr(v, key, value);
+        auto k = Unescape(key, lineno, error);
+        auto val = Unescape(value, lineno, error);
+        if (!k || !val) return std::nullopt;
+        b.SetAttr(v, *k, *val);
       }
     } else if (fields[0] == "E") {
       if (fields.size() < 4) {
         SetError(error, "line " + std::to_string(lineno) + ": short E record");
         return std::nullopt;
       }
-      auto src = ids.find(std::string(fields[1]));
-      auto dst = ids.find(std::string(fields[2]));
+      auto sname = Unescape(fields[1], lineno, error);
+      auto dname = Unescape(fields[2], lineno, error);
+      auto label = Unescape(fields[3], lineno, error);
+      if (!sname || !dname || !label) return std::nullopt;
+      auto src = ids.find(*sname);
+      auto dst = ids.find(*dname);
       if (src == ids.end() || dst == ids.end()) {
         SetError(error, "line " + std::to_string(lineno) +
                             ": edge references unknown node");
         return std::nullopt;
       }
-      b.AddEdge(src->second, dst->second, fields[3]);
+      b.AddEdge(src->second, dst->second, *label);
     } else {
       SetError(error, "line " + std::to_string(lineno) + ": unknown tag '" +
                           std::string(fields[0]) + "'");
@@ -92,8 +141,7 @@ std::optional<GraphDelta> LoadGraphDeltaTsv(std::istream& in,
   std::unordered_map<std::string, NodeId> ids;
   ids.reserve(g.NumNodes());
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
-    const std::string& name = g.NodeName(v);
-    ids.emplace(name.empty() ? "n" + std::to_string(v) : name, v);
+    ids.emplace(NodeAlias(g, v), v);
   }
 
   GraphDelta d;
@@ -104,11 +152,13 @@ std::optional<GraphDelta> LoadGraphDeltaTsv(std::istream& in,
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     auto fields = SplitFields(line);
-    auto at = [&](std::string_view name) -> std::optional<NodeId> {
-      auto it = ids.find(std::string(name));
+    auto at = [&](std::string_view raw) -> std::optional<NodeId> {
+      auto name = Unescape(raw, lineno, error);
+      if (!name) return std::nullopt;
+      auto it = ids.find(*name);
       if (it == ids.end()) {
         SetError(error, "line " + std::to_string(lineno) +
-                            ": unknown node '" + std::string(name) + "'");
+                            ": unknown node '" + *name + "'");
         return std::nullopt;
       }
       return it->second;
@@ -122,7 +172,9 @@ std::optional<GraphDelta> LoadGraphDeltaTsv(std::istream& in,
       auto src = at(fields[1]);
       auto dst = at(fields[2]);
       if (!src || !dst) return std::nullopt;
-      LabelId l = d.InternLabel(g, fields[3]);
+      auto label = Unescape(fields[3], lineno, error);
+      if (!label) return std::nullopt;
+      LabelId l = d.InternLabel(g, *label);
       if (fields[0] == "E+") {
         d.InsertEdge(*src, *dst, l);
       } else {
@@ -142,7 +194,10 @@ std::optional<GraphDelta> LoadGraphDeltaTsv(std::istream& in,
                               ": attribute without '='");
           return std::nullopt;
         }
-        d.SetAttr(*v, d.InternAttr(g, key), d.InternValue(g, value));
+        auto k = Unescape(key, lineno, error);
+        auto val = Unescape(value, lineno, error);
+        if (!k || !val) return std::nullopt;
+        d.SetAttr(*v, d.InternAttr(g, *k), d.InternValue(g, *val));
       }
     } else {
       SetError(error, "line " + std::to_string(lineno) + ": unknown tag '" +
@@ -166,43 +221,50 @@ std::optional<GraphDelta> LoadGraphDeltaTsvFile(const std::string& path,
 
 void SaveGraphDeltaTsv(const PropertyGraph& g, const GraphDelta& d,
                        std::ostream& out) {
-  auto name_of = [&](NodeId v) {
-    const std::string& name = g.NodeName(v);
-    return name.empty() ? "n" + std::to_string(v) : name;
-  };
+  auto name_of = [&](NodeId v) { return EscapeField(NodeAlias(g, v)); };
   for (const GraphDelta::Op& op : d.ops) {
     switch (op.kind) {
       case GraphDelta::OpKind::kInsertEdge:
       case GraphDelta::OpKind::kDeleteEdge:
         out << (op.kind == GraphDelta::OpKind::kInsertEdge ? "E+" : "E-")
             << '\t' << name_of(op.src) << '\t' << name_of(op.dst) << '\t'
-            << d.LabelName(g, op.label) << '\n';
+            << EscapeField(d.LabelName(g, op.label)) << '\n';
         break;
       case GraphDelta::OpKind::kSetAttr:
-        out << "A\t" << name_of(op.src) << '\t' << d.AttrName(g, op.key)
-            << '=' << d.ValueName(g, op.value) << '\n';
+        out << "A\t" << name_of(op.src) << '\t'
+            << EscapeField(d.AttrName(g, op.key)) << '='
+            << EscapeField(d.ValueName(g, op.value)) << '\n';
         break;
     }
   }
 }
 
-void SaveGraphTsv(const PropertyGraph& g, std::ostream& out) {
+void SaveGraphTsv(const PropertyGraph& g, std::ostream& out,
+                  bool with_vocab) {
+  if (with_vocab) {
+    for (uint32_t l = 0; l < g.labels().size(); ++l) {
+      out << "L\t" << EscapeField(g.LabelName(l)) << '\n';
+    }
+    for (uint32_t a = 0; a < g.attrs().size(); ++a) {
+      out << "K\t" << EscapeField(g.AttrName(a)) << '\n';
+    }
+    for (uint32_t v = 0; v < g.values().size(); ++v) {
+      out << "V\t" << EscapeField(g.ValueName(v)) << '\n';
+    }
+  }
+  auto name_of = [&](NodeId v) { return EscapeField(NodeAlias(g, v)); };
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
-    const std::string& name = g.NodeName(v);
-    out << "N\t" << (name.empty() ? "n" + std::to_string(v) : name) << '\t'
-        << g.LabelName(g.NodeLabel(v));
+    out << "N\t" << name_of(v) << '\t'
+        << EscapeField(g.LabelName(g.NodeLabel(v)));
     for (const auto& a : g.NodeAttrs(v)) {
-      out << '\t' << g.AttrName(a.key) << '=' << g.ValueName(a.value);
+      out << '\t' << EscapeField(g.AttrName(a.key)) << '='
+          << EscapeField(g.ValueName(a.value));
     }
     out << '\n';
   }
-  auto name_of = [&](NodeId v) {
-    const std::string& name = g.NodeName(v);
-    return name.empty() ? "n" + std::to_string(v) : name;
-  };
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
     out << "E\t" << name_of(g.EdgeSrc(e)) << '\t' << name_of(g.EdgeDst(e))
-        << '\t' << g.LabelName(g.EdgeLabel(e)) << '\n';
+        << '\t' << EscapeField(g.LabelName(g.EdgeLabel(e))) << '\n';
   }
 }
 

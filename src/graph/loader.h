@@ -1,10 +1,26 @@
 // TSV serialization of property graphs and of update deltas over them.
 //
 // Graph format (one record per line, tab-separated):
+//   L <label>            optional: pre-intern a node/edge label
+//   K <key>              optional: pre-intern an attribute key
+//   V <value>            optional: pre-intern an attribute value
 //   N <node-string-id> <label> [key=value ...]
 //   E <src-string-id> <dst-string-id> <label>
 // Lines starting with '#' and blank lines are ignored. Node string ids are
 // arbitrary tokens; they are preserved as node names in the loaded graph.
+//
+// The L/K/V declarations exist for durability: a plain save only writes
+// in-use vocabulary in encounter order, so a reloaded graph may intern
+// ids in a different order than the graph it was saved from. Snapshots
+// that anchor a delta log (serve/graph_store.h) are written with
+// SaveGraphTsv(..., /*with_vocab=*/true), which declares every interner
+// entry in id order first -- a reload then reproduces ids exactly, so
+// compiled rule sets, logged deltas, and violation records stay valid
+// across restarts and snapshot rolls.
+//
+// All fields are backslash-escaped (util/tsv.h): tabs, newlines, '=' and
+// backslashes in names, labels, keys and values survive the round trip;
+// a bad escape is a line-numbered load error.
 //
 // Delta format (one update op per line, tab-separated, order preserved):
 //   E+ <src-string-id> <dst-string-id> <label>     insert edge
@@ -36,8 +52,11 @@ std::optional<PropertyGraph> LoadGraphTsv(std::istream& in,
 std::optional<PropertyGraph> LoadGraphTsvFile(const std::string& path,
                                               std::string* error = nullptr);
 
-/// Writes `g` to `out` in the format accepted by LoadGraphTsv.
-void SaveGraphTsv(const PropertyGraph& g, std::ostream& out);
+/// Writes `g` to `out` in the format accepted by LoadGraphTsv. With
+/// `with_vocab`, every interner entry is declared (L/K/V records) in id
+/// order before the graph, so the reload reproduces ids exactly.
+void SaveGraphTsv(const PropertyGraph& g, std::ostream& out,
+                  bool with_vocab = false);
 
 /// Parses a delta against `g`'s node names and vocabulary. Returns
 /// std::nullopt and fills `*error` (if non-null) with a line-numbered

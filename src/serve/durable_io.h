@@ -1,0 +1,31 @@
+// Shared durability primitives of the serve layer: fsync wrappers and
+// the write-temp + fsync + rename + directory-fsync sequence both the
+// delta log and the graph store commit through. One implementation, so a
+// crash-ordering fix lands everywhere at once.
+#ifndef GFD_SERVE_DURABLE_IO_H_
+#define GFD_SERVE_DURABLE_IO_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace gfd {
+
+/// Flushes `f`'s stdio buffer and forces it to stable storage.
+bool SyncFile(std::FILE* f);
+
+/// Forces an already-closed file's bytes to stable storage.
+bool SyncClosedFile(const std::string& path);
+
+/// fsyncs the directory holding `path`, making a rename of it durable.
+void SyncParentDir(const std::string& path);
+
+/// Writes `content` to `path` atomically and durably: temp file in the
+/// same directory, fsync, rename over, fsync the directory. On error
+/// (reported via `*error`) the destination is untouched.
+bool AtomicWriteFile(const std::string& path, std::string_view content,
+                     std::string* error);
+
+}  // namespace gfd
+
+#endif  // GFD_SERVE_DURABLE_IO_H_

@@ -1,0 +1,345 @@
+#include "serve/graph_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "graph/loader.h"
+#include "serve/durable_io.h"
+
+namespace gfd {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMetaFile[] = "store.meta";
+constexpr char kLogFile[] = "deltas.log";
+constexpr char kMetaMagic[] = "gfd-graph-store v1";
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+
+std::string SnapshotName(uint64_t anchor) {
+  return "snapshot-" + std::to_string(anchor) + ".tsv";
+}
+
+std::string MetaContent(uint64_t anchor, const std::string& snapshot_file) {
+  std::string out(kMetaMagic);
+  out += "\nanchor " + std::to_string(anchor);
+  out += "\nsnapshot " + snapshot_file + "\n";
+  return out;
+}
+
+bool ParseMeta(const std::string& path, uint64_t* anchor,
+               std::string* snapshot_file, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, path + ": cannot open (not a graph store?)");
+    return false;
+  }
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kMetaMagic) {
+    SetError(error, path + ": bad magic line '" + magic + "'");
+    return false;
+  }
+  bool have_anchor = false, have_snapshot = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "anchor") {
+      have_anchor = static_cast<bool>(ls >> *anchor);
+    } else if (key == "snapshot") {
+      have_snapshot = static_cast<bool>(ls >> *snapshot_file);
+    }
+  }
+  if (!have_anchor || !have_snapshot) {
+    SetError(error, path + ": missing anchor/snapshot entry");
+    return false;
+  }
+  return true;
+}
+
+std::string SaveGraphString(const PropertyGraph& g) {
+  std::ostringstream os;
+  // with_vocab: a reloaded snapshot must reproduce interner ids exactly,
+  // or compiled rule sets and logged batches would silently re-bind to
+  // permuted vocabulary after a restart.
+  SaveGraphTsv(g, os, /*with_vocab=*/true);
+  return std::move(os).str();
+}
+
+}  // namespace
+
+bool GraphStore::Init(const std::string& dir, const PropertyGraph& g,
+                      std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    SetError(error, dir + ": cannot create: " + ec.message());
+    return false;
+  }
+  std::string meta_path = (fs::path(dir) / kMetaFile).string();
+  if (fs::exists(meta_path)) {
+    SetError(error, dir + ": already holds a graph store");
+    return false;
+  }
+  std::string snapshot = SnapshotName(0);
+  if (!AtomicWriteFile((fs::path(dir) / snapshot).string(),
+                       SaveGraphString(g), error)) {
+    return false;
+  }
+  return AtomicWriteFile(meta_path, MetaContent(0, snapshot), error);
+}
+
+std::optional<GraphStore> GraphStore::Open(const std::string& dir,
+                                           const GraphStoreOptions& opts,
+                                           std::string* error) {
+  GraphStore store;
+  store.opts_ = opts;
+  store.dir_ = dir;
+
+  uint64_t anchor = 0;
+  if (!ParseMeta((fs::path(dir) / kMetaFile).string(), &anchor,
+                 &store.snapshot_file_, error)) {
+    return std::nullopt;
+  }
+  std::string snap_path = (fs::path(dir) / store.snapshot_file_).string();
+  std::string load_error;
+  auto base = LoadGraphTsvFile(snap_path, &load_error);
+  if (!base) {
+    SetError(error, snap_path + ": " + load_error);
+    return std::nullopt;
+  }
+  store.base_ = std::make_unique<PropertyGraph>(std::move(*base));
+  store.stats_.anchor_seq = anchor;
+  store.stats_.last_seq = anchor;
+
+  auto log = DeltaLog::Open((fs::path(dir) / kLogFile).string(), anchor + 1,
+                            error);
+  if (!log) return std::nullopt;
+  store.log_ = std::move(*log);
+  store.stats_.truncated_bytes = store.log_->open_stats().truncated_bytes;
+
+  // Sequenced, exactly-once replay: records the snapshot already contains
+  // (seq <= anchor; left over when a crash hit between the meta commit
+  // and the log re-anchor) are skipped, the rest must continue the chain
+  // at anchor+1.
+  GraphDelta overlay;
+  std::vector<std::pair<size_t, uint64_t>> op_origin;  // ops-so-far -> seq
+  for (const DeltaLogRecord& rec : store.log_->records()) {
+    if (rec.seq <= anchor) {
+      ++store.stats_.skipped_batches;
+      continue;
+    }
+    if (rec.seq != store.stats_.last_seq + 1) {
+      SetError(error, store.log_->path() + ": record " +
+                          std::to_string(rec.seq) + " does not continue " +
+                          std::to_string(store.stats_.last_seq) +
+                          " (lost batches?)");
+      return std::nullopt;
+    }
+    std::istringstream in(rec.payload);
+    std::string parse_error;
+    auto d = LoadGraphDeltaTsv(in, *store.base_, &parse_error);
+    if (!d) {
+      SetError(error, store.log_->path() + ": record " +
+                          std::to_string(rec.seq) + ": " + parse_error);
+      return std::nullopt;
+    }
+    overlay.Append(*store.base_, *d);
+    op_origin.emplace_back(overlay.ops.size(), rec.seq);
+    store.stats_.last_seq = rec.seq;
+    ++store.stats_.replayed_batches;
+  }
+  std::string apply_error;
+  auto view = GraphView::Apply(*store.base_, overlay, &apply_error);
+  if (!view) {
+    // Map the failing op index ("op N: ...") back to its batch.
+    std::string at;
+    size_t op_index = 0;
+    if (std::sscanf(apply_error.c_str(), "op %zu", &op_index) == 1) {
+      for (const auto& [ops_end, seq] : op_origin) {
+        if (op_index <= ops_end) {
+          at = " in record " + std::to_string(seq);
+          break;
+        }
+      }
+    }
+    SetError(error, store.log_->path() + at + ": " + apply_error);
+    return std::nullopt;
+  }
+  store.overlay_ = std::move(overlay);
+  store.view_ = std::move(*view);
+
+  // Self-heal: drop pre-anchor records and clean tmp/orphan snapshots.
+  if (store.stats_.skipped_batches > 0) {
+    if (!store.log_->DropThrough(anchor, error)) return std::nullopt;
+  }
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    bool orphan_snapshot = name.starts_with("snapshot-") &&
+                           name.ends_with(".tsv") &&
+                           name != store.snapshot_file_;
+    if (orphan_snapshot || name.ends_with(".tmp")) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  return store;
+}
+
+bool GraphStore::ApplyOverlay(GraphDelta next_overlay, std::string* error) {
+  std::string apply_error;
+  auto view = GraphView::Apply(*base_, next_overlay, &apply_error);
+  if (!view) {
+    SetError(error, apply_error);
+    return false;
+  }
+  overlay_ = std::move(next_overlay);
+  view_ = std::move(*view);
+  return true;
+}
+
+std::optional<uint64_t> GraphStore::Append(std::string_view delta_tsv,
+                                           std::string* error) {
+  std::istringstream in{std::string(delta_tsv)};
+  std::string parse_error;
+  auto d = LoadGraphDeltaTsv(in, *base_, &parse_error);
+  if (!d) {
+    SetError(error, parse_error);
+    return std::nullopt;
+  }
+  // Validate against the *current* view before anything touches disk: the
+  // log must never hold a batch that cannot apply.
+  GraphDelta candidate = overlay_;
+  candidate.Append(*base_, *d);
+  std::string apply_error;
+  auto view = GraphView::Apply(*base_, candidate, &apply_error);
+  if (!view) {
+    SetError(error, apply_error);
+    return std::nullopt;
+  }
+  auto seq = log_->Append(delta_tsv, error);
+  if (!seq) return std::nullopt;
+  overlay_ = std::move(candidate);
+  view_ = std::move(*view);
+  stats_.last_seq = *seq;
+  return seq;
+}
+
+std::optional<uint64_t> GraphStore::Append(const GraphDelta& batch,
+                                           std::string* error) {
+  std::ostringstream os;
+  SaveGraphDeltaTsv(*base_, batch, os);
+  return Append(std::move(os).str(), error);
+}
+
+bool GraphStore::ShouldCompact() const {
+  size_t ops = overlay_.ops.size();
+  if (ops == 0) return false;
+  if (opts_.compact_min_ops > 0 && ops >= opts_.compact_min_ops) return true;
+  if (opts_.compact_min_fraction > 0 &&
+      static_cast<double>(ops) >=
+          opts_.compact_min_fraction *
+              static_cast<double>(base_->NumEdges())) {
+    return true;
+  }
+  return false;
+}
+
+bool GraphStore::Compact(std::string* error) {
+  if (overlay_.ops.empty()) return true;
+  PropertyGraph next = view_->Materialize();
+  uint64_t anchor = stats_.last_seq;
+  std::string snapshot = SnapshotName(anchor);
+
+  // Snapshot first, meta second: the meta rename is the commit point. A
+  // crash before it leaves the old snapshot+log state authoritative (the
+  // new snapshot file is an orphan Open() cleans up); a crash after it
+  // leaves stale log records at/below the anchor, which replay skips.
+  if (!AtomicWriteFile((fs::path(dir_) / snapshot).string(),
+                       SaveGraphString(next), error)) {
+    return false;
+  }
+  if (!AtomicWriteFile((fs::path(dir_) / kMetaFile).string(),
+                       MetaContent(anchor, snapshot), error)) {
+    return false;
+  }
+  if (!log_->DropThrough(anchor, error)) return false;
+  if (snapshot != snapshot_file_) {
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / snapshot_file_, ec);  // best effort
+  }
+
+  snapshot_file_ = snapshot;
+  base_ = std::make_unique<PropertyGraph>(std::move(next));
+  stats_.anchor_seq = anchor;
+  ++stats_.compactions;
+  return ApplyOverlay(GraphDelta{}, error);
+}
+
+bool GraphStore::MaybeCompact(std::string* error) {
+  return ShouldCompact() ? Compact(error) : true;
+}
+
+PropertyGraph GraphStore::MaterializeCurrent() const {
+  return view_->Materialize();
+}
+
+std::optional<IncrementalDiff> AppendAndDiff(GraphStore& store,
+                                             const ViolationEngine& engine,
+                                             std::string_view delta_tsv,
+                                             const IncrementalOptions& opts,
+                                             uint64_t* seq_out,
+                                             std::string* error) {
+  // Both runs diff against the shared base; Append never compacts, so the
+  // base is identical across them and the diffs compose.
+  IncrementalDiff before = engine.DetectIncremental(store.view(), opts);
+  auto seq = store.Append(delta_tsv, error);
+  if (!seq) return std::nullopt;
+  if (seq_out) *seq_out = *seq;
+  IncrementalDiff after = engine.DetectIncremental(store.view(), opts);
+
+  // V_k = V(base) \ R_k u A_k, so the step diff is
+  //   added   = (A2 \ A1) u (R1 \ R2)   (A-sets are disjoint from V(base),
+  //   removed = (A1 \ A2) u (R2 \ R1)    R-sets are subsets of it).
+  auto minus = [](const std::vector<Violation>& a,
+                  const std::vector<Violation>& b) {
+    std::vector<Violation> out;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+    return out;
+  };
+  auto unite = [](std::vector<Violation> a, std::vector<Violation> b) {
+    std::vector<Violation> out;
+    out.reserve(a.size() + b.size());
+    std::merge(std::make_move_iterator(a.begin()),
+               std::make_move_iterator(a.end()),
+               std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()), std::back_inserter(out));
+    return out;
+  };
+
+  IncrementalDiff diff;
+  diff.added = unite(minus(after.added, before.added),
+                     minus(before.removed, after.removed));
+  diff.removed = unite(minus(before.added, after.added),
+                       minus(after.removed, before.removed));
+  diff.stats = after.stats;
+  diff.stats.anchors_scanned += before.stats.anchors_scanned;
+  diff.stats.matches_seen += before.stats.matches_seen;
+  diff.stats.literal_evals += before.stats.literal_evals;
+  diff.stats.anchor_plans += before.stats.anchor_plans;
+  return diff;
+}
+
+}  // namespace gfd

@@ -1,0 +1,154 @@
+// Durable graph state: snapshot + delta log + compaction policy.
+//
+// A GraphStore directory is the on-disk form of the serving pair
+// "immutable base graph + small overlay" (graph/graph_view.h):
+//
+//   store.meta            commit record: anchor seq + snapshot file name
+//   snapshot-<seq>.tsv    base graph (SaveGraphTsv), includes every batch
+//                         with sequence number <= seq
+//   deltas.log            framed GraphDelta batches after the anchor
+//                         (serve/delta_log.h)
+//
+// Invariant: current graph = snapshot  +  log records with seq > anchor,
+// applied in sequence order. Open() reconstructs exactly that state --
+// records at or below the anchor are skipped (exactly-once across
+// restarts and compactions), a torn tail from a mid-append crash is cut
+// by the log layer, and a partial batch is never applied.
+//
+// Append() parses one TSV delta batch against the store's vocabulary,
+// validates it by applying it to the current view, writes it durably to
+// the log, and only then folds it into the in-memory overlay; a batch
+// that fails validation never reaches the log.
+//
+// Concurrency: a store directory has exactly ONE writing process -- the
+// serving process owns its log, and nothing coordinates concurrent
+// writers (two appenders would assign duplicate sequence numbers and the
+// next Open would cut one as a broken chain). Front the directory with an
+// flock/O_EXCL lease if a deployment needs multi-process ingest.
+//
+// Compaction rolls the base forward once the overlay exceeds the
+// configured threshold: GraphView::Materialize() produces the next
+// snapshot (node/vocabulary ids preserved, which is what keeps logged
+// batches and compiled rule sets valid across the roll), the snapshot is
+// written to a temp file and renamed, and the meta rewrite is the single
+// atomic commit point -- a crash anywhere in between leaves the previous
+// snapshot+log state fully intact. After the commit the log is re-anchored
+// (DropThrough) and the old snapshot deleted.
+#ifndef GFD_SERVE_GRAPH_STORE_H_
+#define GFD_SERVE_GRAPH_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detect/engine.h"
+#include "graph/graph_view.h"
+#include "graph/property_graph.h"
+#include "serve/delta_log.h"
+
+namespace gfd {
+
+/// When MaybeCompact rolls the snapshot forward. Both thresholds are
+/// "compact once exceeded"; zero disables that trigger.
+struct GraphStoreOptions {
+  /// Overlay ops threshold (absolute).
+  size_t compact_min_ops = 0;
+  /// Overlay ops as a fraction of base edges. Defaults to 10%: past that,
+  /// bench_incremental's crossover says a full re-detect beats the
+  /// incremental path anyway, so the overlay has outlived its usefulness.
+  double compact_min_fraction = 0.10;
+};
+
+struct GraphStoreStats {
+  uint64_t anchor_seq = 0;       ///< snapshot includes batches through this
+  uint64_t last_seq = 0;         ///< last applied batch (0 = none yet)
+  size_t replayed_batches = 0;   ///< applied from the log on Open
+  size_t skipped_batches = 0;    ///< at/below anchor, dropped on Open
+  uint64_t truncated_bytes = 0;  ///< corrupt log tail cut on Open
+  size_t compactions = 0;        ///< snapshot rolls this session
+};
+
+class GraphStore {
+ public:
+  /// Creates a store directory holding `g` as snapshot-0 and an empty
+  /// log. Fails if `dir` already holds a store.
+  static bool Init(const std::string& dir, const PropertyGraph& g,
+                   std::string* error = nullptr);
+
+  /// Opens `dir`, replaying the log onto the snapshot (sequenced,
+  /// exactly-once; corrupt tail cut). Also self-heals: pre-anchor log
+  /// records are dropped and orphaned temp/old-snapshot files deleted.
+  static std::optional<GraphStore> Open(const std::string& dir,
+                                        const GraphStoreOptions& opts = {},
+                                        std::string* error = nullptr);
+
+  const PropertyGraph& base() const { return *base_; }
+  const GraphView& view() const { return *view_; }
+  const GraphDelta& overlay() const { return overlay_; }
+  const GraphStoreStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+  uint64_t last_seq() const { return stats_.last_seq; }
+
+  /// Parses `delta_tsv` (the E+/E-/A format of graph/loader.h) against
+  /// the store's vocabulary, validates it on the current view, appends it
+  /// durably, and applies it. Returns the assigned sequence number;
+  /// nothing is logged or applied on error. Validation re-applies the
+  /// merged overlay, so one append costs O(overlay + touched degrees) --
+  /// bounded by the compaction policy; an in-place incremental view
+  /// apply (ROADMAP) would drop it to O(batch).
+  std::optional<uint64_t> Append(std::string_view delta_tsv,
+                                 std::string* error = nullptr);
+
+  /// Programmatic batch append: `batch` is expressed over the store's
+  /// base graph (node ids and base vocabulary ids; extension vocabulary
+  /// relative to the base, as GraphDelta::Intern* builds it). Serialized
+  /// through the same TSV payload the text path uses, so replay and live
+  /// application share one code path.
+  std::optional<uint64_t> Append(const GraphDelta& batch,
+                                 std::string* error = nullptr);
+
+  /// True when the overlay exceeds a configured compaction threshold.
+  bool ShouldCompact() const;
+
+  /// Compact() regardless of thresholds; no-op on an empty overlay.
+  bool Compact(std::string* error = nullptr);
+
+  /// Policy entry point: Compact() iff ShouldCompact().
+  bool MaybeCompact(std::string* error = nullptr);
+
+  /// The current graph as a standalone PropertyGraph (ids preserved).
+  PropertyGraph MaterializeCurrent() const;
+
+ private:
+  GraphStore() = default;
+
+  bool ApplyOverlay(GraphDelta next_overlay, std::string* error);
+
+  GraphStoreOptions opts_;
+  std::string dir_;
+  std::string snapshot_file_;  // relative to dir_
+  std::unique_ptr<PropertyGraph> base_;
+  GraphDelta overlay_;
+  std::optional<GraphView> view_;
+  std::optional<DeltaLog> log_;
+  GraphStoreStats stats_;
+};
+
+/// One serving step: appends `delta_tsv` to the store and returns the
+/// violation diff induced by exactly this batch, relative to the
+/// pre-append state. Computed without materializing: both the before- and
+/// after-overlay are diffed incrementally against the shared base and the
+/// two base-relative diffs composed ([added] = (A2\A1) u (R1\R2),
+/// [removed] symmetric). Cost grows with the overlay, which is precisely
+/// what the compaction policy bounds; call store.MaybeCompact() after.
+std::optional<IncrementalDiff> AppendAndDiff(
+    GraphStore& store, const ViolationEngine& engine,
+    std::string_view delta_tsv, const IncrementalOptions& opts = {},
+    uint64_t* seq_out = nullptr, std::string* error = nullptr);
+
+}  // namespace gfd
+
+#endif  // GFD_SERVE_GRAPH_STORE_H_

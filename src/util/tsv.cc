@@ -19,11 +19,77 @@ std::vector<std::string_view> SplitFields(std::string_view line, char sep) {
 
 bool SplitKeyValue(std::string_view field, std::string_view* key,
                    std::string_view* value) {
-  size_t pos = field.find('=');
-  if (pos == std::string_view::npos) return false;
-  *key = field.substr(0, pos);
-  *value = field.substr(pos + 1);
-  return true;
+  for (size_t pos = 0; pos < field.size(); ++pos) {
+    if (field[pos] == '\\') {
+      ++pos;  // skip the escaped character, whatever it is
+      continue;
+    }
+    if (field[pos] == '=') {
+      *key = field.substr(0, pos);
+      *value = field.substr(pos + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string EscapeField(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '=':
+        out += "\\=";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> UnescapeField(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\') {
+      out += field[i];
+      continue;
+    }
+    if (++i == field.size()) return std::nullopt;  // dangling backslash
+    switch (field[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case '=':
+        out += '=';
+        break;
+      default:
+        return std::nullopt;  // unknown escape
+    }
+  }
+  return out;
 }
 
 }  // namespace gfd

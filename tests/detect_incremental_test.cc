@@ -250,5 +250,117 @@ TEST_P(IncrementalOracle, MatchesDiffOfTwoFullRuns) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalOracle, ::testing::Range(0, 25));
 
+// --- Post-update classification (exit-code semantics) ----------------------
+
+TEST(ClassifyDelta, DistinguishesCleanAddedAndPreexisting) {
+  auto g = BuildWorld();
+  ViolationEngine engine({FilmRule(g)});
+  LabelId create = *g.FindLabel("create");
+
+  // Added: the update introduces a violation.
+  GraphDelta add;
+  add.InsertEdge(1, 2, create);
+  auto view_add = *GraphView::Apply(g, add);
+  auto diff_add = engine.DetectIncremental(view_add);
+  EXPECT_EQ(ClassifyDelta(engine, view_add, diff_add),
+            DeltaVerdict::kAddedViolations);
+
+  // Clean: the update removes the only violation -- nothing is left.
+  auto bad1 = view_add.Materialize();
+  GraphDelta fix;
+  fix.DeleteEdge(1, 2, *bad1.FindLabel("create"));
+  auto view_fix = *GraphView::Apply(bad1, fix);
+  auto diff_fix = engine.DetectIncremental(view_fix);
+  EXPECT_TRUE(diff_fix.added.empty());
+  EXPECT_EQ(diff_fix.removed.size(), 1u);
+  EXPECT_EQ(ClassifyDelta(engine, view_fix, diff_fix), DeltaVerdict::kClean);
+
+  // Pre-existing only: two violations, the update removes one -- the
+  // run is indistinguishable from `fix` by the diff alone (+0 added),
+  // but the graph is not clean.
+  GraphDelta add2;
+  add2.InsertEdge(1, 2, create);
+  add2.SetAttr(0, *g.FindAttr("type"), *g.FindValue("musician"));
+  auto bad2 = GraphView::Apply(g, add2)->Materialize();
+  GraphDelta partial_fix;
+  partial_fix.DeleteEdge(1, 2, *bad2.FindLabel("create"));
+  auto view_partial = *GraphView::Apply(bad2, partial_fix);
+  auto diff_partial = engine.DetectIncremental(view_partial);
+  EXPECT_TRUE(diff_partial.added.empty());
+  EXPECT_EQ(diff_partial.removed.size(), 1u);
+  EXPECT_EQ(ClassifyDelta(engine, view_partial, diff_partial),
+            DeltaVerdict::kPreexistingOnly);
+}
+
+TEST(DetectOverView, MatchesDetectOverMaterialized) {
+  auto g = BuildWorld();
+  ViolationEngine engine({FilmRule(g)});
+  GraphDelta d;
+  d.InsertEdge(1, 2, *g.FindLabel("create"));
+  d.SetAttr(0, *g.FindAttr("type"), *g.FindValue("musician"));
+  auto view = *GraphView::Apply(g, d);
+  auto over_view = engine.Detect(view);
+  auto over_mat = engine.Detect(view.Materialize());
+  EXPECT_EQ(over_view.violations, over_mat.violations);
+  EXPECT_EQ(over_view.violations.size(), 2u);
+
+  // The budgeted existence-probe configuration ClassifyDelta uses.
+  DetectOptions probe;
+  probe.max_total_violations = 1;
+  EXPECT_EQ(engine.Detect(view, probe).violations.size(), 1u);
+}
+
+// --- Move stability of lazily-built anchor plans ---------------------------
+
+// std::once_flag is not movable; the regression this guards: a group
+// moved after its anchor plans were built must neither rebuild nor lose
+// them (anchor_plans.h).
+TEST(LazyAnchorPlans, SurvivesOwnerReallocationAfterBuild) {
+  Pattern q;
+  VarId x = q.AddNode(1);
+  VarId y = q.AddNode(2);
+  q.AddEdge(x, y, 3);
+  q.set_pivot(x);
+
+  std::vector<LazyAnchorPlans> owners(1);
+  const std::vector<CompiledPattern>* plans = &owners[0].Get(q);
+  ASSERT_EQ(plans->size(), q.NumNodes());
+  ASSERT_TRUE(owners[0].built());
+
+  // Force repeated reallocation (and therefore element moves).
+  for (int i = 0; i < 64; ++i) owners.emplace_back();
+  EXPECT_TRUE(owners[0].built());           // still marked built...
+  EXPECT_EQ(&owners[0].Get(q), plans);      // ...and the same block,
+                                            // not a second build
+  std::vector<LazyAnchorPlans> stolen = std::move(owners);
+  EXPECT_TRUE(stolen[0].built());
+  EXPECT_EQ(&stolen[0].Get(q), plans);
+}
+
+TEST(DetectIncremental, EngineMovedAfterARunStaysCorrect) {
+  auto g = BuildWorld();
+  GraphDelta d;
+  d.InsertEdge(1, 2, *g.FindLabel("create"));
+  auto view = *GraphView::Apply(g, d);
+
+  std::vector<ViolationEngine> engines;
+  engines.push_back(ViolationEngine({FilmRule(g)}));
+  auto before = engines[0].DetectIncremental(view);  // builds anchor plans
+  ASSERT_EQ(before.added.size(), 1u);
+
+  // Reallocate the vector several times: every resize moves the engine,
+  // its group vector, and the already-built lazy plan state.
+  for (int i = 0; i < 8; ++i) {
+    engines.push_back(ViolationEngine({FilmRule(g)}));
+  }
+  auto after = engines[0].DetectIncremental(view);
+  EXPECT_EQ(after.added, before.added);
+  EXPECT_EQ(after.removed, before.removed);
+
+  ViolationEngine moved = std::move(engines[0]);
+  auto moved_diff = moved.DetectIncremental(view);
+  EXPECT_EQ(moved_diff.added, before.added);
+}
+
 }  // namespace
 }  // namespace gfd

@@ -303,5 +303,202 @@ TEST(DeltaLoader, ResolvesUnnamedNodesThroughSaveAliases) {
   EXPECT_EQ(d->ops[0].dst, 1u);
 }
 
+// The re-anchoring contract the delta log's compaction relies on:
+// Materialize() keeps node AND vocabulary ids stable, so a later delta
+// written against the old view's ids applies identically to the
+// materialized snapshot and to the never-materialized overlay chain.
+TEST(GraphView, MaterializedSnapshotAcceptsOldViewIds) {
+  auto g = BuildBase();
+  GraphDelta d1;
+  LabelId follows = d1.InternLabel(g, "follows");    // extension label
+  ValueId newcity = d1.InternValue(g, "lisbon");     // extension value
+  AttrId city = *g.FindAttr("city");
+  d1.InsertEdge(1, 2, follows);
+  d1.SetAttr(0, city, newcity);
+  auto view1 = *GraphView::Apply(g, d1);
+  PropertyGraph m = view1.Materialize();
+  ASSERT_EQ(m.FindLabel("follows"), follows);
+  ASSERT_EQ(m.FindValue("lisbon"), newcity);
+
+  // The second delta references d1's extension ids (the old view's id
+  // space). Same ops once against the snapshot, once appended to the
+  // never-materialized chain.
+  auto add_second = [&](GraphDelta& d) {
+    d.InsertEdge(2, 0, follows);
+    d.SetAttr(1, city, newcity);
+    d.DeleteEdge(1, 2, follows);
+  };
+  GraphDelta d2;
+  add_second(d2);
+  auto via_snapshot = GraphView::Apply(m, d2);
+  ASSERT_TRUE(via_snapshot.has_value());
+
+  GraphDelta chain = d1;
+  add_second(chain);
+  auto never_materialized = GraphView::Apply(g, chain);
+  ASSERT_TRUE(never_materialized.has_value());
+
+  // Identical matcher-visible state: same bytes when saved, and the
+  // matcher enumerates the same embeddings for a pattern that uses the
+  // extension label.
+  std::ostringstream a, b;
+  SaveGraphTsv(via_snapshot->Materialize(), a);
+  SaveGraphTsv(never_materialized->Materialize(), b);
+  EXPECT_EQ(a.str(), b.str());
+
+  Pattern q;
+  VarId x = q.AddNode(via_snapshot->NodeLabel(2));
+  VarId y = q.AddNode(via_snapshot->NodeLabel(0));
+  q.AddEdge(x, y, follows);
+  q.set_pivot(x);
+  CompiledPattern plan(q);
+  std::vector<Match> ma, mb;
+  plan.ForEachMatch(*via_snapshot, [&](const Match& h) {
+    ma.push_back(h);
+    return true;
+  });
+  plan.ForEachMatch(*never_materialized, [&](const Match& h) {
+    mb.push_back(h);
+    return true;
+  });
+  EXPECT_EQ(ma, mb);
+  EXPECT_EQ(ma.size(), 1u);
+}
+
+// Satellite of the durability work: log payloads and snapshots are TSV,
+// so strings with tabs / CRLF / '=' / backslashes / empties must survive
+// the round trip instead of silently corrupting the record.
+TEST(TsvEscaping, HostileDeltaStringsRoundTrip) {
+  auto g = BuildBase();
+  Rng rng(99);
+  const std::string alphabet = "ab\t\n\r\\= ";
+  auto random_string = [&] {
+    std::string s;
+    size_t len = rng.Below(6);  // includes empty
+    for (size_t i = 0; i < len; ++i) {
+      s += alphabet[rng.Below(alphabet.size())];
+    }
+    return s;
+  };
+  // Distinct namespaces for labels/keys so vocabularies never collide.
+  auto prefixed = [&](char p) {
+    std::string s = random_string();
+    s.insert(s.begin(), p);
+    return s;
+  };
+  for (int round = 0; round < 50; ++round) {
+    GraphDelta d;
+    for (int op = 0; op < 6; ++op) {
+      switch (rng.Below(3)) {
+        case 0:
+          d.InsertEdge(static_cast<NodeId>(rng.Below(g.NumNodes())),
+                       static_cast<NodeId>(rng.Below(g.NumNodes())),
+                       d.InternLabel(g, prefixed('L')));
+          break;
+        case 1:
+          d.SetAttr(static_cast<NodeId>(rng.Below(g.NumNodes())),
+                    d.InternAttr(g, prefixed('K')),
+                    d.InternValue(g, random_string()));
+          break;
+        default:
+          d.SetAttr(static_cast<NodeId>(rng.Below(g.NumNodes())),
+                    *g.FindAttr("city"), d.InternValue(g, random_string()));
+      }
+    }
+    std::ostringstream out;
+    SaveGraphDeltaTsv(g, d, out);
+    std::istringstream in(out.str());
+    std::string error;
+    auto d2 = LoadGraphDeltaTsv(in, g, &error);
+    ASSERT_TRUE(d2.has_value()) << error << "\nserialized:\n" << out.str();
+    EXPECT_EQ(d2->ops, d.ops) << "round " << round;
+    EXPECT_EQ(d2->extra_labels, d.extra_labels);
+    EXPECT_EQ(d2->extra_attrs, d.extra_attrs);
+    EXPECT_EQ(d2->extra_values, d.extra_values);
+  }
+}
+
+TEST(TsvEscaping, HostileGraphStringsRoundTrip) {
+  PropertyGraph::Builder b;
+  NodeId u = b.AddNode("weird\tlabel");
+  b.SetName(u, "node\nwith=newline");
+  b.SetAttr(u, "k\\ey", "va\tl=ue");
+  b.SetAttr(u, "empty", "");
+  NodeId v = b.AddNode("l2");
+  b.SetName(v, "plain");
+  b.AddEdge(u, v, "edge\rlabel");
+  auto g = std::move(b).Build();
+
+  std::ostringstream out;
+  SaveGraphTsv(g, out);
+  std::istringstream in(out.str());
+  std::string error;
+  auto g2 = LoadGraphTsv(in, &error);
+  ASSERT_TRUE(g2.has_value()) << error << "\nserialized:\n" << out.str();
+  ASSERT_EQ(g2->NumNodes(), 2u);
+  EXPECT_EQ(g2->NodeName(0), "node\nwith=newline");
+  EXPECT_EQ(g2->LabelName(g2->NodeLabel(0)), "weird\tlabel");
+  AttrId key = *g2->FindAttr("k\\ey");
+  EXPECT_EQ(g2->ValueName(*g2->GetAttr(0, key)), "va\tl=ue");
+  EXPECT_EQ(g2->ValueName(*g2->GetAttr(0, *g2->FindAttr("empty"))), "");
+  ASSERT_EQ(g2->NumEdges(), 1u);
+  EXPECT_EQ(g2->LabelName(g2->EdgeLabel(0)), "edge\rlabel");
+
+  // And a second trip lands on identical bytes.
+  std::ostringstream out2;
+  SaveGraphTsv(*g2, out2);
+  EXPECT_EQ(out2.str(), out.str());
+}
+
+// The snapshot mode of the delta-log store: every interner entry -- used
+// or not -- reloads at its exact id, so rule sets compiled against the
+// pre-restart graph stay valid.
+TEST(GraphTsvVocab, WithVocabReloadPreservesInternerIds) {
+  PropertyGraph::Builder b;
+  b.InternValue("producer");  // constant only rules reference, no node uses
+  b.InternLabel("follows");
+  NodeId u = b.AddNode("person");
+  b.SetName(u, "a");
+  b.SetAttr(u, "type", "musician");
+  auto g = std::move(b).Build();
+
+  std::ostringstream with, without;
+  SaveGraphTsv(g, with, /*with_vocab=*/true);
+  SaveGraphTsv(g, without);
+  std::string error;
+  std::istringstream in1(with.str()), in2(without.str());
+  auto exact = LoadGraphTsv(in1, &error);
+  ASSERT_TRUE(exact.has_value()) << error;
+  auto lossy = LoadGraphTsv(in2, &error);
+  ASSERT_TRUE(lossy.has_value()) << error;
+
+  ASSERT_EQ(exact->labels().size(), g.labels().size());
+  ASSERT_EQ(exact->values().size(), g.values().size());
+  for (uint32_t l = 0; l < g.labels().size(); ++l) {
+    EXPECT_EQ(exact->LabelName(l), g.LabelName(l));
+  }
+  EXPECT_EQ(exact->FindValue("producer"), g.FindValue("producer"));
+  EXPECT_EQ(exact->FindLabel("follows"), g.FindLabel("follows"));
+  // The plain save drops unused vocabulary -- that is why stores use
+  // with_vocab.
+  EXPECT_FALSE(lossy->FindValue("producer").has_value());
+}
+
+TEST(TsvEscaping, BadEscapesAreLineNumberedErrors) {
+  auto g = BuildBase();
+  std::istringstream in("A\ta\tcity=\\x\n");
+  std::string error;
+  EXPECT_FALSE(LoadGraphDeltaTsv(in, g, &error).has_value());
+  EXPECT_NE(error.find("line 1: bad escape"), std::string::npos) << error;
+
+  std::istringstream gin("N\tv\\\n");
+  EXPECT_FALSE(LoadGraphTsv(gin, &error).has_value());
+  // Short record reported before the dangling escape is reached is fine;
+  // a well-formed record with a dangling escape must error.
+  std::istringstream gin2("N\tv\\\tlab\n");
+  EXPECT_FALSE(LoadGraphTsv(gin2, &error).has_value());
+  EXPECT_NE(error.find("bad escape"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace gfd

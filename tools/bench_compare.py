@@ -62,12 +62,9 @@ def main():
     lines = []
     for cur_path in current_files:
         base_path = baseline_dir / cur_path.name
-        if not base_path.exists():
-            lines.append((cur_path.name, "-", "-", "-", "new file"))
-            continue
         try:
             cur = load_benches(cur_path)
-            base = load_benches(base_path)
+            base = load_benches(base_path) if base_path.exists() else {}
         except (json.JSONDecodeError, OSError) as e:
             print(f"error: {e}", file=sys.stderr)
             return 2
@@ -88,6 +85,13 @@ def main():
                 status = "improved"
             lines.append((cur_path.name, name, f"{base_s:.3f}",
                           f"{cur_s:.3f}", f"{ratio:+.1%} {status}"))
+        # Benches present in this run but absent from the baseline (a new
+        # bench file, or new keys in an existing one) cannot gate yet, but
+        # must be visible -- they are next run's baseline.
+        for name, cur_s in sorted(cur.items()):
+            if name not in base:
+                lines.append((cur_path.name, name, "-", f"{cur_s:.3f}",
+                              "new, no baseline"))
 
     header = ("file", "bench", "base(s)", "cur(s)", "delta")
     widths = [max(len(str(row[i])) for row in [header] + lines)

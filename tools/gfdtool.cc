@@ -8,15 +8,30 @@
 //   gfdtool discover <graph.tsv> [-k K] [-s SIGMA] [-w WORKERS]
 //           [-o rules.gfd]
 //       Mine a cover of minimum sigma-frequent GFDs and save/print it.
-//   gfdtool detect <graph.tsv> <rules.gfd> [-w WORKERS] [--shards N]
-//           [--max-per-gfd N] [--max-total N] [--delta <delta.tsv>]
+//   gfdtool detect <graph.tsv>|--log <dir> <rules.gfd> [-w WORKERS]
+//           [--shards N] [--max-per-gfd N] [--max-total N]
+//           [--delta <delta.tsv>] [--compact-ops N]
 //       Batched violation detection: group rules by pattern, one match
 //       plan per group, structured violation records. Exit 3 when
 //       violations were found. With --delta, runs *incrementally*: the
 //       delta (E+/E-/A records) is applied as an overlay view and only
 //       matches near the updated vertices are re-evaluated, reporting
-//       the violations the update added (+) and removed (-); exit 3 when
-//       the update added violations.
+//       the violations the update added (+) and removed (-). Exit codes
+//       distinguish the post-update states: 0 the updated graph is
+//       violation-free, 3 the update added violations, 4 the update
+//       added none but pre-existing violations remain. With --log the
+//       graph comes from a durable store (replayed on open) and the
+//       --delta batch is appended to its log before detection.
+//   gfdtool log init <dir> <graph.tsv>
+//       Create a durable graph store: snapshot + empty delta log.
+//   gfdtool log append <dir> <delta.tsv> [--compact-ops N]
+//       Durably append one update batch and apply it (auto-compacts per
+//       policy; --compact-ops overrides the ops threshold).
+//   gfdtool log replay <dir> [-o graph.tsv]
+//       Replay the log onto the snapshot, report recovery stats, and
+//       optionally dump the materialized current graph.
+//   gfdtool log compact <dir>
+//       Roll the snapshot forward over the overlay and re-anchor the log.
 //   gfdtool validate <graph.tsv> <rules.gfd>
 //       Boolean check G |= Sigma, rule by rule. Exit 3 on violation.
 //   gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] [-o cover.gfd]
@@ -38,6 +53,7 @@
 #include "parallel/fragment.h"
 #include "parallel/parcover.h"
 #include "parallel/pardis.h"
+#include "serve/graph_store.h"
 #include "util/timer.h"
 
 using namespace gfd;
@@ -51,12 +67,58 @@ int Usage() {
       "[--scale N] [--seed S] [--noise ALPHA]\n"
       "       gfdtool discover <graph.tsv> [-k K] [-s SIGMA] [-w WORKERS] "
       "[-o rules.gfd]\n"
-      "       gfdtool detect <graph.tsv> <rules.gfd> [-w WORKERS] "
-      "[--shards N] [--max-per-gfd N] [--max-total N] [--delta FILE]\n"
+      "       gfdtool detect <graph.tsv>|--log <dir> <rules.gfd> "
+      "[-w WORKERS] [--shards N] [--max-per-gfd N] [--max-total N] "
+      "[--delta FILE] [--compact-ops N]\n"
+      "       gfdtool log init <dir> <graph.tsv>\n"
+      "       gfdtool log append <dir> <delta.tsv> [--compact-ops N]\n"
+      "       gfdtool log replay <dir> [-o graph.tsv]\n"
+      "       gfdtool log compact <dir>\n"
       "       gfdtool validate <graph.tsv> <rules.gfd>\n"
       "       gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] "
       "[-o cover.gfd]\n");
   return 2;
+}
+
+// Exit codes of `detect` (documented in the README): 0 clean, 3 the run /
+// the update found or added violations, 4 an update added none but
+// pre-existing violations remain.
+constexpr int kExitViolations = 3;
+constexpr int kExitPreexistingOnly = 4;
+
+int VerdictExit(DeltaVerdict v) {
+  switch (v) {
+    case DeltaVerdict::kClean:
+      return 0;
+    case DeltaVerdict::kAddedViolations:
+      return kExitViolations;
+    case DeltaVerdict::kPreexistingOnly:
+      return kExitPreexistingOnly;
+  }
+  return 1;
+}
+
+const char* VerdictName(DeltaVerdict v) {
+  switch (v) {
+    case DeltaVerdict::kClean:
+      return "clean";
+    case DeltaVerdict::kAddedViolations:
+      return "added-violations";
+    case DeltaVerdict::kPreexistingOnly:
+      return "pre-existing-only";
+  }
+  return "?";
+}
+
+std::optional<std::string> ReadFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
 }
 
 // Loader errors carry line numbers as "line N: msg"; render them in the
@@ -218,22 +280,117 @@ int Discover(int argc, char** argv) {
   return 0;
 }
 
+// Opens a graph store, reporting recovery context on stderr.
+std::optional<GraphStore> OpenStore(const char* dir,
+                                    const GraphStoreOptions& opts) {
+  std::string error;
+  auto store = GraphStore::Open(dir, opts, &error);
+  if (!store) {
+    std::fprintf(stderr, "error opening store %s: %s\n", dir, error.c_str());
+    return std::nullopt;
+  }
+  const GraphStoreStats& st = store->stats();
+  std::fprintf(stderr,
+               "store %s: snapshot@%llu + %zu replayed batch(es) -> seq "
+               "%llu, overlay %zu op(s)%s%s\n",
+               dir, static_cast<unsigned long long>(st.anchor_seq),
+               st.replayed_batches,
+               static_cast<unsigned long long>(st.last_seq),
+               store->overlay().ops.size(),
+               st.truncated_bytes ? " [corrupt tail cut]" : "",
+               st.skipped_batches ? " [pre-anchor records dropped]" : "");
+  return store;
+}
+
+// Acknowledges a durable append on stderr and runs the compaction
+// policy, reporting a snapshot roll when it fires.
+bool AppendFollowUp(GraphStore& store, uint64_t seq) {
+  std::fprintf(stderr, "appended batch seq %llu (%zu overlay ops)\n",
+               static_cast<unsigned long long>(seq),
+               store.overlay().ops.size());
+  std::string error;
+  if (!store.MaybeCompact(&error)) {
+    std::fprintf(stderr, "compaction failed: %s\n", error.c_str());
+    return false;
+  }
+  if (store.stats().compactions > 0) {
+    std::fprintf(stderr, "compacted: snapshot rolled to seq %llu\n",
+                 static_cast<unsigned long long>(store.stats().anchor_seq));
+  }
+  return true;
+}
+
+// Prints an incremental diff (+ added against `view`, - removed against
+// `removed_graph`, a PropertyGraph or GraphView holding the pre-update
+// state), classifies the post-update state, and returns the documented
+// exit code.
+template <typename RemovedGraphT>
+int ReportDiff(const ViolationEngine& engine, const GraphView& view,
+               const RemovedGraphT& removed_graph, const IncrementalDiff& diff,
+               double seconds, size_t workers) {
+  for (const Violation& v : diff.added) {
+    std::printf("+ %s\n", DescribeViolation(view, engine.rules(), v).c_str());
+  }
+  for (const Violation& v : diff.removed) {
+    std::printf("- %s\n",
+                DescribeViolation(removed_graph, engine.rules(), v).c_str());
+  }
+  std::fprintf(stderr,
+               "incremental: +%zu -%zu violation(s) in %.3fs: %lu anchor "
+               "enumerations over %zu plans, %lu touched matches\n",
+               diff.added.size(), diff.removed.size(), seconds,
+               static_cast<unsigned long>(diff.stats.anchors_scanned),
+               diff.stats.anchor_plans,
+               static_cast<unsigned long>(diff.stats.matches_seen));
+  DeltaVerdict verdict = ClassifyDelta(engine, view, diff, workers);
+  std::fprintf(stderr, "verdict: %s\n", VerdictName(verdict));
+  return VerdictExit(verdict);
+}
+
 int Detect(int argc, char** argv) {
   if (argc < 2) return Usage();
-  auto g = LoadGraph(argv[0]);
-  if (!g) return 1;
-  auto rules = LoadRules(argv[1], *g);
-  if (!rules) return 1;
+  const char* log_dir = nullptr;
+  int pos = 0;
+  if (!std::strcmp(argv[0], "--log")) {
+    if (argc < 3) return Usage();
+    log_dir = argv[1];
+    pos = 2;
+  }
 
   DetectOptions opts;
   opts.workers = 4;
+  GraphStoreOptions sopts;
   if (!CountFlag(argc, argv, "-w", &opts.workers) ||
       !CountFlag(argc, argv, "--max-per-gfd", &opts.max_violations_per_gfd,
                  /*min=*/0) ||
       !CountFlag(argc, argv, "--max-total", &opts.max_total_violations,
+                 /*min=*/0) ||
+      !CountFlag(argc, argv, "--compact-ops", &sopts.compact_min_ops,
                  /*min=*/0)) {
     return Usage();
   }
+
+  std::optional<PropertyGraph> g;
+  std::optional<GraphStore> store;
+  const char* rules_path = nullptr;
+  if (log_dir) {
+    if (FlagValue(argc, argv, "--shards")) {
+      std::fprintf(stderr, "--shards is not supported with --log\n");
+      return Usage();
+    }
+    store = OpenStore(log_dir, sopts);
+    if (!store) return 1;
+    rules_path = argv[pos];
+  } else {
+    g = LoadGraph(argv[pos]);
+    if (!g) return 1;
+    if (pos + 1 >= argc) return Usage();
+    rules_path = argv[pos + 1];
+  }
+  // Rules resolve against the snapshot's vocabulary; `log compact` folds
+  // overlay-introduced vocabulary into the snapshot.
+  auto rules = LoadRules(rules_path, log_dir ? store->base() : *g);
+  if (!rules) return 1;
 
   WallTimer build;
   ViolationEngine engine(std::move(*rules));
@@ -252,6 +409,41 @@ int Detect(int argc, char** argv) {
         return Usage();
       }
     }
+    if (log_dir) {
+      // Serving step: durably append the batch, then diff exactly it.
+      auto payload = ReadFile(delta_path);
+      if (!payload) return 1;
+      // Removed violations render against the graph they existed in --
+      // the pre-append state. A copy of the overlay is enough to rebuild
+      // it, and only needed when something was actually removed.
+      GraphDelta pre_overlay = store->overlay();
+      std::string error;
+      uint64_t seq = 0;
+      IncrementalOptions iopts;
+      iopts.workers = opts.workers;
+      WallTimer t;
+      auto diff =
+          AppendAndDiff(*store, engine, *payload, iopts, &seq, &error);
+      if (!diff) {
+        std::fprintf(stderr, "error appending %s\n",
+                     FileLineError(delta_path, error).c_str());
+        return 1;
+      }
+      double seconds = t.Seconds();
+      // Report before AppendFollowUp: a compaction there replaces the
+      // base graph the pre-append view would dangle on.
+      int code;
+      if (diff->removed.empty()) {
+        code = ReportDiff(engine, store->view(), store->base(), *diff,
+                          seconds, opts.workers);
+      } else {
+        auto before = GraphView::Apply(store->base(), pre_overlay);
+        code = ReportDiff(engine, store->view(), *before, *diff, seconds,
+                          opts.workers);
+      }
+      if (!AppendFollowUp(*store, seq)) return 1;
+      return code;
+    }
     std::string error;
     auto delta = LoadGraphDeltaTsvFile(delta_path, *g, &error);
     if (!delta) {
@@ -265,37 +457,29 @@ int Detect(int argc, char** argv) {
                    error.c_str());
       return 1;
     }
+    IncrementalOptions iopts;
+    iopts.workers = opts.workers;
     WallTimer t;
-    auto diff = engine.DetectIncremental(*view, {.workers = opts.workers});
-    // Added violations render against the view (post-update values),
-    // removed ones against the base graph they existed in.
-    for (const Violation& v : diff.added) {
-      std::printf("+ %s\n",
-                  DescribeViolation(*view, engine.rules(), v).c_str());
-    }
-    for (const Violation& v : diff.removed) {
-      std::printf("- %s\n", DescribeViolation(*g, engine.rules(), v).c_str());
-    }
+    auto diff = engine.DetectIncremental(*view, iopts);
+    double seconds = t.Seconds();
     std::fprintf(stderr,
                  "delta: %zu ops (%zu+ %zu- edges, %zu attr sets) touching "
-                 "%zu nodes\n"
-                 "incremental: +%zu -%zu violation(s) in %.3fs: %lu anchor "
-                 "enumerations over %zu plans, %lu touched matches\n",
+                 "%zu nodes\n",
                  view->NumDeltaOps(), view->NumInsertedEdges(),
                  view->NumDeletedEdges(), view->NumAttrSets(),
-                 diff.stats.affected_nodes, diff.added.size(),
-                 diff.removed.size(), t.Seconds(),
-                 static_cast<unsigned long>(diff.stats.anchors_scanned),
-                 diff.stats.anchor_plans,
-                 static_cast<unsigned long>(diff.stats.matches_seen));
-    return diff.added.empty() ? 0 : 3;
+                 diff.stats.affected_nodes);
+    // Added violations render against the view (post-update values),
+    // removed ones against the base graph they existed in.
+    return ReportDiff(engine, *view, *g, diff, seconds, opts.workers);
   }
 
   WallTimer t;
   DetectionResult result;
   size_t shards = 0;
   if (!CountFlag(argc, argv, "--shards", &shards)) return Usage();
-  if (shards > 0) {
+  if (log_dir) {
+    result = engine.Detect(store->view(), opts);
+  } else if (shards > 0) {
     auto frag = VertexCutPartition(*g, shards);
     ClusterStats cstats;
     result = engine.DetectSharded(*g, frag, opts, &cstats);
@@ -310,7 +494,11 @@ int Detect(int argc, char** argv) {
     result = engine.Detect(*g, opts);
   }
   for (const Violation& v : result.violations) {
-    std::printf("%s\n", DescribeViolation(*g, engine.rules(), v).c_str());
+    std::printf("%s\n", log_dir
+                            ? DescribeViolation(store->view(), engine.rules(),
+                                                v)
+                                  .c_str()
+                            : DescribeViolation(*g, engine.rules(), v).c_str());
   }
   std::fprintf(stderr,
                "%zu violation(s) in %.2fs%s: %lu pivots scanned, %lu "
@@ -320,7 +508,78 @@ int Detect(int argc, char** argv) {
                static_cast<unsigned long>(result.stats.pivots_scanned),
                static_cast<unsigned long>(result.stats.matches_seen),
                static_cast<unsigned long>(result.stats.literal_evals));
-  return result.violations.empty() ? 0 : 3;
+  return result.violations.empty() ? 0 : kExitViolations;
+}
+
+int Log(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* verb = argv[0];
+  const char* dir = argv[1];
+  GraphStoreOptions sopts;
+  if (!CountFlag(argc, argv, "--compact-ops", &sopts.compact_min_ops,
+                 /*min=*/0)) {
+    return Usage();
+  }
+
+  if (!std::strcmp(verb, "init")) {
+    if (argc < 3) return Usage();
+    auto g = LoadGraph(argv[2]);
+    if (!g) return 1;
+    std::string error;
+    if (!GraphStore::Init(dir, *g, &error)) {
+      std::fprintf(stderr, "error initializing %s: %s\n", dir, error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "initialized store %s: %zu nodes, %zu edges\n", dir,
+                 g->NumNodes(), g->NumEdges());
+    return 0;
+  }
+
+  auto store = OpenStore(dir, sopts);
+  if (!store) return 1;
+
+  if (!std::strcmp(verb, "append")) {
+    if (argc < 3) return Usage();
+    auto payload = ReadFile(argv[2]);
+    if (!payload) return 1;
+    std::string error;
+    auto seq = store->Append(*payload, &error);
+    if (!seq) {
+      std::fprintf(stderr, "error appending %s\n",
+                   FileLineError(argv[2], error).c_str());
+      return 1;
+    }
+    return AppendFollowUp(*store, *seq) ? 0 : 1;
+  }
+
+  if (!std::strcmp(verb, "replay")) {
+    const GraphView& view = store->view();
+    std::fprintf(stderr, "current graph: %zu nodes, %zu edges\n",
+                 view.NumNodes(), view.NumEdges());
+    if (const char* out_path = FlagValue(argc, argv, "-o")) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+        return 1;
+      }
+      SaveGraphTsv(store->MaterializeCurrent(), out);
+      std::fprintf(stderr, "wrote %s\n", out_path);
+    }
+    return 0;
+  }
+
+  if (!std::strcmp(verb, "compact")) {
+    std::string error;
+    if (!store->Compact(&error)) {
+      std::fprintf(stderr, "compaction failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "snapshot anchored at seq %llu, log re-anchored\n",
+                 static_cast<unsigned long long>(store->stats().anchor_seq));
+    return 0;
+  }
+
+  return Usage();
 }
 
 int Validate(int argc, char** argv) {
@@ -367,6 +626,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "gen")) return Gen(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "discover")) return Discover(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "detect")) return Detect(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "log")) return Log(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "validate")) return Validate(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "cover")) return Cover(argc - 2, argv + 2);
   return Usage();
