@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iterator>
 #include <memory>
 #include <unordered_map>
 
@@ -386,17 +387,36 @@ std::vector<Violation> ViolationEngine::RunAnchored(
 
 IncrementalDiff ViolationEngine::DetectIncremental(
     const GraphView& view, const IncrementalOptions& opts) const {
+  return AnchoredDiff(view, view.AffectedNodes(), opts);
+}
+
+IncrementalDiff ViolationEngine::DetectIncrementalOwned(
+    const GraphView& view, std::span<const uint32_t> node_owner,
+    uint32_t fragment, const IncrementalOptions& opts) const {
+  std::vector<NodeId> owned;
+  for (NodeId v : view.AffectedNodes()) {
+    if (node_owner[v] == fragment) owned.push_back(v);
+  }
+  return AnchoredDiff(view, owned, opts);
+}
+
+IncrementalDiff ViolationEngine::AnchoredDiff(
+    const GraphView& view, std::span<const NodeId> seeds,
+    const IncrementalOptions& opts) const {
   const PropertyGraph& base = view.base();
   IncrementalDiff diff;
-  auto affected = view.AffectedNodes();
-  diff.stats.affected_nodes = affected.size();
-  if (affected.empty() || rules_.empty()) return diff;
+  diff.stats.affected_nodes = seeds.size();
+  if (seeds.empty() || rules_.empty()) return diff;
   for (const Group& group : groups_) {
     diff.stats.anchor_plans += group.plan.pattern().NumNodes();
   }
 
+  // Attribution sees every affected node, not just the seeds: a match is
+  // evaluated at its minimum affected variable or nowhere in this call,
+  // never re-attributed to a seed -- that is what makes the per-fragment
+  // outputs of DetectIncrementalOwned disjoint.
   std::vector<bool> is_affected(base.NumNodes(), false);
-  for (NodeId v : affected) is_affected[v] = true;
+  for (NodeId v : view.AffectedNodes()) is_affected[v] = true;
 
   DetectOptions uncapped;
   uncapped.match = opts.match;
@@ -406,9 +426,9 @@ IncrementalDiff ViolationEngine::DetectIncremental(
   // edges, so every destroyed match is enumerable there), the new side
   // against the view; both enumerate exactly the delta-touching matches.
   std::vector<Violation> before =
-      RunAnchored(base, affected, is_affected, workers, st);
+      RunAnchored(base, seeds, is_affected, workers, st);
   std::vector<Violation> after =
-      RunAnchored(view, affected, is_affected, workers, st);
+      RunAnchored(view, seeds, is_affected, workers, st);
   diff.stats.violations_before = before.size();
   diff.stats.violations_after = after.size();
   diff.stats.anchors_scanned = st.pivots.load();
@@ -435,6 +455,44 @@ DeltaVerdict ClassifyDelta(const ViolationEngine& engine,
   DetectionResult any = engine.Detect(view, probe);
   return any.violations.empty() ? DeltaVerdict::kClean
                                 : DeltaVerdict::kPreexistingOnly;
+}
+
+DeltaVerdict ClassifyDelta(const IncrementalDiff& diff, uint64_t post_count) {
+  if (!diff.added.empty()) return DeltaVerdict::kAddedViolations;
+  return post_count == 0 ? DeltaVerdict::kClean
+                         : DeltaVerdict::kPreexistingOnly;
+}
+
+IncrementalDiff ComposeStepDiff(const IncrementalDiff& before,
+                                const IncrementalDiff& after) {
+  auto minus = [](const std::vector<Violation>& a,
+                  const std::vector<Violation>& b) {
+    std::vector<Violation> out;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+    return out;
+  };
+  auto unite = [](std::vector<Violation> a, std::vector<Violation> b) {
+    std::vector<Violation> out;
+    out.reserve(a.size() + b.size());
+    std::merge(std::make_move_iterator(a.begin()),
+               std::make_move_iterator(a.end()),
+               std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()), std::back_inserter(out));
+    return out;
+  };
+
+  IncrementalDiff diff;
+  diff.added = unite(minus(after.added, before.added),
+                     minus(before.removed, after.removed));
+  diff.removed = unite(minus(before.added, after.added),
+                       minus(after.removed, before.removed));
+  diff.stats = after.stats;
+  diff.stats.anchors_scanned += before.stats.anchors_scanned;
+  diff.stats.matches_seen += before.stats.matches_seen;
+  diff.stats.literal_evals += before.stats.literal_evals;
+  diff.stats.anchor_plans += before.stats.anchor_plans;
+  return diff;
 }
 
 DetectionResult DetectNaive(const PropertyGraph& g, std::span<const Gfd> rules,

@@ -157,6 +157,22 @@ class ViolationEngine {
   IncrementalDiff DetectIncremental(const GraphView& view,
                                     const IncrementalOptions& opts = {}) const;
 
+  /// Fragment-scoped incremental detection -- the distributed serving
+  /// path's work unit (serve/coordinator.h). Identical to
+  /// DetectIncremental except that anchored enumeration is seeded only
+  /// from the affected nodes `fragment` owns under `node_owner`
+  /// (vertex-cut ownership as in DetectSharded), while the attribution
+  /// rule still sees the full affected set: a match whose
+  /// minimum-variable affected node belongs to another fragment is
+  /// skipped here and evaluated exactly once there. Ownership partitions
+  /// the affected nodes, so the union of these diffs over all fragments
+  /// equals DetectIncremental's -- disjointly, which is what lets a
+  /// coordinator merge per-fragment diffs without any cross-fragment
+  /// dedup pass. Precondition: node_owner.size() >= view.NumNodes().
+  IncrementalDiff DetectIncrementalOwned(
+      const GraphView& view, std::span<const uint32_t> node_owner,
+      uint32_t fragment, const IncrementalOptions& opts = {}) const;
+
  private:
   /// One rule's literals remapped into its group representative's
   /// variable space, plus the inverse map to translate matches back.
@@ -206,6 +222,13 @@ class ViolationEngine {
                                      const std::vector<bool>& is_affected,
                                      size_t workers, RunState& st) const;
 
+  // Common body of DetectIncremental / DetectIncrementalOwned: `seeds`
+  // restricts which affected nodes anchor the enumeration; attribution
+  // always uses the view's full affected set.
+  IncrementalDiff AnchoredDiff(const GraphView& view,
+                               std::span<const NodeId> seeds,
+                               const IncrementalOptions& opts) const;
+
   std::vector<Gfd> rules_;
   std::vector<Group> groups_;
 };
@@ -230,6 +253,27 @@ enum class DeltaVerdict {
 DeltaVerdict ClassifyDelta(const ViolationEngine& engine,
                            const GraphView& view, const IncrementalDiff& diff,
                            size_t workers = 1);
+
+/// Counter-backed classification: `post_count` is the running violation
+/// count *after* the batch (count += |added| - |removed| per batch, seeded
+/// by one full Detect and persistable in store.meta -- see
+/// GraphStore::SetViolationCount). No scan at all: the verdict is read
+/// straight off the diff and the counter.
+DeltaVerdict ClassifyDelta(const IncrementalDiff& diff, uint64_t post_count);
+
+/// Composes two base-relative incremental diffs -- `before` without and
+/// `after` with one extra batch, both diffed against the SAME base graph
+/// -- into the step diff of exactly that batch. With V_k = (V(base) \ R_k)
+/// u A_k on both sides,
+///   added   = (A2 \ A1) u (R1 \ R2),
+///   removed = (A1 \ A2) u (R2 \ R1),
+/// and the two union legs are disjoint because A-sets avoid V(base) while
+/// R-sets are subsets of it. The equal-base precondition is load-bearing:
+/// diffs taken against different snapshots do not compose (the coordinator
+/// keeps fragment compactions in lockstep for exactly this reason). Stats
+/// are summed across both runs.
+IncrementalDiff ComposeStepDiff(const IncrementalDiff& before,
+                                const IncrementalDiff& after);
 
 /// The baseline the engine is benchmarked against: one full matcher run
 /// per rule (the per-GFD FindViolations loop of gfd/validation.h),

@@ -62,4 +62,33 @@ Fragmentation VertexCutPartition(const PropertyGraph& g, size_t n) {
   return frag;
 }
 
+DeltaRouting RouteDelta(const GraphDelta& d,
+                        std::span<const uint32_t> node_owner,
+                        size_t num_fragments) {
+  DeltaRouting route;
+  route.ops_per_fragment.assign(num_fragments, 0);
+  std::vector<bool> affected(num_fragments, false);
+  auto owner_of = [&](NodeId v) -> uint32_t {
+    return v < node_owner.size() ? node_owner[v]
+                                 : static_cast<uint32_t>(num_fragments);
+  };
+  for (const GraphDelta::Op& op : d.ops) {
+    uint32_t a = owner_of(op.src);
+    uint32_t b = a;
+    if (op.kind != GraphDelta::OpKind::kSetAttr) b = owner_of(op.dst);
+    if (a < num_fragments) {
+      ++route.ops_per_fragment[a];
+      affected[a] = true;
+    }
+    if (b != a && b < num_fragments) {
+      ++route.ops_per_fragment[b];
+      affected[b] = true;
+    }
+  }
+  for (uint32_t f = 0; f < num_fragments; ++f) {
+    if (affected[f]) route.affected_fragments.push_back(f);
+  }
+  return route;
+}
+
 }  // namespace gfd

@@ -7,8 +7,10 @@
 #define GFD_PARALLEL_FRAGMENT_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "graph/graph_view.h"
 #include "graph/property_graph.h"
 
 namespace gfd {
@@ -31,6 +33,31 @@ struct Fragmentation {
 /// Partitions `g`'s edges into `n` fragments. Precondition: n >= 1.
 /// Deterministic. Fragment sizes differ by at most a small constant.
 Fragmentation VertexCutPartition(const PropertyGraph& g, size_t n);
+
+/// Shipping plan of one update batch under vertex-cut node ownership: an
+/// edge op is routed to the fragment(s) owning either endpoint, an
+/// attribute op to its node's owner. This is introspection/reporting,
+/// not scheduling: the coordinator itself (serve/coordinator.h)
+/// broadcasts every batch to all replicas and lets overlay-wide
+/// affected-node ownership drive detection (a fragment may owe work to
+/// an OLDER batch's nodes even when this batch routes nowhere near it);
+/// `gfdtool serve append` uses RouteDelta to report which fragments own
+/// the batch's touched vertices.
+struct DeltaRouting {
+  /// Ops routed to each fragment (an op touching two fragments counts
+  /// once in each; sums can exceed the batch size, exactly like vertex
+  /// replication).
+  std::vector<size_t> ops_per_fragment;
+  /// Fragments owning at least one touched vertex, sorted ascending.
+  std::vector<uint32_t> affected_fragments;
+};
+
+/// Routes `d`'s ops across `num_fragments` fragments by `node_owner`
+/// (one owner per node, as Fragmentation::node_owner). Ops referencing
+/// out-of-range nodes are ignored (validation is the store's job).
+DeltaRouting RouteDelta(const GraphDelta& d,
+                        std::span<const uint32_t> node_owner,
+                        size_t num_fragments);
 
 }  // namespace gfd
 

@@ -1,0 +1,485 @@
+#include "serve/coordinator.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <system_error>
+
+#include "graph/loader.h"
+#include "parallel/fragment.h"
+#include "serve/durable_io.h"
+
+namespace gfd {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMetaFile[] = "coordinator.meta";
+constexpr char kMetaMagic[] = "gfd-coordinator v1";
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+
+std::string FragmentDir(const std::string& dir, size_t f) {
+  return (fs::path(dir) / ("frag-" + std::to_string(f))).string();
+}
+
+std::string MetaContent(size_t fragments, std::span<const uint32_t> node_owner,
+                        const std::optional<MetaCount>& count) {
+  std::string out(kMetaMagic);
+  out += "\nfragments " + std::to_string(fragments) + "\n";
+  if (count) out += MetaCountLine(*count);
+  // Ownership is part of the coordinator's identity: recomputing it from
+  // an evolved graph would silently re-partition the affected-node
+  // attribution, so it is persisted verbatim.
+  out += "owners";
+  for (uint32_t o : node_owner) out += " " + std::to_string(o);
+  out += "\n";
+  return out;
+}
+
+bool ParseMeta(const std::string& path, size_t* fragments,
+               std::vector<uint32_t>* node_owner,
+               std::optional<MetaCount>* count, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    SetError(error, path + ": cannot open (not a coordinator?)");
+    return false;
+  }
+  std::string magic;
+  if (!std::getline(in, magic) || magic != kMetaMagic) {
+    SetError(error, path + ": bad magic line '" + magic + "'");
+    return false;
+  }
+  bool have_fragments = false, have_owners = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "fragments") {
+      have_fragments = static_cast<bool>(ls >> *fragments);
+    } else if (key == "violations") {
+      *count = ParseMetaCountFields(ls);
+    } else if (key == "owners") {
+      uint32_t o;
+      while (ls >> o) node_owner->push_back(o);
+      have_owners = true;
+    }
+  }
+  if (!have_fragments || *fragments == 0 || !have_owners) {
+    SetError(error, path + ": missing fragments/owners entry");
+    return false;
+  }
+  for (uint32_t o : *node_owner) {
+    if (o >= *fragments) {
+      SetError(error, path + ": owner " + std::to_string(o) +
+                          " out of range for " + std::to_string(*fragments) +
+                          " fragment(s)");
+      return false;
+    }
+  }
+  return true;
+}
+
+// Approximate wire size of one shipped violation record (the same
+// accounting DetectSharded uses).
+size_t DiffBytes(const IncrementalDiff& d) {
+  size_t bytes = 0;
+  for (const auto* side : {&d.added, &d.removed}) {
+    for (const Violation& v : *side) {
+      bytes += sizeof(Violation) + v.match.size() * sizeof(NodeId);
+    }
+  }
+  return bytes;
+}
+
+// K-way merge of sorted, pairwise-disjoint per-fragment violation lists
+// (ownership attribution guarantees disjointness, so this is dedup-free).
+std::vector<Violation> MergeSorted(std::vector<std::vector<Violation>> parts) {
+  std::vector<Violation> out;
+  for (auto& part : parts) {
+    if (part.empty()) continue;
+    if (out.empty()) {
+      out = std::move(part);
+      continue;
+    }
+    std::vector<Violation> merged;
+    merged.reserve(out.size() + part.size());
+    std::merge(std::make_move_iterator(out.begin()),
+               std::make_move_iterator(out.end()),
+               std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()),
+               std::back_inserter(merged));
+    out = std::move(merged);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool Coordinator::Init(const std::string& dir, const PropertyGraph& g,
+                       size_t fragments, std::string* error) {
+  if (fragments == 0) {
+    SetError(error, "fragment count must be >= 1");
+    return false;
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    SetError(error, dir + ": cannot create: " + ec.message());
+    return false;
+  }
+  std::string meta_path = (fs::path(dir) / kMetaFile).string();
+  if (fs::exists(meta_path)) {
+    SetError(error, dir + ": already holds a coordinator");
+    return false;
+  }
+  Fragmentation frag = VertexCutPartition(g, fragments);
+  for (size_t f = 0; f < fragments; ++f) {
+    if (!GraphStore::Init(FragmentDir(dir, f), g, error)) return false;
+  }
+  return AtomicWriteFile(meta_path,
+                         MetaContent(fragments, frag.node_owner, std::nullopt),
+                         error);
+}
+
+std::optional<Coordinator> Coordinator::Open(const std::string& dir,
+                                             const CoordinatorOptions& opts,
+                                             std::string* error) {
+  Coordinator c;
+  c.dir_ = dir;
+  c.opts_ = opts;
+
+  size_t fragments = 0;
+  std::optional<MetaCount> count;
+  if (!ParseMeta((fs::path(dir) / kMetaFile).string(), &fragments,
+                 &c.node_owner_, &count, error)) {
+    return std::nullopt;
+  }
+  c.fragments_.reserve(fragments);
+  for (size_t f = 0; f < fragments; ++f) {
+    auto store = GraphStore::Open(FragmentDir(dir, f), opts.store, error);
+    if (!store) {
+      if (error) *error = "fragment " + std::to_string(f) + ": " + *error;
+      return std::nullopt;
+    }
+    c.fragments_.push_back(std::move(*store));
+  }
+  if (c.node_owner_.size() != c.fragments_[0].base().NumNodes()) {
+    SetError(error, dir + ": ownership covers " +
+                        std::to_string(c.node_owner_.size()) +
+                        " node(s) but the graph has " +
+                        std::to_string(c.fragments_[0].base().NumNodes()));
+    return std::nullopt;
+  }
+
+  c.cluster_ = std::make_unique<Cluster>(fragments);
+  uint64_t global = 0;
+  for (const GraphStore& s : c.fragments_) {
+    global = std::max(global, s.last_seq());
+  }
+  if (!c.CatchUp(global, error)) return std::nullopt;
+  c.stats_.last_seq = global;
+  c.stats_.anchor_seq = c.fragments_[0].stats().anchor_seq;
+
+  c.count_.Restore(count, global);
+  return c;
+}
+
+bool Coordinator::CatchUp(uint64_t global_seq, std::string* error) {
+  // Re-ship missing batches to every lagging fragment. A fragment that
+  // lost its log tail (torn append) recovers to a strict prefix of the
+  // global stream; any fully-caught-up peer whose log still reaches back
+  // far enough supplies the missing records, and the lagging fragment's
+  // own Append assigns them the same sequence numbers -- catch-up is
+  // replay, not a new code path.
+  for (size_t f = 0; f < fragments_.size(); ++f) {
+    if (fragments_[f].last_seq() == global_seq) continue;
+    ++stats_.lagging_fragments;
+
+    // Peer with full coverage: up to date, anchored at or before the
+    // lagging fragment's last durable batch.
+    size_t peer = fragments_.size();
+    for (size_t p = 0; p < fragments_.size(); ++p) {
+      if (fragments_[p].last_seq() != global_seq) continue;
+      if (fragments_[p].stats().anchor_seq > fragments_[f].last_seq()) {
+        continue;  // compacted past the gap; its log lost those records
+      }
+      if (peer == fragments_.size() ||
+          fragments_[p].stats().anchor_seq <
+              fragments_[peer].stats().anchor_seq) {
+        peer = p;
+      }
+    }
+
+    if (peer < fragments_.size()) {
+      for (const DeltaLogRecord& rec : fragments_[peer].log().records()) {
+        if (rec.seq <= fragments_[f].last_seq()) continue;
+        auto seq = fragments_[f].Append(rec.payload, error);
+        if (!seq) {
+          if (error) {
+            *error = "fragment " + std::to_string(f) + " catch-up at seq " +
+                     std::to_string(rec.seq) + ": " + *error;
+          }
+          return false;
+        }
+        if (*seq != rec.seq) {
+          SetError(error, "fragment " + std::to_string(f) +
+                              " catch-up assigned seq " +
+                              std::to_string(*seq) + " for record " +
+                              std::to_string(rec.seq));
+          return false;
+        }
+        cluster_->CountShipment(1, rec.payload.size());
+        ++stats_.catchup_records;
+      }
+      continue;
+    }
+
+    // Every up-to-date peer compacted past the gap: ship a snapshot of
+    // the current global state instead and re-anchor the fragment there.
+    size_t donor = 0;
+    for (size_t p = 0; p < fragments_.size(); ++p) {
+      if (fragments_[p].last_seq() == global_seq) donor = p;
+    }
+    PropertyGraph current = fragments_[donor].MaterializeCurrent();
+    std::string frag_dir = FragmentDir(dir_, f);
+    std::error_code ec;
+    fs::remove_all(frag_dir, ec);
+    if (ec) {
+      SetError(error, frag_dir + ": cannot reset: " + ec.message());
+      return false;
+    }
+    if (!GraphStore::InitAt(frag_dir, current, global_seq, error)) {
+      return false;
+    }
+    auto store = GraphStore::Open(frag_dir, opts_.store, error);
+    if (!store) return false;
+    std::string snap = "snapshot-" + std::to_string(global_seq) + ".tsv";
+    uint64_t snap_bytes = 0;
+    const auto size = fs::file_size(fs::path(frag_dir) / snap, ec);
+    if (!ec) snap_bytes = size;
+    cluster_->CountShipment(1, snap_bytes);
+    ++stats_.catchup_snapshots;
+    fragments_[f] = std::move(*store);
+  }
+
+  // Re-unify anchors: a fragment that missed a lockstep compaction round
+  // (or was just rebuilt from a snapshot) would otherwise diff against a
+  // different base, and base-relative diffs only compose over one base.
+  bool anchors_differ = false;
+  for (const GraphStore& s : fragments_) {
+    if (s.stats().anchor_seq != fragments_[0].stats().anchor_seq) {
+      anchors_differ = true;
+      break;
+    }
+  }
+  if (anchors_differ && !CompactAll(error)) return false;
+
+  for (const GraphStore& s : fragments_) {
+    if (s.last_seq() != global_seq ||
+        s.stats().anchor_seq != fragments_[0].stats().anchor_seq) {
+      SetError(error, dir_ + ": fragments disagree after catch-up");
+      return false;
+    }
+  }
+  return true;
+}
+
+CoordinatorStats Coordinator::stats() const {
+  CoordinatorStats out = stats_;
+  out.anchor_seq = fragments_[0].stats().anchor_seq;
+  out.messages = cluster_->messages();
+  out.bytes_shipped = cluster_->bytes();
+  return out;
+}
+
+bool Coordinator::CheckNotDegraded(std::string* error) const {
+  if (!degraded_) return true;
+  SetError(error, dir_ +
+                      ": a previous batch failed on some fragment; "
+                      "reopen the coordinator to re-sync before appending");
+  return false;
+}
+
+std::optional<uint64_t> Coordinator::Append(std::string_view delta_tsv,
+                                            std::string* error) {
+  if (!CheckNotDegraded(error)) return std::nullopt;
+  // One dry-run validation up front: an invalid batch must be rejected
+  // before any fragment's log sees it (replicas are identical, so
+  // fragment 0's verdict is everyone's verdict).
+  if (!fragments_[0].Validate(delta_tsv, error)) return std::nullopt;
+
+  uint64_t seq = stats_.last_seq + 1;
+  cluster_->CountBroadcast(1, delta_tsv.size());
+  std::vector<std::string> errors(fragments_.size());
+  std::vector<char> ok(fragments_.size(), 0);
+  cluster_->RunStep([&](size_t f) {
+    auto got = fragments_[f].Append(delta_tsv, &errors[f]);
+    if (!got) return;
+    if (*got != seq) {
+      errors[f] = "assigned seq " + std::to_string(*got) + ", expected " +
+                  std::to_string(seq);
+      return;
+    }
+    ok[f] = 1;
+  });
+  for (size_t f = 0; f < fragments_.size(); ++f) {
+    if (!ok[f]) {
+      // An I/O failure after validation passed leaves this fragment
+      // behind its peers; reopening the coordinator repairs it through
+      // the catch-up path. Until then the coordinator refuses further
+      // batches (see degraded_).
+      degraded_ = true;
+      SetError(error, "fragment " + std::to_string(f) + ": " + errors[f] +
+                          " (reopen to re-sync)");
+      return std::nullopt;
+    }
+  }
+  stats_.last_seq = seq;
+  ++stats_.batches;
+  count_.Invalidate();
+  return seq;
+}
+
+std::optional<IncrementalDiff> Coordinator::AppendAndDiff(
+    const ViolationEngine& engine, std::string_view delta_tsv,
+    uint64_t* seq_out, std::string* error) {
+  if (!CheckNotDegraded(error)) return std::nullopt;
+  if (!fragments_[0].Validate(delta_tsv, error)) return std::nullopt;
+
+  uint64_t seq = stats_.last_seq + 1;
+  cluster_->CountBroadcast(1, delta_tsv.size());
+
+  // One barrier step per fragment: base-relative diff before the batch,
+  // sequenced durable append, base-relative diff after. Both sides see
+  // only the matches attributed to this fragment's owned affected nodes.
+  std::vector<IncrementalDiff> before(fragments_.size());
+  std::vector<IncrementalDiff> after(fragments_.size());
+  std::vector<std::string> errors(fragments_.size());
+  std::vector<char> ok(fragments_.size(), 0);
+  cluster_->RunStep([&](size_t f) {
+    before[f] = engine.DetectIncrementalOwned(
+        fragments_[f].view(), node_owner_, static_cast<uint32_t>(f),
+        opts_.incremental);
+    auto got = fragments_[f].Append(delta_tsv, &errors[f]);
+    if (!got) return;
+    if (*got != seq) {
+      errors[f] = "assigned seq " + std::to_string(*got) + ", expected " +
+                  std::to_string(seq);
+      return;
+    }
+    after[f] = engine.DetectIncrementalOwned(
+        fragments_[f].view(), node_owner_, static_cast<uint32_t>(f),
+        opts_.incremental);
+    ok[f] = 1;
+  });
+  for (size_t f = 0; f < fragments_.size(); ++f) {
+    if (!ok[f]) {
+      degraded_ = true;
+      SetError(error, "fragment " + std::to_string(f) + ": " + errors[f] +
+                          " (reopen to re-sync)");
+      return std::nullopt;
+    }
+  }
+
+  // Each fragment ships its four record lists to the master.
+  IncrementalDiff merged_before, merged_after;
+  {
+    std::vector<std::vector<Violation>> parts;
+    auto take = [&](std::vector<IncrementalDiff>& diffs, bool added) {
+      parts.clear();
+      parts.reserve(diffs.size());
+      for (auto& d : diffs) {
+        parts.push_back(std::move(added ? d.added : d.removed));
+      }
+      return MergeSorted(std::move(parts));
+    };
+    for (size_t f = 0; f < fragments_.size(); ++f) {
+      size_t bytes = DiffBytes(before[f]) + DiffBytes(after[f]);
+      if (bytes > 0) cluster_->CountShipment(1, bytes);
+      auto add_stats = [](IncrementalStats& acc, const IncrementalStats& s) {
+        acc.affected_nodes += s.affected_nodes;
+        acc.anchor_plans += s.anchor_plans;
+        acc.anchors_scanned += s.anchors_scanned;
+        acc.matches_seen += s.matches_seen;
+        acc.literal_evals += s.literal_evals;
+        acc.violations_before += s.violations_before;
+        acc.violations_after += s.violations_after;
+      };
+      add_stats(merged_before.stats, before[f].stats);
+      add_stats(merged_after.stats, after[f].stats);
+    }
+    merged_before.added = take(before, /*added=*/true);
+    merged_before.removed = take(before, /*added=*/false);
+    merged_after.added = take(after, /*added=*/true);
+    merged_after.removed = take(after, /*added=*/false);
+  }
+
+  stats_.last_seq = seq;
+  ++stats_.batches;
+  count_.Invalidate();
+  if (seq_out) *seq_out = seq;
+  return ComposeStepDiff(merged_before, merged_after);
+}
+
+bool Coordinator::ShouldCompact() const {
+  for (const GraphStore& s : fragments_) {
+    if (s.ShouldCompact()) return true;
+  }
+  return false;
+}
+
+bool Coordinator::CompactAll(std::string* error) {
+  if (!CheckNotDegraded(error)) return false;
+  std::vector<std::string> errors(fragments_.size());
+  std::vector<char> ok(fragments_.size(), 0);
+  cluster_->RunStep(
+      [&](size_t f) { ok[f] = fragments_[f].Compact(&errors[f]) ? 1 : 0; });
+  for (size_t f = 0; f < fragments_.size(); ++f) {
+    if (!ok[f]) {
+      // A half-done round splits the anchors, and base-relative diffs
+      // do not compose across different bases; refuse further batches
+      // until a reopen re-unifies them.
+      degraded_ = true;
+      if (errors[f].empty()) errors[f] = "compaction failed";
+      SetError(error, "fragment " + std::to_string(f) + ": " + errors[f]);
+      return false;
+    }
+  }
+  ++stats_.compactions;
+  return true;
+}
+
+bool Coordinator::MaybeCompactAll(std::string* error) {
+  return ShouldCompact() ? CompactAll(error) : true;
+}
+
+std::optional<uint64_t> Coordinator::violation_count(
+    uint64_t fingerprint) const {
+  return count_.Get(stats_.last_seq, fingerprint);
+}
+
+bool Coordinator::SetViolationCount(uint64_t count, uint64_t fingerprint,
+                                    std::string* error) {
+  count_.Set(count, stats_.last_seq, fingerprint);
+  return WriteMeta(error);
+}
+
+bool Coordinator::WriteMeta(std::string* error) {
+  return AtomicWriteFile((fs::path(dir_) / kMetaFile).string(),
+                         MetaContent(fragments_.size(), node_owner_,
+                                     count_.Persisted(stats_.last_seq)),
+                         error);
+}
+
+PropertyGraph Coordinator::MaterializeCurrent() const {
+  return fragments_[0].MaterializeCurrent();
+}
+
+}  // namespace gfd

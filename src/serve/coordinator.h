@@ -1,0 +1,207 @@
+// Distributed incremental detection: sequenced batch shipping over
+// per-fragment GraphStores.
+//
+// The Coordinator fuses the two serving primitives PRs 3-4 built -- the
+// overlay-based incremental detector (detect/engine.h) and the durable
+// sequenced GraphStore (serve/graph_store.h) -- into the paper's
+// shared-nothing shape (Section 6): a master owning N fragment replicas,
+// each a GraphStore with a private delta log. The log's sequence numbers
+// are the shipping/ordering primitive: the master assigns every accepted
+// batch the next global sequence number, ships it, and every fragment
+// applies batches strictly in sequence order onto its own store, so a
+// fragment's durable state is always a prefix of the global stream and a
+// restart replays each fragment independently from its local log.
+//
+// On-disk layout:
+//
+//   dir/coordinator.meta   magic + fragment count + vertex-cut node
+//                          ownership (+ optional running violation count)
+//   dir/frag-<f>/          one GraphStore per fragment (snapshot + meta +
+//                          private delta log)
+//
+// Work partitioning vs. data partitioning. Ownership is vertex-cut, as in
+// DetectSharded: VertexCutPartition assigns every node one owner
+// fragment, and fragment f evaluates exactly the delta-touching matches
+// attributed to an affected node it owns
+// (ViolationEngine::DetectIncrementalOwned). Because attribution is a
+// stateless function of the match and the affected set, the per-fragment
+// outputs partition the global diff -- the master merges them with a
+// plain sorted merge, dedup'd exactly, no cross-fragment reconciliation.
+// Each replica, however, holds the FULL graph: a match anchored at an
+// owned vertex may wander through any fragment's territory, and this
+// simulation substitutes whole-graph replication for the paper's
+// border-node shipping, exactly as DetectSharded lets every worker read
+// the shared graph (DESIGN.md "Substitutions"). What would be network
+// traffic is accounted through the Cluster: the batch broadcast that
+// keeps replicas in lockstep, the catch-up records or snapshots shipped
+// to lagging fragments, and the per-fragment diffs shipped back to the
+// master.
+//
+// Sequence-ordering invariant. Between coordinator operations every
+// fragment store agrees on (anchor_seq, last_seq): batches apply in
+// sequence order everywhere, and compaction runs in LOCKSTEP
+// (CompactAll), never per-fragment. The lockstep is load-bearing for
+// correctness, not just tidiness: the per-batch diff is composed from two
+// base-relative incremental runs (ComposeStepDiff), and diffs taken
+// against different snapshots do not compose. Open() restores the
+// invariant after any crash: a fragment whose log lost its tail (torn
+// append) is caught up by re-shipping the missing records from a peer's
+// log -- its own log assigns them the same sequence numbers, so
+// catch-up IS replay -- or, when every up-to-date peer has compacted past
+// the gap, by a snapshot transfer (GraphStore::InitAt at the global
+// sequence) followed by a lockstep compaction that re-unifies the
+// anchors.
+#ifndef GFD_SERVE_COORDINATOR_H_
+#define GFD_SERVE_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "detect/engine.h"
+#include "graph/property_graph.h"
+#include "parallel/cluster.h"
+#include "serve/durable_io.h"
+#include "serve/graph_store.h"
+
+namespace gfd {
+
+struct CoordinatorOptions {
+  /// Per-fragment store options. The compaction thresholds feed
+  /// ShouldCompact/MaybeCompactAll; fragments never compact unilaterally.
+  GraphStoreOptions store;
+  /// Per-fragment detection knobs. `workers` is the *intra*-fragment
+  /// worker count (fragments already run concurrently, one Cluster worker
+  /// each); the default 1 keeps total threads = fragment count.
+  IncrementalOptions incremental;
+};
+
+struct CoordinatorStats {
+  uint64_t anchor_seq = 0;      ///< common fragment anchor
+  uint64_t last_seq = 0;        ///< global sequence (max shipped batch)
+  size_t batches = 0;           ///< batches accepted this session
+  size_t catchup_records = 0;   ///< log records re-shipped on Open
+  size_t catchup_snapshots = 0; ///< snapshot transfers on Open
+  size_t lagging_fragments = 0; ///< fragments caught up on Open
+  size_t compactions = 0;       ///< lockstep compaction rounds
+  uint64_t messages = 0;        ///< cluster messages (broadcasts + ships)
+  uint64_t bytes_shipped = 0;   ///< cluster bytes
+};
+
+class Coordinator {
+ public:
+  /// Creates `dir` as a coordinator over `fragments` replicas of `g`:
+  /// vertex-cut node ownership is computed once here and persisted (it
+  /// must not drift as the graph evolves), and every fragment store is
+  /// initialized with `g` as its snapshot-0. Fails if `dir` already
+  /// holds a coordinator.
+  static bool Init(const std::string& dir, const PropertyGraph& g,
+                   size_t fragments, std::string* error = nullptr);
+
+  /// Opens `dir`: every fragment store recovers independently from its
+  /// local log (torn tails cut, sequenced exactly-once replay), then the
+  /// master catches lagging fragments up to the global sequence anchor
+  /// (max recovered last_seq) and re-unifies compaction anchors, so the
+  /// reopened coordinator serves the same global state an uninterrupted
+  /// run would.
+  static std::optional<Coordinator> Open(const std::string& dir,
+                                         const CoordinatorOptions& opts = {},
+                                         std::string* error = nullptr);
+
+  size_t num_fragments() const { return fragments_.size(); }
+  std::span<const uint32_t> node_owner() const { return node_owner_; }
+  const GraphStore& fragment(size_t f) const { return fragments_[f]; }
+  uint64_t last_seq() const { return stats_.last_seq; }
+  const std::string& dir() const { return dir_; }
+
+  /// Session stats with the cluster's communication counters folded in.
+  CoordinatorStats stats() const;
+
+  /// Accepts one update batch (the E+/E-/A TSV of graph/loader.h):
+  /// validates it once against the current state, assigns it the next
+  /// global sequence number, broadcasts it, and applies it on every
+  /// fragment strictly in sequence order. Nothing reaches any log when
+  /// validation fails. Returns the assigned sequence number.
+  std::optional<uint64_t> Append(std::string_view delta_tsv,
+                                 std::string* error = nullptr);
+
+  /// The distributed serving step: Append plus the violation diff induced
+  /// by exactly this batch. Each affected fragment runs
+  /// DetectIncrementalOwned before and after applying the batch; the
+  /// master merges the per-fragment base-relative diffs per side (a plain
+  /// sorted merge -- ownership attribution makes them disjoint) and
+  /// composes the two sides into the step diff (ComposeStepDiff), which
+  /// equals single-node GraphStore AppendAndDiff record for record.
+  /// Per-fragment diffs ship to the master through the Cluster.
+  std::optional<IncrementalDiff> AppendAndDiff(const ViolationEngine& engine,
+                                               std::string_view delta_tsv,
+                                               uint64_t* seq_out = nullptr,
+                                               std::string* error = nullptr);
+
+  /// True when any fragment's compaction policy fires (replicas are in
+  /// lockstep, so normally all fire together).
+  bool ShouldCompact() const;
+
+  /// Lockstep compaction: rolls EVERY fragment's snapshot to the current
+  /// global sequence, keeping the anchors equal (the precondition of diff
+  /// composition).
+  bool CompactAll(std::string* error = nullptr);
+
+  /// Policy entry point: CompactAll() iff ShouldCompact().
+  bool MaybeCompactAll(std::string* error = nullptr);
+
+  /// Running violation count across the whole graph, maintained by the
+  /// serving loop and persisted in coordinator.meta -- same contract as
+  /// GraphStore::violation_count (keyed by rule-set fingerprint,
+  /// invalidated by any append until the loop folds the batch's diff
+  /// back in).
+  std::optional<uint64_t> violation_count(uint64_t fingerprint) const;
+  bool SetViolationCount(uint64_t count, uint64_t fingerprint,
+                         std::string* error = nullptr);
+
+  /// The current global graph, materialized from fragment 0 (replicas
+  /// are identical between operations).
+  PropertyGraph MaterializeCurrent() const;
+
+ private:
+  Coordinator() = default;
+
+  // Re-ships missing batches (or a snapshot) to every fragment behind
+  // `global_seq`, then re-unifies compaction anchors. The tail of Open.
+  bool CatchUp(uint64_t global_seq, std::string* error);
+
+  // False (with error) once a partial batch failure degraded the
+  // replicas; mutating entry points call this first.
+  bool CheckNotDegraded(std::string* error) const;
+
+  // Rewrites coordinator.meta (atomic) with ownership and, when valid at
+  // the current sequence, the running violation count.
+  bool WriteMeta(std::string* error);
+
+  std::string dir_;
+  CoordinatorOptions opts_;
+  std::vector<uint32_t> node_owner_;
+  std::vector<GraphStore> fragments_;
+  // Master + one worker per fragment; also the communication ledger.
+  std::unique_ptr<Cluster> cluster_;
+  CoordinatorStats stats_;
+  // Set when a broadcast append failed on some fragment after others
+  // already logged the batch: the replicas no longer agree, and because
+  // every fragment assigns its own next sequence number, continuing
+  // would let them re-converge on equal sequence numbers with DIFFERENT
+  // batches -- divergence no reopen could detect. Every mutating entry
+  // point refuses until the coordinator is reopened (catch-up repairs
+  // the lag while the surviving fragments still agree).
+  bool degraded_ = false;
+  // Running violation count (serve/durable_io.h holds the shared
+  // validity rule: valid only at the exact sequence it was taken).
+  RunningCount count_;
+};
+
+}  // namespace gfd
+
+#endif  // GFD_SERVE_COORDINATOR_H_

@@ -84,4 +84,15 @@ bool AtomicWriteFile(const std::string& path, std::string_view content,
   return true;
 }
 
+std::string MetaCountLine(const MetaCount& c) {
+  return "violations " + std::to_string(c.count) + " " +
+         std::to_string(c.seq) + " " + std::to_string(c.fingerprint) + "\n";
+}
+
+std::optional<MetaCount> ParseMetaCountFields(std::istream& in) {
+  MetaCount c;
+  if (in >> c.count >> c.seq >> c.fingerprint) return c;
+  return std::nullopt;
+}
+
 }  // namespace gfd

@@ -30,15 +30,18 @@ std::string SnapshotName(uint64_t anchor) {
   return "snapshot-" + std::to_string(anchor) + ".tsv";
 }
 
-std::string MetaContent(uint64_t anchor, const std::string& snapshot_file) {
+std::string MetaContent(uint64_t anchor, const std::string& snapshot_file,
+                        const std::optional<MetaCount>& count) {
   std::string out(kMetaMagic);
   out += "\nanchor " + std::to_string(anchor);
   out += "\nsnapshot " + snapshot_file + "\n";
+  if (count) out += MetaCountLine(*count);
   return out;
 }
 
 bool ParseMeta(const std::string& path, uint64_t* anchor,
-               std::string* snapshot_file, std::string* error) {
+               std::string* snapshot_file, std::optional<MetaCount>* count,
+               std::string* error) {
   std::ifstream in(path);
   if (!in) {
     SetError(error, path + ": cannot open (not a graph store?)");
@@ -59,6 +62,8 @@ bool ParseMeta(const std::string& path, uint64_t* anchor,
       have_anchor = static_cast<bool>(ls >> *anchor);
     } else if (key == "snapshot") {
       have_snapshot = static_cast<bool>(ls >> *snapshot_file);
+    } else if (key == "violations" && count) {
+      *count = ParseMetaCountFields(ls);
     }
   }
   if (!have_anchor || !have_snapshot) {
@@ -81,6 +86,11 @@ std::string SaveGraphString(const PropertyGraph& g) {
 
 bool GraphStore::Init(const std::string& dir, const PropertyGraph& g,
                       std::string* error) {
+  return InitAt(dir, g, /*anchor=*/0, error);
+}
+
+bool GraphStore::InitAt(const std::string& dir, const PropertyGraph& g,
+                        uint64_t anchor, std::string* error) {
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
@@ -92,12 +102,13 @@ bool GraphStore::Init(const std::string& dir, const PropertyGraph& g,
     SetError(error, dir + ": already holds a graph store");
     return false;
   }
-  std::string snapshot = SnapshotName(0);
+  std::string snapshot = SnapshotName(anchor);
   if (!AtomicWriteFile((fs::path(dir) / snapshot).string(),
                        SaveGraphString(g), error)) {
     return false;
   }
-  return AtomicWriteFile(meta_path, MetaContent(0, snapshot), error);
+  return AtomicWriteFile(meta_path,
+                         MetaContent(anchor, snapshot, std::nullopt), error);
 }
 
 std::optional<GraphStore> GraphStore::Open(const std::string& dir,
@@ -108,8 +119,9 @@ std::optional<GraphStore> GraphStore::Open(const std::string& dir,
   store.dir_ = dir;
 
   uint64_t anchor = 0;
+  std::optional<MetaCount> count;
   if (!ParseMeta((fs::path(dir) / kMetaFile).string(), &anchor,
-                 &store.snapshot_file_, error)) {
+                 &store.snapshot_file_, &count, error)) {
     return std::nullopt;
   }
   std::string snap_path = (fs::path(dir) / store.snapshot_file_).string();
@@ -180,6 +192,11 @@ std::optional<GraphStore> GraphStore::Open(const std::string& dir,
   store.overlay_ = std::move(overlay);
   store.view_ = std::move(*view);
 
+  // The persisted count is trusted only when it was taken at exactly the
+  // state replay reconstructed: a torn tail (count ahead) or appends that
+  // never folded their diff back in (count behind) both invalidate it.
+  store.count_.Restore(count, store.stats_.last_seq);
+
   // Self-heal: drop pre-anchor records and clean tmp/orphan snapshots.
   if (store.stats_.skipped_batches > 0) {
     if (!store.log_->DropThrough(anchor, error)) return std::nullopt;
@@ -233,7 +250,48 @@ std::optional<uint64_t> GraphStore::Append(std::string_view delta_tsv,
   overlay_ = std::move(candidate);
   view_ = std::move(*view);
   stats_.last_seq = *seq;
+  // The batch changed the graph; the count is stale until the serving
+  // loop folds the batch's diff back in via SetViolationCount.
+  count_.Invalidate();
   return seq;
+}
+
+bool GraphStore::Validate(std::string_view delta_tsv,
+                          std::string* error) const {
+  std::istringstream in{std::string(delta_tsv)};
+  std::string parse_error;
+  auto d = LoadGraphDeltaTsv(in, *base_, &parse_error);
+  if (!d) {
+    SetError(error, parse_error);
+    return false;
+  }
+  GraphDelta candidate = overlay_;
+  candidate.Append(*base_, *d);
+  std::string apply_error;
+  if (!GraphView::Apply(*base_, candidate, &apply_error)) {
+    SetError(error, apply_error);
+    return false;
+  }
+  return true;
+}
+
+std::optional<uint64_t> GraphStore::violation_count(
+    uint64_t fingerprint) const {
+  return count_.Get(stats_.last_seq, fingerprint);
+}
+
+bool GraphStore::SetViolationCount(uint64_t count, uint64_t fingerprint,
+                                   std::string* error) {
+  count_.Set(count, stats_.last_seq, fingerprint);
+  return WriteMeta(error);
+}
+
+bool GraphStore::WriteMeta(std::string* error) {
+  return AtomicWriteFile(
+      (fs::path(dir_) / kMetaFile).string(),
+      MetaContent(stats_.anchor_seq, snapshot_file_,
+                  count_.Persisted(stats_.last_seq)),
+      error);
 }
 
 std::optional<uint64_t> GraphStore::Append(const GraphDelta& batch,
@@ -270,8 +328,12 @@ bool GraphStore::Compact(std::string* error) {
                        SaveGraphString(next), error)) {
     return false;
   }
-  if (!AtomicWriteFile((fs::path(dir_) / kMetaFile).string(),
-                       MetaContent(anchor, snapshot), error)) {
+  // Compaction does not advance last_seq, so a valid running count rides
+  // through the meta commit unchanged.
+  if (!AtomicWriteFile(
+          (fs::path(dir_) / kMetaFile).string(),
+          MetaContent(anchor, snapshot, count_.Persisted(stats_.last_seq)),
+          error)) {
     return false;
   }
   if (!log_->DropThrough(anchor, error)) return false;
@@ -308,38 +370,7 @@ std::optional<IncrementalDiff> AppendAndDiff(GraphStore& store,
   if (!seq) return std::nullopt;
   if (seq_out) *seq_out = *seq;
   IncrementalDiff after = engine.DetectIncremental(store.view(), opts);
-
-  // V_k = V(base) \ R_k u A_k, so the step diff is
-  //   added   = (A2 \ A1) u (R1 \ R2)   (A-sets are disjoint from V(base),
-  //   removed = (A1 \ A2) u (R2 \ R1)    R-sets are subsets of it).
-  auto minus = [](const std::vector<Violation>& a,
-                  const std::vector<Violation>& b) {
-    std::vector<Violation> out;
-    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-    return out;
-  };
-  auto unite = [](std::vector<Violation> a, std::vector<Violation> b) {
-    std::vector<Violation> out;
-    out.reserve(a.size() + b.size());
-    std::merge(std::make_move_iterator(a.begin()),
-               std::make_move_iterator(a.end()),
-               std::make_move_iterator(b.begin()),
-               std::make_move_iterator(b.end()), std::back_inserter(out));
-    return out;
-  };
-
-  IncrementalDiff diff;
-  diff.added = unite(minus(after.added, before.added),
-                     minus(before.removed, after.removed));
-  diff.removed = unite(minus(before.added, after.added),
-                       minus(after.removed, before.removed));
-  diff.stats = after.stats;
-  diff.stats.anchors_scanned += before.stats.anchors_scanned;
-  diff.stats.matches_seen += before.stats.matches_seen;
-  diff.stats.literal_evals += before.stats.literal_evals;
-  diff.stats.anchor_plans += before.stats.anchor_plans;
-  return diff;
+  return ComposeStepDiff(before, after);
 }
 
 }  // namespace gfd

@@ -48,6 +48,7 @@
 #include "graph/graph_view.h"
 #include "graph/property_graph.h"
 #include "serve/delta_log.h"
+#include "serve/durable_io.h"
 
 namespace gfd {
 
@@ -78,6 +79,13 @@ class GraphStore {
   static bool Init(const std::string& dir, const PropertyGraph& g,
                    std::string* error = nullptr);
 
+  /// Init with a non-zero starting anchor: `g` becomes snapshot-<anchor>
+  /// and the first appended batch is numbered anchor+1. The snapshot-
+  /// transfer path of distributed catch-up (serve/coordinator.h) uses
+  /// this to rebuild a fragment whose peers compacted past its log.
+  static bool InitAt(const std::string& dir, const PropertyGraph& g,
+                     uint64_t anchor, std::string* error = nullptr);
+
   /// Opens `dir`, replaying the log onto the snapshot (sequenced,
   /// exactly-once; corrupt tail cut). Also self-heals: pre-anchor log
   /// records are dropped and orphaned temp/old-snapshot files deleted.
@@ -91,6 +99,9 @@ class GraphStore {
   const GraphStoreStats& stats() const { return stats_; }
   const std::string& dir() const { return dir_; }
   uint64_t last_seq() const { return stats_.last_seq; }
+  /// The store's log (read access; the coordinator's catch-up path ships
+  /// a lagging peer the records it is missing straight out of here).
+  const DeltaLog& log() const { return *log_; }
 
   /// Parses `delta_tsv` (the E+/E-/A format of graph/loader.h) against
   /// the store's vocabulary, validates it on the current view, appends it
@@ -110,6 +121,29 @@ class GraphStore {
   std::optional<uint64_t> Append(const GraphDelta& batch,
                                  std::string* error = nullptr);
 
+  /// Parses and validates `delta_tsv` against the current view without
+  /// logging or applying anything -- the dry-run a coordinator performs
+  /// once before broadcasting a batch to every replica, so an invalid
+  /// batch is rejected before any fragment's log sees it.
+  bool Validate(std::string_view delta_tsv, std::string* error = nullptr) const;
+
+  /// Running violation count as of last_seq(), maintained by the serving
+  /// loop (count += |added| - |removed| per batch, seeded by one full
+  /// Detect) and persisted in store.meta next to the anchor. The count is
+  /// only meaningful under the rule set it was computed with, so it is
+  /// keyed by `fingerprint` (util/hash.h Fnv1a64 of the serialized rules,
+  /// as gfdtool computes it): a lookup under a different fingerprint, or
+  /// after an append that has not been followed by SetViolationCount, or
+  /// across a restart whose replayed sequence disagrees with the persisted
+  /// one, returns nullopt -- the caller re-seeds with a full scan.
+  std::optional<uint64_t> violation_count(uint64_t fingerprint) const;
+
+  /// Persists `count` (under `fingerprint`) as the violation count at the
+  /// current last_seq, via an atomic meta rewrite. Survives restarts and
+  /// compactions.
+  bool SetViolationCount(uint64_t count, uint64_t fingerprint,
+                         std::string* error = nullptr);
+
   /// True when the overlay exceeds a configured compaction threshold.
   bool ShouldCompact() const;
 
@@ -127,6 +161,10 @@ class GraphStore {
 
   bool ApplyOverlay(GraphDelta next_overlay, std::string* error);
 
+  // Rewrites store.meta (atomically) reflecting the current anchor,
+  // snapshot, and violation-count state.
+  bool WriteMeta(std::string* error);
+
   GraphStoreOptions opts_;
   std::string dir_;
   std::string snapshot_file_;  // relative to dir_
@@ -135,6 +173,9 @@ class GraphStore {
   std::optional<GraphView> view_;
   std::optional<DeltaLog> log_;
   GraphStoreStats stats_;
+  // Running violation count (serve/durable_io.h holds the shared
+  // validity rule: valid only at the exact sequence it was taken).
+  RunningCount count_;
 };
 
 /// One serving step: appends `delta_tsv` to the store and returns the

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,19 @@ inline void HashCombine(size_t& seed, size_t v) {
   v *= 0xff51afd7ed558ccdULL;
   v ^= v >> 33;
   seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// FNV-1a 64-bit over a byte string. Stable across platforms and runs
+/// (unlike std::hash), so it can fingerprint serialized state that lands
+/// on disk -- e.g. the rule-set fingerprint stored next to the running
+/// violation count in store.meta.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 struct PairHash {

@@ -1,0 +1,509 @@
+// Distributed incremental detection: the Coordinator's merged
+// per-fragment diffs must be byte-identical to single-node
+// DetectIncremental / AppendAndDiff on the unfragmented store -- on
+// fixtures, property-style across random seeds x graph scales x fragment
+// counts {1,2,4,8} x batch streams (repeated and delete-heavy batches
+// included), and across crash-recovery boundaries (torn fragment logs,
+// missed lockstep compactions).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datagen/gfd_gen.h"
+#include "datagen/synthetic.h"
+#include "detect/engine.h"
+#include "graph/graph_view.h"
+#include "graph/loader.h"
+#include "parallel/fragment.h"
+#include "serve/coordinator.h"
+#include "serve/graph_store.h"
+#include "util/rng.h"
+
+namespace gfd {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Fresh per-test scratch directory under gtest's temp root.
+std::string Scratch(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "gfd_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string GraphBytes(const PropertyGraph& g) {
+  std::ostringstream os;
+  SaveGraphTsv(g, os);
+  return std::move(os).str();
+}
+
+std::string DeltaBytes(const PropertyGraph& base, const GraphDelta& d) {
+  std::ostringstream os;
+  SaveGraphDeltaTsv(base, d, os);
+  return std::move(os).str();
+}
+
+// Random update batch over the *current* state `g`: inserts with
+// label-plausible endpoints, deletes of existing edges, attribute sets
+// (some introducing brand-new values). `delete_bias` > 0.3 makes the
+// stream delete-heavy.
+GraphDelta RandomBatch(const PropertyGraph& g, Rng& rng, size_t ops,
+                       double delete_bias = 0.3) {
+  GraphDelta d;
+  std::vector<bool> gone(g.NumEdges(), false);
+  for (size_t i = 0; i < ops; ++i) {
+    double roll = rng.NextDouble();
+    if (roll < 0.4 && g.NumEdges() > 0) {
+      EdgeId e = static_cast<EdgeId>(rng.Below(g.NumEdges()));
+      NodeId src = rng.Chance(0.5)
+                       ? g.EdgeSrc(e)
+                       : static_cast<NodeId>(rng.Below(g.NumNodes()));
+      NodeId dst = static_cast<NodeId>(rng.Below(g.NumNodes()));
+      d.InsertEdge(src, dst, g.EdgeLabel(e));
+    } else if (roll < 0.4 + delete_bias && g.NumEdges() > 0) {
+      EdgeId e = static_cast<EdgeId>(rng.Below(g.NumEdges()));
+      if (gone[e]) continue;  // at most one delete per base edge
+      gone[e] = true;
+      d.DeleteEdge(g.EdgeSrc(e), g.EdgeDst(e), g.EdgeLabel(e));
+    } else {
+      NodeId v = static_cast<NodeId>(rng.Below(g.NumNodes()));
+      auto attrs = g.NodeAttrs(v);
+      AttrId key = attrs.empty()
+                       ? d.InternAttr(g, "patched_key")
+                       : attrs[rng.Below(attrs.size())].key;
+      ValueId val =
+          rng.Chance(0.2)
+              ? d.InternValue(g, "patched_" + std::to_string(rng.Below(4)))
+              : static_cast<ValueId>(rng.Below(g.values().size()));
+      d.SetAttr(v, key, val);
+    }
+  }
+  return d;
+}
+
+// --- Fragment-scoped incremental entry point -------------------------------
+
+TEST(DetectIncrementalOwned, FragmentsPartitionTheFullDiff) {
+  auto g = MakeSynthetic({.nodes = 200,
+                          .edges = 600,
+                          .node_labels = 5,
+                          .edge_labels = 4,
+                          .attrs = 3,
+                          .values = 15,
+                          .value_correlation = 0.9,
+                          .seed = 42});
+  auto rules = GenerateGfdSet(g, {.count = 12, .k = 3, .seed = 7});
+  ViolationEngine engine(rules);
+  Rng rng(99);
+  GraphDelta d = RandomBatch(g, rng, 40);
+  auto view = *GraphView::Apply(g, d);
+  auto full = engine.DetectIncremental(view);
+
+  for (size_t n : {1u, 2u, 4u, 8u}) {
+    Fragmentation frag = VertexCutPartition(g, n);
+    std::vector<Violation> added, removed;
+    size_t owned_total = 0;
+    for (uint32_t f = 0; f < n; ++f) {
+      auto part = engine.DetectIncrementalOwned(view, frag.node_owner, f);
+      owned_total += part.stats.affected_nodes;
+      // Disjoint by attribution: plain merges reproduce the full diff.
+      std::vector<Violation> merged;
+      std::merge(added.begin(), added.end(), part.added.begin(),
+                 part.added.end(), std::back_inserter(merged));
+      added = std::move(merged);
+      merged.clear();
+      std::merge(removed.begin(), removed.end(), part.removed.begin(),
+                 part.removed.end(), std::back_inserter(merged));
+      removed = std::move(merged);
+    }
+    EXPECT_EQ(owned_total, full.stats.affected_nodes) << n << " fragments";
+    EXPECT_EQ(added, full.added) << n << " fragments";
+    EXPECT_EQ(removed, full.removed) << n << " fragments";
+    // No duplicates slipped through the merge.
+    EXPECT_TRUE(std::adjacent_find(added.begin(), added.end()) == added.end());
+  }
+}
+
+TEST(RouteDelta, RoutesOpsToOwnersAndNamesAffectedFragments) {
+  auto g = MakeSynthetic({.nodes = 50, .edges = 150, .seed = 5});
+  Fragmentation frag = VertexCutPartition(g, 4);
+  GraphDelta d;
+  EdgeId e = 0;
+  d.InsertEdge(g.EdgeSrc(e), g.EdgeDst(e), g.EdgeLabel(e));
+  d.SetAttr(g.EdgeSrc(e), 0, 0);
+  auto route = RouteDelta(d, frag.node_owner, frag.num_fragments);
+  uint32_t src_owner = frag.node_owner[g.EdgeSrc(e)];
+  uint32_t dst_owner = frag.node_owner[g.EdgeDst(e)];
+  EXPECT_GE(route.ops_per_fragment[src_owner], 2u);  // edge + attr op
+  EXPECT_TRUE(std::binary_search(route.affected_fragments.begin(),
+                                 route.affected_fragments.end(), src_owner));
+  EXPECT_TRUE(std::binary_search(route.affected_fragments.begin(),
+                                 route.affected_fragments.end(), dst_owner));
+  size_t routed = 0;
+  for (size_t c : route.ops_per_fragment) routed += c;
+  // Each op counts once per owner fragment of its touched nodes.
+  EXPECT_GE(routed, d.ops.size());
+  EXPECT_LE(routed, 2 * d.ops.size());
+}
+
+// --- Coordinator basics ----------------------------------------------------
+
+TEST(Coordinator, InitRejectsZeroFragmentsAndDoubleInit) {
+  auto g = MakeSynthetic({.nodes = 20, .edges = 40, .seed = 1});
+  std::string dir = Scratch("coord_init");
+  std::string error;
+  EXPECT_FALSE(Coordinator::Init(dir, g, 0, &error));
+  ASSERT_TRUE(Coordinator::Init(dir, g, 2, &error)) << error;
+  EXPECT_FALSE(Coordinator::Init(dir, g, 2, &error));
+  EXPECT_NE(error.find("already holds"), std::string::npos);
+}
+
+TEST(Coordinator, AppendKeepsReplicasInLockstep) {
+  auto g = MakeSynthetic({.nodes = 60, .edges = 180, .seed = 2});
+  std::string dir = Scratch("coord_lockstep");
+  ASSERT_TRUE(Coordinator::Init(dir, g, 3));
+  auto coord = Coordinator::Open(dir);
+  ASSERT_TRUE(coord.has_value());
+  Rng rng(7);
+  for (int b = 0; b < 3; ++b) {
+    GraphDelta d = RandomBatch(coord->fragment(0).base(), rng, 10);
+    std::string error;
+    auto seq =
+        coord->Append(DeltaBytes(coord->fragment(0).base(), d), &error);
+    ASSERT_TRUE(seq.has_value()) << error;
+    EXPECT_EQ(*seq, static_cast<uint64_t>(b + 1));
+  }
+  std::string expect = GraphBytes(coord->fragment(0).MaterializeCurrent());
+  for (size_t f = 0; f < coord->num_fragments(); ++f) {
+    EXPECT_EQ(coord->fragment(f).last_seq(), 3u);
+    EXPECT_EQ(GraphBytes(coord->fragment(f).MaterializeCurrent()), expect)
+        << "fragment " << f << " diverged";
+  }
+  // An invalid batch is rejected before any log sees it.
+  std::string error;
+  EXPECT_FALSE(coord->Append("E-\tno_such_node\talso_missing\tx\n", &error));
+  EXPECT_EQ(coord->last_seq(), 3u);
+  for (size_t f = 0; f < coord->num_fragments(); ++f) {
+    EXPECT_EQ(coord->fragment(f).last_seq(), 3u);
+  }
+}
+
+// --- The oracle property suite ---------------------------------------------
+//
+// Coordinator::AppendAndDiff over fragmented stores must equal
+// single-node AppendAndDiff over one unfragmented store, batch for batch,
+// byte for byte -- across seeds, graph scales, fragment counts {1,2,4,8},
+// and stream shapes (a repeated batch and a delete-heavy batch ride in
+// every stream).
+class CoordinatorOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoordinatorOracle, MergedDiffEqualsSingleNodeIncremental) {
+  const int seed = GetParam();
+  const size_t fragments = size_t{1} << (seed % 4);  // 1, 2, 4, 8
+  Rng rng(seed * 7919 + 13);
+  auto g = MakeSynthetic({.nodes = 120 + static_cast<size_t>(seed) * 9,
+                          .edges = 350 + static_cast<size_t>(seed) * 13,
+                          .node_labels = 5,
+                          .edge_labels = 4,
+                          .attrs = 3,
+                          .values = 15,
+                          .value_correlation = 0.9,
+                          .seed = static_cast<uint64_t>(seed) + 500});
+  auto rules = GenerateGfdSet(
+      g, {.count = 10, .k = 3, .redundancy = 0.4,
+          .seed = static_cast<uint64_t>(seed) + 31});
+  ViolationEngine engine(rules);
+
+  std::string coord_dir = Scratch("coord_oracle_" + std::to_string(seed));
+  std::string single_dir = Scratch("coord_oracle_ref_" + std::to_string(seed));
+  ASSERT_TRUE(Coordinator::Init(coord_dir, g, fragments));
+  ASSERT_TRUE(GraphStore::Init(single_dir, g));
+  auto coord = Coordinator::Open(coord_dir);
+  auto single = GraphStore::Open(single_dir);
+  ASSERT_TRUE(coord.has_value());
+  ASSERT_TRUE(single.has_value());
+
+  // 4 batches: random, repeated (delete-free, so it re-validates),
+  // delete-heavy, random -- in one sequenced stream.
+  std::vector<std::string> payloads;
+  {
+    PropertyGraph current = g;
+    GraphDelta b0 = RandomBatch(current, rng, 8 + rng.Below(10));
+    payloads.push_back(DeltaBytes(current, b0));
+    current = GraphView::Apply(current, b0)->Materialize();
+    GraphDelta b1 = RandomBatch(current, rng, 6, /*delete_bias=*/0.0);
+    payloads.push_back(DeltaBytes(current, b1));
+    payloads.push_back(payloads.back());  // repeated batch
+    // Two applications of b1 later; deletes against that state.
+    current = GraphView::Apply(current, b1)->Materialize();
+    current = GraphView::Apply(current, b1)->Materialize();
+    GraphDelta b2 = RandomBatch(current, rng, 8 + rng.Below(8),
+                                /*delete_bias=*/0.55);
+    payloads.push_back(DeltaBytes(current, b2));
+  }
+
+  for (size_t b = 0; b < payloads.size(); ++b) {
+    std::string cerror, serror;
+    uint64_t cseq = 0, sseq = 0;
+    auto merged = coord->AppendAndDiff(engine, payloads[b], &cseq, &cerror);
+    auto ref = AppendAndDiff(*single, engine, payloads[b], {}, &sseq, &serror);
+    ASSERT_TRUE(merged.has_value())
+        << "seed " << seed << " batch " << b << ": " << cerror;
+    ASSERT_TRUE(ref.has_value())
+        << "seed " << seed << " batch " << b << ": " << serror;
+    EXPECT_EQ(cseq, sseq);
+    EXPECT_EQ(merged->added, ref->added)
+        << "seed " << seed << " batch " << b << " (" << fragments
+        << " fragments)";
+    EXPECT_EQ(merged->removed, ref->removed)
+        << "seed " << seed << " batch " << b << " (" << fragments
+        << " fragments)";
+  }
+  EXPECT_EQ(GraphBytes(coord->MaterializeCurrent()),
+            GraphBytes(single->MaterializeCurrent()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoordinatorOracle, ::testing::Range(0, 25));
+
+// --- Restart and crash recovery --------------------------------------------
+
+TEST(Coordinator, RestartReplaysEveryFragmentToTheSameGlobalState) {
+  auto g = MakeSynthetic({.nodes = 80, .edges = 240, .seed = 3});
+  auto rules = GenerateGfdSet(g, {.count = 8, .k = 3, .seed = 17});
+  ViolationEngine engine(rules);
+  std::string dir = Scratch("coord_restart");
+  ASSERT_TRUE(Coordinator::Init(dir, g, 4));
+  std::string expect;
+  Rng rng(23);
+  {
+    auto coord = Coordinator::Open(dir);
+    ASSERT_TRUE(coord.has_value());
+    for (int b = 0; b < 3; ++b) {
+      GraphDelta d = RandomBatch(coord->fragment(0).base(), rng, 12);
+      auto diff = coord->AppendAndDiff(
+          engine, DeltaBytes(coord->fragment(0).base(), d));
+      ASSERT_TRUE(diff.has_value());
+    }
+    expect = GraphBytes(coord->MaterializeCurrent());
+  }
+  auto reopened = Coordinator::Open(dir);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->last_seq(), 3u);
+  EXPECT_EQ(reopened->stats().lagging_fragments, 0u);
+  EXPECT_EQ(GraphBytes(reopened->MaterializeCurrent()), expect);
+}
+
+// Kill one fragment mid-append (truncate its local log tail), reopen:
+// the fragment must replay to the coordinator's sequence anchor, and the
+// next batch must produce the same merged diff as an uninterrupted run.
+TEST(Coordinator, TornFragmentLogCatchesUpAndNextDiffMatchesUninterrupted) {
+  auto g = MakeSynthetic({.nodes = 100,
+                          .edges = 300,
+                          .value_correlation = 0.9,
+                          .seed = 4});
+  auto rules = GenerateGfdSet(g, {.count = 10, .k = 3, .seed = 19});
+  ViolationEngine engine(rules);
+
+  std::string dir = Scratch("coord_torn");
+  std::string ref_dir = Scratch("coord_torn_ref");
+  ASSERT_TRUE(Coordinator::Init(dir, g, 3));
+  ASSERT_TRUE(GraphStore::Init(ref_dir, g));
+
+  Rng rng(31);
+  std::vector<std::string> payloads;
+  {
+    PropertyGraph current = g;
+    for (int b = 0; b < 3; ++b) {
+      GraphDelta d = RandomBatch(current, rng, 10);
+      payloads.push_back(DeltaBytes(current, d));
+      current = GraphView::Apply(current, d)->Materialize();
+    }
+  }
+
+  {
+    auto coord = Coordinator::Open(dir);
+    ASSERT_TRUE(coord.has_value());
+    for (int b = 0; b < 2; ++b) {
+      ASSERT_TRUE(coord->AppendAndDiff(engine, payloads[b]).has_value());
+    }
+  }
+  // The uninterrupted reference applies the same stream to one store.
+  auto single = GraphStore::Open(ref_dir);
+  ASSERT_TRUE(single.has_value());
+  for (int b = 0; b < 2; ++b) {
+    ASSERT_TRUE(AppendAndDiff(*single, engine, payloads[b]).has_value());
+  }
+
+  // Crash: tear the tail off fragment 1's log -- as a kill between write
+  // and ack would. Its last record (batch 2) becomes unrecoverable.
+  std::string frag_log = dir + "/frag-1/deltas.log";
+  auto size = fs::file_size(frag_log);
+  fs::resize_file(frag_log, size - 7);
+
+  auto reopened = Coordinator::Open(dir);
+  ASSERT_TRUE(reopened.has_value());
+  auto stats = reopened->stats();
+  EXPECT_EQ(stats.lagging_fragments, 1u);
+  EXPECT_GE(stats.catchup_records, 1u);
+  EXPECT_EQ(reopened->last_seq(), 2u);
+  for (size_t f = 0; f < reopened->num_fragments(); ++f) {
+    EXPECT_EQ(reopened->fragment(f).last_seq(), 2u) << "fragment " << f;
+  }
+
+  // The next batch: merged diff == uninterrupted single-node diff.
+  uint64_t seq = 0;
+  auto merged = reopened->AppendAndDiff(engine, payloads[2], &seq);
+  auto ref = AppendAndDiff(*single, engine, payloads[2]);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(seq, 3u);
+  EXPECT_EQ(merged->added, ref->added);
+  EXPECT_EQ(merged->removed, ref->removed);
+  EXPECT_EQ(GraphBytes(reopened->MaterializeCurrent()),
+            GraphBytes(single->MaterializeCurrent()));
+}
+
+// A fragment that compacted while its peers did not (a crash between the
+// per-fragment Compact calls of a lockstep round, simulated by compacting
+// one store directly): Open must re-unify the anchors, and diffs must
+// still match the single-node reference afterwards.
+TEST(Coordinator, UnilateralFragmentCompactionIsReunifiedOnOpen) {
+  auto g = MakeSynthetic({.nodes = 90,
+                          .edges = 270,
+                          .value_correlation = 0.9,
+                          .seed = 6});
+  auto rules = GenerateGfdSet(g, {.count = 8, .k = 3, .seed = 23});
+  ViolationEngine engine(rules);
+
+  std::string dir = Scratch("coord_unilateral");
+  std::string ref_dir = Scratch("coord_unilateral_ref");
+  ASSERT_TRUE(Coordinator::Init(dir, g, 3));
+  ASSERT_TRUE(GraphStore::Init(ref_dir, g));
+  auto single = GraphStore::Open(ref_dir);
+  ASSERT_TRUE(single.has_value());
+
+  Rng rng(37);
+  std::vector<std::string> payloads;
+  {
+    PropertyGraph current = g;
+    for (int b = 0; b < 3; ++b) {
+      GraphDelta d = RandomBatch(current, rng, 10);
+      payloads.push_back(DeltaBytes(current, d));
+      current = GraphView::Apply(current, d)->Materialize();
+    }
+  }
+  {
+    auto coord = Coordinator::Open(dir);
+    ASSERT_TRUE(coord.has_value());
+    for (int b = 0; b < 2; ++b) {
+      ASSERT_TRUE(coord->AppendAndDiff(engine, payloads[b]).has_value());
+      ASSERT_TRUE(AppendAndDiff(*single, engine, payloads[b]).has_value());
+    }
+  }
+  {
+    // Half-done lockstep round: only fragment 2 compacted.
+    auto frag = GraphStore::Open(dir + "/frag-2");
+    ASSERT_TRUE(frag.has_value());
+    std::string error;
+    ASSERT_TRUE(frag->Compact(&error)) << error;
+    ASSERT_EQ(frag->stats().anchor_seq, 2u);
+  }
+
+  auto reopened = Coordinator::Open(dir);
+  ASSERT_TRUE(reopened.has_value());
+  uint64_t anchor = reopened->fragment(0).stats().anchor_seq;
+  for (size_t f = 0; f < reopened->num_fragments(); ++f) {
+    EXPECT_EQ(reopened->fragment(f).stats().anchor_seq, anchor)
+        << "fragment " << f;
+  }
+  auto merged = reopened->AppendAndDiff(engine, payloads[2]);
+  auto ref = AppendAndDiff(*single, engine, payloads[2]);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(merged->added, ref->added);
+  EXPECT_EQ(merged->removed, ref->removed);
+}
+
+// When every up-to-date peer has compacted past a lagging fragment's gap,
+// catch-up falls back to a snapshot transfer at the global sequence.
+TEST(Coordinator, SnapshotTransferWhenPeersCompactedPastTheGap) {
+  auto g = MakeSynthetic({.nodes = 70, .edges = 200, .seed = 8});
+  std::string dir = Scratch("coord_snapxfer");
+  ASSERT_TRUE(Coordinator::Init(dir, g, 2));
+  Rng rng(41);
+  std::string expect;
+  {
+    auto coord = Coordinator::Open(dir);
+    ASSERT_TRUE(coord.has_value());
+    for (int b = 0; b < 2; ++b) {
+      GraphDelta d = RandomBatch(coord->fragment(0).base(), rng, 8);
+      auto seq = coord->Append(DeltaBytes(coord->fragment(0).base(), d));
+      ASSERT_TRUE(seq.has_value());
+    }
+    expect = GraphBytes(coord->MaterializeCurrent());
+  }
+  // Fragment 1 loses its whole log (both records)...
+  {
+    std::string frag_log = dir + "/frag-1/deltas.log";
+    std::ofstream truncate(frag_log, std::ios::trunc);
+  }
+  // ...while fragment 0 compacts, dropping the records from its log too.
+  {
+    auto frag = GraphStore::Open(dir + "/frag-0");
+    ASSERT_TRUE(frag.has_value());
+    ASSERT_TRUE(frag->Compact());
+  }
+  auto reopened = Coordinator::Open(dir);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->stats().catchup_snapshots, 1u);
+  EXPECT_EQ(reopened->last_seq(), 2u);
+  EXPECT_EQ(reopened->fragment(1).last_seq(), 2u);
+  EXPECT_EQ(GraphBytes(reopened->MaterializeCurrent()), expect);
+  EXPECT_EQ(GraphBytes(reopened->fragment(1).MaterializeCurrent()), expect);
+}
+
+// --- Running violation count on the coordinator ----------------------------
+
+TEST(Coordinator, ViolationCountPersistsAndInvalidates) {
+  auto g = MakeSynthetic({.nodes = 60,
+                          .edges = 180,
+                          .value_correlation = 0.9,
+                          .seed = 9});
+  auto rules = GenerateGfdSet(g, {.count = 8, .k = 3, .seed = 29});
+  ViolationEngine engine(rules);
+  const uint64_t fp = 0xfeedu;
+
+  std::string dir = Scratch("coord_count");
+  ASSERT_TRUE(Coordinator::Init(dir, g, 2));
+  auto coord = Coordinator::Open(dir);
+  ASSERT_TRUE(coord.has_value());
+  EXPECT_FALSE(coord->violation_count(fp).has_value());
+
+  uint64_t count = engine.Detect(coord->fragment(0).view()).violations.size();
+  ASSERT_TRUE(coord->SetViolationCount(count, fp));
+  EXPECT_EQ(coord->violation_count(fp), count);
+  EXPECT_FALSE(coord->violation_count(fp + 1).has_value());  // wrong rules
+
+  Rng rng(43);
+  GraphDelta d = RandomBatch(coord->fragment(0).base(), rng, 10);
+  auto diff = coord->AppendAndDiff(
+      engine, DeltaBytes(coord->fragment(0).base(), d));
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_FALSE(coord->violation_count(fp).has_value());  // outdated
+  count = count + diff->added.size() - diff->removed.size();
+  ASSERT_TRUE(coord->SetViolationCount(count, fp));
+
+  auto reopened = Coordinator::Open(dir);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->violation_count(fp), count);
+  EXPECT_EQ(
+      engine.Detect(reopened->fragment(0).view()).violations.size(), count);
+}
+
+}  // namespace
+}  // namespace gfd

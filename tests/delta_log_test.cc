@@ -505,5 +505,83 @@ TEST(GraphStore, AppendAndDiffMatchesTheMaterializedOracle) {
   ExpectRestartIdentical(*store, engine);
 }
 
+// --- Running violation count (store.meta) ----------------------------------
+
+// The serving loop's counter: seeded by one full Detect, maintained as
+// count += |added| - |removed| per batch, persisted next to the anchor.
+// It must survive restart and compaction, track a fresh full Detect at
+// every step, and invalidate on appends, rule-set changes, and replays
+// that land on a different sequence.
+TEST(GraphStore, ViolationCountSurvivesRestartAndCompaction) {
+  std::string dir = Scratch("store_count");
+  auto g = BuildWorld();
+  ASSERT_TRUE(GraphStore::Init(dir, g));
+  auto store = GraphStore::Open(dir);
+  ASSERT_TRUE(store.has_value());
+  ViolationEngine engine({FilmRule(store->base())});
+  const uint64_t fp = 0xabcdu;
+
+  // No count until the loop seeds one with a full scan.
+  EXPECT_FALSE(store->violation_count(fp).has_value());
+  uint64_t count = engine.Detect(store->view()).violations.size();
+  ASSERT_TRUE(store->SetViolationCount(count, fp));
+  EXPECT_EQ(store->violation_count(fp), count);
+  // A different rule set's fingerprint never sees this count.
+  EXPECT_FALSE(store->violation_count(fp + 1).has_value());
+
+  const char* stream[] = {
+      "E+\tMusician\tn2\tcreate\n",     // adds a violation
+      "A\tProducer0\ttype=impostor\n",  // adds another
+      "E-\tMusician\tn2\tcreate\n",     // removes the first again
+  };
+  for (const char* batch : stream) {
+    auto diff = AppendAndDiff(*store, engine, batch);
+    ASSERT_TRUE(diff.has_value());
+    // The append outdated the count until the diff is folded back in.
+    EXPECT_FALSE(store->violation_count(fp).has_value());
+    count = count + diff->added.size() - diff->removed.size();
+    ASSERT_TRUE(store->SetViolationCount(count, fp));
+    EXPECT_EQ(store->violation_count(fp), count);
+    EXPECT_EQ(engine.Detect(store->view()).violations.size(), count)
+        << "counter drifted from a fresh full Detect after " << batch;
+  }
+  EXPECT_EQ(count, 1u);  // the impostor violation remains
+
+  // Restart: the count rides store.meta.
+  {
+    auto reopened = GraphStore::Open(dir);
+    ASSERT_TRUE(reopened.has_value());
+    EXPECT_EQ(reopened->violation_count(fp), count);
+  }
+  // Compaction: the meta rewrite carries it through, and so does the
+  // restart after the compaction boundary.
+  ASSERT_TRUE(store->Compact());
+  EXPECT_EQ(store->violation_count(fp), count);
+  {
+    auto reopened = GraphStore::Open(dir);
+    ASSERT_TRUE(reopened.has_value());
+    EXPECT_EQ(reopened->violation_count(fp), count);
+    EXPECT_EQ(engine.Detect(reopened->view()).violations.size(), count);
+  }
+}
+
+TEST(GraphStore, ViolationCountInvalidatesWhenReplayDisagrees) {
+  std::string dir = Scratch("store_count_stale");
+  auto g = BuildWorld();
+  ASSERT_TRUE(GraphStore::Init(dir, g));
+  {
+    auto store = GraphStore::Open(dir);
+    ASSERT_TRUE(store.has_value());
+    ASSERT_TRUE(store->SetViolationCount(0, 1));
+    // An append nobody folded back into the counter: the persisted line
+    // now refers to seq 0 while the log reaches seq 1.
+    ASSERT_TRUE(store->Append("E+\tMusician\tn2\tcreate\n").has_value());
+  }
+  auto reopened = GraphStore::Open(dir);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->last_seq(), 1u);
+  EXPECT_FALSE(reopened->violation_count(1).has_value());
+}
+
 }  // namespace
 }  // namespace gfd

@@ -32,6 +32,22 @@
 //       optionally dump the materialized current graph.
 //   gfdtool log compact <dir>
 //       Roll the snapshot forward over the overlay and re-anchor the log.
+//   gfdtool serve init <dir> <graph.tsv> --fragments N
+//       Create a distributed serving directory: N fragment replicas (one
+//       GraphStore with a private delta log each) under a coordinator
+//       with persisted vertex-cut node ownership.
+//   gfdtool serve append <dir> <rules.gfd> <delta.tsv> [-w W]
+//           [--compact-ops N]
+//       The distributed serving step: the coordinator assigns the batch
+//       the next global sequence number, ships it to every fragment
+//       (applied strictly in sequence order onto each private log), runs
+//       fragment-scoped incremental detection on the affected fragments,
+//       and merges the per-fragment diffs -- printed as +/- records with
+//       the same 0/3/4 verdict exit codes as detect --delta, read off
+//       the running violation counter. Lagging fragments (say, after a
+//       mid-append kill) are caught up on open before the batch applies.
+//   gfdtool serve status <dir>
+//       Per-fragment sequence/anchor/overlay report.
 //   gfdtool validate <graph.tsv> <rules.gfd>
 //       Boolean check G |= Sigma, rule by rule. Exit 3 on violation.
 //   gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] [-o cover.gfd]
@@ -53,7 +69,9 @@
 #include "parallel/fragment.h"
 #include "parallel/parcover.h"
 #include "parallel/pardis.h"
+#include "serve/coordinator.h"
 #include "serve/graph_store.h"
+#include "util/hash.h"
 #include "util/timer.h"
 
 using namespace gfd;
@@ -74,6 +92,10 @@ int Usage() {
       "       gfdtool log append <dir> <delta.tsv> [--compact-ops N]\n"
       "       gfdtool log replay <dir> [-o graph.tsv]\n"
       "       gfdtool log compact <dir>\n"
+      "       gfdtool serve init <dir> <graph.tsv> --fragments N\n"
+      "       gfdtool serve append <dir> <rules.gfd> <delta.tsv> "
+      "[-w WORKERS] [--compact-ops N]\n"
+      "       gfdtool serve status <dir>\n"
       "       gfdtool validate <graph.tsv> <rules.gfd>\n"
       "       gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] "
       "[-o cover.gfd]\n");
@@ -167,6 +189,16 @@ std::optional<std::vector<Gfd>> LoadRules(const char* path,
     return std::nullopt;
   }
   return rules;
+}
+
+// Fingerprint of a loaded rule set: the running violation count persisted
+// in store/coordinator meta is only meaningful under the rules it was
+// computed with, so it is keyed by this. Serialization is name-based,
+// hence stable across restarts and snapshot rolls.
+uint64_t RuleFingerprint(std::span<const Gfd> rules, const PropertyGraph& g) {
+  std::ostringstream os;
+  SaveGfds(rules, g, os);
+  return Fnv1a64(os.str());
 }
 
 // Writes `gfds` to `path`, or stdout when path is null.
@@ -323,11 +355,14 @@ bool AppendFollowUp(GraphStore& store, uint64_t seq) {
 // Prints an incremental diff (+ added against `view`, - removed against
 // `removed_graph`, a PropertyGraph or GraphView holding the pre-update
 // state), classifies the post-update state, and returns the documented
-// exit code.
+// exit code. With `post_count` (the running violation counter after the
+// batch) the verdict is read off the counter; otherwise it falls back to
+// the budget-1 existence probe.
 template <typename RemovedGraphT>
 int ReportDiff(const ViolationEngine& engine, const GraphView& view,
                const RemovedGraphT& removed_graph, const IncrementalDiff& diff,
-               double seconds, size_t workers) {
+               double seconds, size_t workers,
+               std::optional<uint64_t> post_count = std::nullopt) {
   for (const Violation& v : diff.added) {
     std::printf("+ %s\n", DescribeViolation(view, engine.rules(), v).c_str());
   }
@@ -342,9 +377,34 @@ int ReportDiff(const ViolationEngine& engine, const GraphView& view,
                static_cast<unsigned long>(diff.stats.anchors_scanned),
                diff.stats.anchor_plans,
                static_cast<unsigned long>(diff.stats.matches_seen));
-  DeltaVerdict verdict = ClassifyDelta(engine, view, diff, workers);
-  std::fprintf(stderr, "verdict: %s\n", VerdictName(verdict));
+  DeltaVerdict verdict =
+      post_count ? ClassifyDelta(diff, *post_count)
+                 : ClassifyDelta(engine, view, diff, workers);
+  if (post_count) {
+    std::fprintf(stderr, "verdict: %s (%llu violation(s) by counter)\n",
+                 VerdictName(verdict),
+                 static_cast<unsigned long long>(*post_count));
+  } else {
+    std::fprintf(stderr, "verdict: %s\n", VerdictName(verdict));
+  }
   return VerdictExit(verdict);
+}
+
+// The counter a serving step starts from: the persisted running count
+// when it is current, else one full (uncapped) startup scan that seeds
+// it. `view` must be the PRE-append state.
+uint64_t PreBatchCount(const ViolationEngine& engine, const GraphView& view,
+                       std::optional<uint64_t> persisted, size_t workers) {
+  if (persisted) return *persisted;
+  WallTimer t;
+  DetectOptions full;
+  full.workers = workers;
+  uint64_t count = engine.Detect(view, full).violations.size();
+  std::fprintf(stderr,
+               "seeded violation counter with a full scan: %llu "
+               "violation(s) in %.3fs\n",
+               static_cast<unsigned long long>(count), t.Seconds());
+  return count;
 }
 
 int Detect(int argc, char** argv) {
@@ -417,6 +477,12 @@ int Detect(int argc, char** argv) {
       // the pre-append state. A copy of the overlay is enough to rebuild
       // it, and only needed when something was actually removed.
       GraphDelta pre_overlay = store->overlay();
+      // Running violation count (ROADMAP): the verdict comes off the
+      // counter, not a post-batch scan -- one startup scan when the store
+      // holds no current count, then pure arithmetic per batch.
+      uint64_t fp = RuleFingerprint(engine.rules(), store->base());
+      uint64_t pre_count = PreBatchCount(
+          engine, store->view(), store->violation_count(fp), opts.workers);
       std::string error;
       uint64_t seq = 0;
       IncrementalOptions iopts;
@@ -430,16 +496,22 @@ int Detect(int argc, char** argv) {
         return 1;
       }
       double seconds = t.Seconds();
+      uint64_t post_count =
+          pre_count + diff->added.size() - diff->removed.size();
+      if (!store->SetViolationCount(post_count, fp, &error)) {
+        std::fprintf(stderr, "warning: could not persist counter: %s\n",
+                     error.c_str());
+      }
       // Report before AppendFollowUp: a compaction there replaces the
       // base graph the pre-append view would dangle on.
       int code;
       if (diff->removed.empty()) {
         code = ReportDiff(engine, store->view(), store->base(), *diff,
-                          seconds, opts.workers);
+                          seconds, opts.workers, post_count);
       } else {
         auto before = GraphView::Apply(store->base(), pre_overlay);
         code = ReportDiff(engine, store->view(), *before, *diff, seconds,
-                          opts.workers);
+                          opts.workers, post_count);
       }
       if (!AppendFollowUp(*store, seq)) return 1;
       return code;
@@ -508,6 +580,16 @@ int Detect(int argc, char** argv) {
                static_cast<unsigned long>(result.stats.pivots_scanned),
                static_cast<unsigned long>(result.stats.matches_seen),
                static_cast<unsigned long>(result.stats.literal_evals));
+  // A complete scan over a store doubles as the counter's seed: later
+  // detect --log --delta runs read their verdicts off it scan-free.
+  if (log_dir && !result.stats.truncated) {
+    uint64_t fp = RuleFingerprint(engine.rules(), store->base());
+    std::string error;
+    if (!store->SetViolationCount(result.violations.size(), fp, &error)) {
+      std::fprintf(stderr, "warning: could not persist counter: %s\n",
+                   error.c_str());
+    }
+  }
   return result.violations.empty() ? 0 : kExitViolations;
 }
 
@@ -582,6 +664,163 @@ int Log(int argc, char** argv) {
   return Usage();
 }
 
+// Opens a coordinator, reporting recovery/catch-up context on stderr.
+std::optional<Coordinator> OpenCoordinator(const char* dir,
+                                           const CoordinatorOptions& opts) {
+  std::string error;
+  auto coord = Coordinator::Open(dir, opts, &error);
+  if (!coord) {
+    std::fprintf(stderr, "error opening coordinator %s: %s\n", dir,
+                 error.c_str());
+    return std::nullopt;
+  }
+  CoordinatorStats st = coord->stats();
+  std::fprintf(stderr,
+               "coordinator %s: %zu fragment(s) at seq %llu (anchor %llu)\n",
+               dir, coord->num_fragments(),
+               static_cast<unsigned long long>(st.last_seq),
+               static_cast<unsigned long long>(st.anchor_seq));
+  if (st.lagging_fragments > 0) {
+    std::fprintf(stderr,
+                 "caught up %zu lagging fragment(s): %zu record(s) "
+                 "re-shipped, %zu snapshot transfer(s)\n",
+                 st.lagging_fragments, st.catchup_records,
+                 st.catchup_snapshots);
+  }
+  return coord;
+}
+
+int Serve(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* verb = argv[0];
+  const char* dir = argv[1];
+
+  if (!std::strcmp(verb, "init")) {
+    if (argc < 3) return Usage();
+    size_t fragments = 2;
+    if (!CountFlag(argc, argv, "--fragments", &fragments)) return Usage();
+    auto g = LoadGraph(argv[2]);
+    if (!g) return 1;
+    std::string error;
+    if (!Coordinator::Init(dir, *g, fragments, &error)) {
+      std::fprintf(stderr, "error initializing %s: %s\n", dir, error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "initialized coordinator %s: %zu fragment replicas of "
+                 "%zu nodes, %zu edges\n",
+                 dir, fragments, g->NumNodes(), g->NumEdges());
+    return 0;
+  }
+
+  CoordinatorOptions copts;
+  if (!CountFlag(argc, argv, "--compact-ops", &copts.store.compact_min_ops,
+                 /*min=*/0)) {
+    return Usage();
+  }
+
+  if (!std::strcmp(verb, "status")) {
+    auto coord = OpenCoordinator(dir, copts);
+    if (!coord) return 1;
+    for (size_t f = 0; f < coord->num_fragments(); ++f) {
+      const GraphStoreStats& st = coord->fragment(f).stats();
+      size_t owned = 0;
+      for (uint32_t o : coord->node_owner()) owned += o == f ? 1 : 0;
+      std::printf("frag-%zu: seq %llu anchor %llu, %zu overlay op(s), "
+                  "%zu owned node(s)\n",
+                  f, static_cast<unsigned long long>(st.last_seq),
+                  static_cast<unsigned long long>(st.anchor_seq),
+                  coord->fragment(f).overlay().ops.size(), owned);
+    }
+    return 0;
+  }
+
+  if (!std::strcmp(verb, "append")) {
+    if (argc < 4) return Usage();
+    size_t workers = 1;
+    if (!CountFlag(argc, argv, "-w", &workers)) return Usage();
+    copts.incremental.workers = workers;
+    auto coord = OpenCoordinator(dir, copts);
+    if (!coord) return 1;
+    auto rules = LoadRules(argv[2], coord->fragment(0).base());
+    if (!rules) return 1;
+    ViolationEngine engine(std::move(*rules));
+    auto payload = ReadFile(argv[3]);
+    if (!payload) return 1;
+
+    // Routing report: which fragments own the batch's touched vertices.
+    {
+      std::istringstream in(*payload);
+      std::string error;
+      auto d = LoadGraphDeltaTsv(in, coord->fragment(0).base(), &error);
+      if (!d) {
+        std::fprintf(stderr, "error loading %s\n",
+                     FileLineError(argv[3], error).c_str());
+        return 1;
+      }
+      auto route = RouteDelta(*d, coord->node_owner(), coord->num_fragments());
+      std::fprintf(stderr, "batch: %zu op(s) routed to %zu fragment(s)\n",
+                   d->ops.size(), route.affected_fragments.size());
+    }
+
+    uint64_t fp = RuleFingerprint(engine.rules(), coord->fragment(0).base());
+    uint64_t pre_count = PreBatchCount(engine, coord->fragment(0).view(),
+                                       coord->violation_count(fp), workers);
+    GraphDelta pre_overlay = coord->fragment(0).overlay();
+    uint64_t before_bytes = coord->stats().bytes_shipped;
+
+    std::string error;
+    uint64_t seq = 0;
+    WallTimer t;
+    auto diff = coord->AppendAndDiff(engine, *payload, &seq, &error);
+    if (!diff) {
+      std::fprintf(stderr, "error appending %s\n",
+                   FileLineError(argv[3], error).c_str());
+      return 1;
+    }
+    double seconds = t.Seconds();
+    uint64_t post_count = pre_count + diff->added.size() - diff->removed.size();
+    if (!coord->SetViolationCount(post_count, fp, &error)) {
+      std::fprintf(stderr, "warning: could not persist counter: %s\n",
+                   error.c_str());
+    }
+    uint64_t shipped = coord->stats().bytes_shipped - before_bytes;
+    std::fprintf(stderr,
+                 "batch seq %llu: %llu byte(s) shipped across %zu "
+                 "fragment(s)\n",
+                 static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(shipped),
+                 coord->num_fragments());
+
+    // Report before compaction: a snapshot roll replaces the base graph
+    // the pre-append view would dangle on.
+    int code;
+    if (diff->removed.empty()) {
+      code = ReportDiff(engine, coord->fragment(0).view(),
+                        coord->fragment(0).base(), *diff, seconds, workers,
+                        post_count);
+    } else {
+      auto before = GraphView::Apply(coord->fragment(0).base(), pre_overlay);
+      code = ReportDiff(engine, coord->fragment(0).view(), *before, *diff,
+                        seconds, workers, post_count);
+    }
+    // stats().compactions is cumulative (an open-time anchor re-unify
+    // counts too); only a delta means THIS batch triggered a roll.
+    size_t compactions_before = coord->stats().compactions;
+    if (!coord->MaybeCompactAll(&error)) {
+      std::fprintf(stderr, "compaction failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (coord->stats().compactions > compactions_before) {
+      std::fprintf(stderr, "compacted: all fragments rolled to seq %llu\n",
+                   static_cast<unsigned long long>(coord->stats().anchor_seq));
+    }
+    return code;
+  }
+
+  return Usage();
+}
+
 int Validate(int argc, char** argv) {
   if (argc < 2) return Usage();
   auto g = LoadGraph(argv[0]);
@@ -627,6 +866,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "discover")) return Discover(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "detect")) return Detect(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "log")) return Log(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "serve")) return Serve(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "validate")) return Validate(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "cover")) return Cover(argc - 2, argv + 2);
   return Usage();
