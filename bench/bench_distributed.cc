@@ -1,12 +1,15 @@
 // Distributed serving smoke bench, run as a ctest entry on every CI
 // build next to bench_delta_log: times the coordinator's merged-diff
-// serving step (sequenced broadcast + per-fragment incremental detection
-// + master-side merge) against fragment counts {1, 2, 4, 8} on a
-// YAGO2-shaped graph at scale 300, and records the bytes shipped per
-// batch through the Cluster ledger (batch broadcasts + per-fragment diff
-// ship-backs). Every per-batch merged diff is verified byte-identical to
-// single-node GraphStore AppendAndDiff over the same payload stream.
-// Timings land in BENCH_distributed.json.
+// serving step (validation + routed shipping + per-fragment incremental
+// detection + master-side merge) against fragment counts {1, 2, 4, 8} on
+// a YAGO2-shaped graph at scale 300. Records, per fragment count, the
+// bytes shipped per batch through the Cluster ledger split into routed
+// owned-op traffic vs border-halo maintenance, and the storage footprint
+// of vertex-cut sharding: resident edges per fragment and the measured
+// replication factor (sum of fragment edges / |E|), which stays a small
+// constant instead of the fragment count. Every per-batch merged diff is
+// verified byte-identical to single-node GraphStore AppendAndDiff over
+// the same payload stream. Timings land in BENCH_distributed.json.
 //
 // Usage: bench_distributed [output.json]
 #include <algorithm>
@@ -207,9 +210,13 @@ int main(int argc, char** argv) {
 
   // Distributed: merged-diff latency and shipped bytes vs. fragment count.
   for (size_t fragments : {1UL, 2UL, 4UL, 8UL}) {
+    // Provision the smallest halo the workload can be served with: the
+    // widest rule pattern's radius. A larger halo only inflates the
+    // replication factor without changing any result.
+    const uint32_t radius = std::max<uint32_t>(1, engine.MaxPatternRadius());
     std::string dir = root + "/f" + std::to_string(fragments);
     std::string error;
-    if (!Coordinator::Init(dir, g0, fragments, &error)) {
+    if (!Coordinator::Init(dir, g0, fragments, radius, &error)) {
       std::fprintf(stderr, "init failed: %s\n", error.c_str());
       return 1;
     }
@@ -221,7 +228,8 @@ int main(int argc, char** argv) {
     bool ok = true;
     WallTimer t;
     for (size_t b = 0; b < payloads.size(); ++b) {
-      auto diff = coord->AppendAndDiff(engine, payloads[b], nullptr, &error);
+      auto diff =
+          coord->AppendAndDiff(engine, payloads[b], {}, nullptr, &error);
       if (!diff) {
         std::fprintf(stderr, "append failed: %s\n", error.c_str());
         return 1;
@@ -234,17 +242,38 @@ int main(int argc, char** argv) {
     CoordinatorStats st = coord->stats();
     double bytes_per_batch =
         static_cast<double>(st.bytes_shipped) / double(kBatches);
+    double owned_per_batch =
+        static_cast<double>(st.bytes_owned_shipped) / double(kBatches);
+    double halo_per_batch =
+        static_cast<double>(st.bytes_halo_shipped) / double(kBatches);
+    uint64_t resident_total = 0, resident_max = 0;
+    for (size_t f = 0; f < fragments; ++f) {
+      uint64_t r = coord->resident_edges(f);
+      resident_total += r;
+      resident_max = std::max(resident_max, r);
+    }
+    PropertyGraph current = coord->MaterializeCurrent();
+    double replication =
+        static_cast<double>(resident_total) / double(current.NumEdges());
     std::string name = "distributed_f" + std::to_string(fragments);
-    std::printf("%-24s %8.3fs  %.0f bytes/batch shipped, %llu messages, "
-                "diffs %s\n",
-                name.c_str(), s, bytes_per_batch,
-                static_cast<unsigned long long>(st.messages),
+    std::printf("%-24s %8.3fs  %.0f bytes/batch shipped (%.0f owned-op + "
+                "%.0f border-halo), %llu messages, %llu resident edges "
+                "(replication %.2f), diffs %s\n",
+                name.c_str(), s, bytes_per_batch, owned_per_batch,
+                halo_per_batch, static_cast<unsigned long long>(st.messages),
+                static_cast<unsigned long long>(resident_total), replication,
                 ok ? "identical" : "DIVERGED");
     rows.push_back({name,
                     s,
                     {{"fragments", double(fragments)},
+                     {"halo_radius", double(radius)},
                      {"batches", double(kBatches)},
                      {"shipped_bytes_per_batch", bytes_per_batch},
+                     {"owned_bytes_per_batch", owned_per_batch},
+                     {"halo_bytes_per_batch", halo_per_batch},
+                     {"resident_edges_total", double(resident_total)},
+                     {"resident_edges_max", double(resident_max)},
+                     {"replication_measured", replication},
                      {"messages", double(st.messages)},
                      {"verified", ok ? 1.0 : 0.0}}});
   }

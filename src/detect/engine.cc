@@ -260,7 +260,7 @@ DetectionResult ViolationEngine::DetectSharded(const PropertyGraph& g,
   result.stats.num_rules = rules_.size();
   result.stats.num_groups = groups_.size();
 
-  size_t shards = std::max<size_t>(1, frag.num_fragments);
+  size_t shards = std::max<size_t>(1, frag.partition.num_fragments);
   Cluster cluster(shards);
   // Candidate lists are computed once (a full-graph scan each) and read
   // by all fragments, instead of shards x groups recomputations.
@@ -275,7 +275,7 @@ DetectionResult ViolationEngine::DetectSharded(const PropertyGraph& g,
       for (NodeId v : candidates[gi]) {
         // Pivot-aligned ownership: every pivot is evaluated by exactly
         // one fragment, so the union over fragments is the full answer.
-        if (frag.node_owner[v] != w) continue;
+        if (frag.partition.node_owner[v] != w) continue;
         if (!EvalPivot(g, groups_[gi], v, st, buffers[w])) return;
       }
     }
@@ -297,7 +297,7 @@ DetectionResult ViolationEngine::DetectSharded(const PropertyGraph& g,
   if (cstats) {
     cstats->messages = cluster.messages();
     cstats->bytes_shipped = cluster.bytes();
-    cstats->replication = frag.replication;
+    cstats->replication = frag.partition.replication;
   }
 
   std::sort(result.violations.begin(), result.violations.end());
@@ -387,7 +387,7 @@ std::vector<Violation> ViolationEngine::RunAnchored(
 
 IncrementalDiff ViolationEngine::DetectIncremental(
     const GraphView& view, const IncrementalOptions& opts) const {
-  return AnchoredDiff(view, view.AffectedNodes(), opts);
+  return AnchoredDiff(view, view.AffectedNodes(), view.AffectedNodes(), opts);
 }
 
 IncrementalDiff ViolationEngine::DetectIncrementalOwned(
@@ -397,12 +397,46 @@ IncrementalDiff ViolationEngine::DetectIncrementalOwned(
   for (NodeId v : view.AffectedNodes()) {
     if (node_owner[v] == fragment) owned.push_back(v);
   }
-  return AnchoredDiff(view, owned, opts);
+  return AnchoredDiff(view, owned, view.AffectedNodes(), opts);
+}
+
+IncrementalDiff ViolationEngine::DetectIncrementalOwned(
+    const GraphView& view, std::span<const NodeId> seeds,
+    std::span<const NodeId> affected, const IncrementalOptions& opts) const {
+  return AnchoredDiff(view, seeds, affected, opts);
+}
+
+uint32_t ViolationEngine::MaxPatternRadius() const {
+  uint32_t radius = 0;
+  for (const Group& group : groups_) {
+    const Pattern& p = group.plan.pattern();
+    const size_t n = p.NumNodes();
+    // Eccentricity of every variable by BFS over the undirected
+    // variable graph; patterns are tiny (k nodes), so n BFS runs are
+    // cheap and run once per engine lifetime.
+    for (VarId s = 0; s < n; ++s) {
+      std::vector<uint32_t> dist(n, UINT32_MAX);
+      std::vector<VarId> queue{s};
+      dist[s] = 0;
+      for (size_t head = 0; head < queue.size(); ++head) {
+        VarId u = queue[head];
+        for (VarId w : p.Neighbors(u)) {
+          if (dist[w] != UINT32_MAX) continue;
+          dist[w] = dist[u] + 1;
+          queue.push_back(w);
+        }
+      }
+      for (VarId u = 0; u < n; ++u) {
+        if (dist[u] != UINT32_MAX) radius = std::max(radius, dist[u]);
+      }
+    }
+  }
+  return radius;
 }
 
 IncrementalDiff ViolationEngine::AnchoredDiff(
     const GraphView& view, std::span<const NodeId> seeds,
-    const IncrementalOptions& opts) const {
+    std::span<const NodeId> affected, const IncrementalOptions& opts) const {
   const PropertyGraph& base = view.base();
   IncrementalDiff diff;
   diff.stats.affected_nodes = seeds.size();
@@ -416,7 +450,7 @@ IncrementalDiff ViolationEngine::AnchoredDiff(
   // never re-attributed to a seed -- that is what makes the per-fragment
   // outputs of DetectIncrementalOwned disjoint.
   std::vector<bool> is_affected(base.NumNodes(), false);
-  for (NodeId v : view.AffectedNodes()) is_affected[v] = true;
+  for (NodeId v : affected) is_affected[v] = true;
 
   DetectOptions uncapped;
   uncapped.match = opts.match;

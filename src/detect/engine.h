@@ -173,6 +173,27 @@ class ViolationEngine {
       const GraphView& view, std::span<const uint32_t> node_owner,
       uint32_t fragment, const IncrementalOptions& opts = {}) const;
 
+  /// Explicit-seed variant for partitioned storage (serve/coordinator.h):
+  /// the fragment's view contains halo-maintenance ops whose endpoints
+  /// must anchor nothing (they reflect residency changes, not graph
+  /// changes), so the caller passes both the anchor seeds (the globally
+  /// affected nodes this fragment owns) and the full GLOBAL affected set
+  /// for the attribution rule -- using the view's own AffectedNodes()
+  /// would mis-attribute matches that touch a maintenance endpoint.
+  /// Preconditions: seeds ⊆ affected, both sorted ascending, node ids
+  /// < view.NumNodes().
+  IncrementalDiff DetectIncrementalOwned(
+      const GraphView& view, std::span<const NodeId> seeds,
+      std::span<const NodeId> affected,
+      const IncrementalOptions& opts = {}) const;
+
+  /// Max undirected eccentricity of any variable of any rule pattern:
+  /// the halo radius partitioned storage needs so that every match
+  /// anchored (at ANY variable) at an owned node stays within the
+  /// fragment's resident view. RadiusAtPivot is not enough -- anchored
+  /// incremental plans pivot at every variable, not just the rule pivot.
+  uint32_t MaxPatternRadius() const;
+
  private:
   /// One rule's literals remapped into its group representative's
   /// variable space, plus the inverse map to translate matches back.
@@ -223,10 +244,12 @@ class ViolationEngine {
                                      size_t workers, RunState& st) const;
 
   // Common body of DetectIncremental / DetectIncrementalOwned: `seeds`
-  // restricts which affected nodes anchor the enumeration; attribution
-  // always uses the view's full affected set.
+  // restricts which affected nodes anchor the enumeration; `affected`
+  // is the set the attribution rule sees (the view's own affected set
+  // on the single-store path, the global one under partitioned storage).
   IncrementalDiff AnchoredDiff(const GraphView& view,
                                std::span<const NodeId> seeds,
+                               std::span<const NodeId> affected,
                                const IncrementalOptions& opts) const;
 
   std::vector<Gfd> rules_;

@@ -55,6 +55,15 @@ const std::string& GraphDelta::ValueName(const PropertyGraph& base,
 }
 
 void GraphDelta::Append(const PropertyGraph& base, const GraphDelta& other) {
+  // Adopt `other`'s full extension vocabulary first, in its table order
+  // -- not lazily on first op use. Appending the same stream of deltas
+  // must yield the same extension ids regardless of which ops each
+  // consumer applies; the coordinator relies on this to keep every
+  // fragment's vocabulary identical to the master's even though each
+  // fragment only receives a routed subset of the ops.
+  for (const std::string& l : other.extra_labels) InternLabel(base, l);
+  for (const std::string& k : other.extra_attrs) InternAttr(base, k);
+  for (const std::string& v : other.extra_values) InternValue(base, v);
   // Translate an id of `other`'s vocabulary into this delta's: base ids
   // are shared, extension ids resolve by name (interning on first sight).
   auto map_label = [&](LabelId l) {
@@ -220,6 +229,28 @@ std::optional<GraphView> GraphView::Apply(const PropertyGraph& base,
   view.num_edges_ =
       base.NumEdges() - view.deleted_base_.size() + view.inserted_alive_;
   return view;
+}
+
+std::vector<Attribute> GraphView::NodeAttrs(NodeId v) const {
+  std::vector<Attribute> out(base_->NodeAttrs(v).begin(),
+                             base_->NodeAttrs(v).end());
+  auto it = attr_overlay_.find(v);
+  if (it != attr_overlay_.end()) {
+    for (const Attribute& a : it->second) {
+      auto pos = std::find_if(out.begin(), out.end(), [&](const Attribute& b) {
+        return b.key == a.key;
+      });
+      if (pos != out.end()) {
+        pos->value = a.value;
+      } else {
+        out.push_back(a);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Attribute& a, const Attribute& b) {
+    return a.key < b.key;
+  });
+  return out;
 }
 
 bool GraphView::HasEdge(NodeId src, NodeId dst, LabelId label) const {

@@ -140,6 +140,11 @@ class GraphView {
     return base_->GetAttr(v, key);
   }
 
+  /// All attributes of v under the overlay (base attrs with overlay
+  /// values winning per key), sorted by key. Allocates; meant for
+  /// shipping or serializing a node's state, not for hot match loops.
+  std::vector<Attribute> NodeAttrs(NodeId v) const;
+
   // --- Edges ---------------------------------------------------------------
   NodeId EdgeSrc(EdgeId e) const {
     return e < base_edges_ ? base_->EdgeSrc(e) : added_[e - base_edges_].src;

@@ -163,7 +163,25 @@ std::optional<GraphDelta> LoadGraphDeltaTsv(std::istream& in,
       }
       return it->second;
     };
-    if (fields[0] == "E+" || fields[0] == "E-") {
+    if (fields[0] == "L" || fields[0] == "K" || fields[0] == "V") {
+      // Vocabulary preamble: intern in file order so every consumer of
+      // the same preamble assigns identical extension ids (Intern*
+      // dedups against both the base graph and prior extras).
+      if (fields.size() < 2) {
+        SetError(error, "line " + std::to_string(lineno) + ": short " +
+                            std::string(fields[0]) + " record");
+        return std::nullopt;
+      }
+      auto name = Unescape(fields[1], lineno, error);
+      if (!name) return std::nullopt;
+      if (fields[0] == "L") {
+        d.InternLabel(g, *name);
+      } else if (fields[0] == "K") {
+        d.InternAttr(g, *name);
+      } else {
+        d.InternValue(g, *name);
+      }
+    } else if (fields[0] == "E+" || fields[0] == "E-") {
       if (fields.size() < 4) {
         SetError(error, "line " + std::to_string(lineno) + ": short " +
                             std::string(fields[0]) + " record");
@@ -220,7 +238,18 @@ std::optional<GraphDelta> LoadGraphDeltaTsvFile(const std::string& path,
 }
 
 void SaveGraphDeltaTsv(const PropertyGraph& g, const GraphDelta& d,
-                       std::ostream& out) {
+                       std::ostream& out, bool with_vocab) {
+  if (with_vocab) {
+    for (const std::string& l : d.extra_labels) {
+      out << "L\t" << EscapeField(l) << '\n';
+    }
+    for (const std::string& k : d.extra_attrs) {
+      out << "K\t" << EscapeField(k) << '\n';
+    }
+    for (const std::string& v : d.extra_values) {
+      out << "V\t" << EscapeField(v) << '\n';
+    }
+  }
   auto name_of = [&](NodeId v) { return EscapeField(NodeAlias(g, v)); };
   for (const GraphDelta::Op& op : d.ops) {
     switch (op.kind) {

@@ -23,13 +23,18 @@
 // a bad escape is a line-numbered load error.
 //
 // Delta format (one update op per line, tab-separated, order preserved):
+//   L <label> / K <key> / V <value>                optional vocab preamble
 //   E+ <src-string-id> <dst-string-id> <label>     insert edge
 //   E- <src-string-id> <dst-string-id> <label>     delete edge
 //   A  <node-string-id> <key>=<value> [...]        set attribute(s)
 // Node references resolve through the graph's node names (unnamed nodes
 // answer to "n<id>", matching SaveGraphTsv's output). Labels, keys, and
 // values the graph never interned are added to the delta's extension
-// vocabulary, so updates may introduce brand-new values.
+// vocabulary, so updates may introduce brand-new values. L/K/V records
+// pre-intern extension vocabulary in file order, the delta analogue of
+// the graph format's durability preamble: the coordinator ships every
+// fragment the same preamble so extension ids stay identical across
+// fragments even when the ops that first use a name route elsewhere.
 #ifndef GFD_GRAPH_LOADER_H_
 #define GFD_GRAPH_LOADER_H_
 
@@ -73,9 +78,11 @@ std::optional<GraphDelta> LoadGraphDeltaTsvFile(const std::string& path,
 
 /// Writes `d` to `out` in the format accepted by LoadGraphDeltaTsv,
 /// resolving node and vocabulary names through `g` plus the delta's
-/// extension tables.
+/// extension tables. With `with_vocab`, every extension entry is
+/// declared (L/K/V records) in id order before the ops, so a reload
+/// against the same base graph reproduces extension ids exactly.
 void SaveGraphDeltaTsv(const PropertyGraph& g, const GraphDelta& d,
-                       std::ostream& out);
+                       std::ostream& out, bool with_vocab = false);
 
 }  // namespace gfd
 

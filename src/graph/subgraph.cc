@@ -1,0 +1,38 @@
+#include "graph/subgraph.h"
+
+namespace gfd {
+
+PropertyGraph ExtractSubgraph(const PropertyGraph& g,
+                              std::span<const char> resident) {
+  PropertyGraph::Builder b;
+  // Re-intern the full vocabulary in id order so every id is preserved
+  // verbatim (Intern dedups the builder's pre-interned wildcard).
+  for (uint32_t l = 0; l < g.labels().size(); ++l) {
+    b.InternLabel(g.LabelName(l));
+  }
+  for (uint32_t a = 0; a < g.attrs().size(); ++a) {
+    b.InternAttr(g.AttrName(a));
+  }
+  for (uint32_t v = 0; v < g.values().size(); ++v) {
+    b.InternValue(g.ValueName(v));
+  }
+  auto is_resident = [&](NodeId v) {
+    return v < resident.size() && resident[v] != 0;
+  };
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    NodeId id = b.AddNodeById(g.NodeLabel(v));
+    (void)id;  // ids are dense, so id == v by construction
+    if (!g.NodeName(v).empty()) b.SetName(v, g.NodeName(v));
+    for (const Attribute& a : g.NodeAttrs(v)) {
+      b.SetAttrById(v, a.key, a.value);
+    }
+  }
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    if (is_resident(g.EdgeSrc(e)) && is_resident(g.EdgeDst(e))) {
+      b.AddEdgeById(g.EdgeSrc(e), g.EdgeDst(e), g.EdgeLabel(e));
+    }
+  }
+  return std::move(b).Build();
+}
+
+}  // namespace gfd

@@ -1,0 +1,28 @@
+// Id-stable subgraph extraction for partitioned storage: a fragment's
+// resident view keeps the full node table and vocabulary of the source
+// graph (every NodeId / LabelId / AttrId / ValueId means the same thing
+// in every fragment) while holding only the edges whose endpoints are
+// both resident. Compiled rule sets, logged deltas, and violation
+// records therefore transfer between the global graph and any fragment
+// without translation.
+#ifndef GFD_GRAPH_SUBGRAPH_H_
+#define GFD_GRAPH_SUBGRAPH_H_
+
+#include <span>
+
+#include "graph/property_graph.h"
+
+namespace gfd {
+
+/// Extracts the subgraph of `g` induced on the resident node set:
+/// vocabulary re-interned in id order, every node row preserved (label,
+/// name, attributes), and exactly the edges with both endpoints
+/// resident (`resident[v] != 0`; nodes past resident.size() are
+/// non-resident). Node and vocabulary ids are identical to `g`'s; edge
+/// ids are renumbered in `g`'s edge order.
+PropertyGraph ExtractSubgraph(const PropertyGraph& g,
+                              std::span<const char> resident);
+
+}  // namespace gfd
+
+#endif  // GFD_GRAPH_SUBGRAPH_H_

@@ -1,15 +1,16 @@
 #include "parallel/fragment.h"
 
 #include <algorithm>
+#include <deque>
 
 namespace gfd {
 
 Fragmentation VertexCutPartition(const PropertyGraph& g, size_t n) {
   Fragmentation frag;
-  frag.num_fragments = n;
+  frag.partition.num_fragments = n;
   frag.edge_fragment.resize(g.NumEdges());
   frag.fragment_edges.resize(n);
-  frag.node_owner.assign(g.NumNodes(), 0);
+  frag.partition.node_owner.assign(g.NumNodes(), 0);
 
   const size_t m = g.NumEdges();
   const size_t cap = (m + n - 1) / n;  // hard balance cap per fragment
@@ -53,40 +54,90 @@ Fragmentation VertexCutPartition(const PropertyGraph& g, size_t n) {
     if (mask) {
       ++touched;
       replicas += static_cast<size_t>(__builtin_popcountll(mask));
-      frag.node_owner[v] = static_cast<uint32_t>(__builtin_ctzll(mask));
+      frag.partition.node_owner[v] =
+          static_cast<uint32_t>(__builtin_ctzll(mask));
     } else {
-      frag.node_owner[v] = static_cast<uint32_t>(v % n);
+      frag.partition.node_owner[v] = static_cast<uint32_t>(v % n);
     }
   }
-  frag.replication = touched ? static_cast<double>(replicas) / touched : 1.0;
+  frag.partition.replication =
+      touched ? static_cast<double>(replicas) / touched : 1.0;
   return frag;
 }
 
-DeltaRouting RouteDelta(const GraphDelta& d,
-                        std::span<const uint32_t> node_owner,
-                        size_t num_fragments) {
-  DeltaRouting route;
-  route.ops_per_fragment.assign(num_fragments, 0);
-  std::vector<bool> affected(num_fragments, false);
-  auto owner_of = [&](NodeId v) -> uint32_t {
-    return v < node_owner.size() ? node_owner[v]
-                                 : static_cast<uint32_t>(num_fragments);
-  };
-  for (const GraphDelta::Op& op : d.ops) {
-    uint32_t a = owner_of(op.src);
-    uint32_t b = a;
-    if (op.kind != GraphDelta::OpKind::kSetAttr) b = owner_of(op.dst);
-    if (a < num_fragments) {
-      ++route.ops_per_fragment[a];
-      affected[a] = true;
+FragmentResidency ComputeResidency(const std::vector<std::vector<NodeId>>& adj,
+                                   const Partition& p) {
+  const size_t num_nodes = adj.size();
+  FragmentResidency resident(p.num_fragments);
+  std::vector<uint32_t> dist;
+  std::deque<NodeId> queue;
+  for (size_t f = 0; f < p.num_fragments; ++f) {
+    resident[f].assign(num_nodes, 0);
+    dist.assign(num_nodes, UINT32_MAX);
+    queue.clear();
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      if (v < p.node_owner.size() && p.node_owner[v] == f) {
+        dist[v] = 0;
+        resident[f][v] = 1;
+        queue.push_back(v);
+      }
     }
-    if (b != a && b < num_fragments) {
-      ++route.ops_per_fragment[b];
-      affected[b] = true;
+    while (!queue.empty()) {
+      NodeId v = queue.front();
+      queue.pop_front();
+      if (dist[v] >= p.halo_radius) continue;
+      for (NodeId w : adj[v]) {
+        if (dist[w] != UINT32_MAX) continue;
+        dist[w] = dist[v] + 1;
+        resident[f][w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return resident;
+}
+
+FragmentResidency ComputeResidency(const PropertyGraph& g, const Partition& p) {
+  std::vector<std::vector<NodeId>> adj(g.NumNodes());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    adj[g.EdgeSrc(e)].push_back(g.EdgeDst(e));
+    adj[g.EdgeDst(e)].push_back(g.EdgeSrc(e));
+  }
+  return ComputeResidency(adj, p);
+}
+
+void FillBorders(Partition* p, const FragmentResidency& resident) {
+  p->borders.assign(p->num_fragments, {});
+  for (size_t f = 0; f < p->num_fragments; ++f) {
+    for (NodeId v = 0; v < resident[f].size(); ++v) {
+      if (resident[f][v] && (v >= p->node_owner.size() ||
+                             p->node_owner[v] != static_cast<uint32_t>(f))) {
+        p->borders[f].push_back(v);
+      }
+    }
+  }
+}
+
+DeltaRouting RouteDelta(const GraphDelta& d,
+                        const FragmentResidency& resident) {
+  const size_t num_fragments = resident.size();
+  DeltaRouting route;
+  route.fragment_ops.resize(num_fragments);
+  auto resident_in = [&](size_t f, NodeId v) {
+    return v < resident[f].size() && resident[f][v] != 0;
+  };
+  for (size_t i = 0; i < d.ops.size(); ++i) {
+    const GraphDelta::Op& op = d.ops[i];
+    for (size_t f = 0; f < num_fragments; ++f) {
+      if (!resident_in(f, op.src)) continue;
+      if (op.kind != GraphDelta::OpKind::kSetAttr && !resident_in(f, op.dst)) {
+        continue;
+      }
+      route.fragment_ops[f].push_back(i);
     }
   }
   for (uint32_t f = 0; f < num_fragments; ++f) {
-    if (affected[f]) route.affected_fragments.push_back(f);
+    if (!route.fragment_ops[f].empty()) route.affected_fragments.push_back(f);
   }
   return route;
 }

@@ -15,49 +15,87 @@
 
 namespace gfd {
 
-/// An edge partition of a graph. Fragment f owns fragment_edges[f].
-struct Fragmentation {
+/// Ownership state of a vertex-cut partition, shared by DetectSharded,
+/// RouteDelta, and the serving coordinator (which persists it in
+/// coordinator.meta so every layer reads the same owners).
+struct Partition {
   size_t num_fragments = 0;
-  std::vector<uint32_t> edge_fragment;            ///< edge id -> fragment
-  std::vector<std::vector<EdgeId>> fragment_edges;
+
+  /// Halo radius in hops: a node is resident in fragment f iff its
+  /// undirected distance from f's owned node set is <= halo_radius.
+  /// Correctness requires halo_radius >= the max per-variable
+  /// eccentricity over all rule patterns (ViolationEngine::
+  /// MaxPatternRadius), so every match anchored at an owned node is
+  /// enumerable from the fragment's local view.
+  uint32_t halo_radius = 0;
+
+  /// Owner fragment per node: fragment of the node's first incident edge
+  /// under the greedy edge placement; isolated nodes are hashed.
+  std::vector<uint32_t> node_owner;
+
+  /// Per fragment: sorted resident non-owned nodes (the shipped border
+  /// halo). Persisted for introspection; residency is recomputed from
+  /// the live graph on open (ComputeResidency is authoritative).
+  std::vector<std::vector<NodeId>> borders;
 
   /// Replication factor: average number of fragments a (non-isolated)
-  /// node appears in. 1.0 = no replication.
+  /// node appears in under the edge partition. 1.0 = no replication.
   double replication = 1.0;
+};
 
-  /// Owner fragment per node (for pivot-aligned bookkeeping): fragment of
-  /// the node's first incident edge; isolated nodes are hashed.
-  std::vector<uint32_t> node_owner;
+/// An edge partition of a graph. Fragment f owns fragment_edges[f];
+/// `partition` carries the derived ownership state.
+struct Fragmentation {
+  Partition partition;
+  std::vector<uint32_t> edge_fragment;            ///< edge id -> fragment
+  std::vector<std::vector<EdgeId>> fragment_edges;
 };
 
 /// Partitions `g`'s edges into `n` fragments. Precondition: n >= 1.
 /// Deterministic. Fragment sizes differ by at most a small constant.
+/// The returned partition has halo_radius 0 and empty borders; callers
+/// pick the radius and derive borders via ComputeResidency/FillBorders.
 Fragmentation VertexCutPartition(const PropertyGraph& g, size_t n);
 
-/// Shipping plan of one update batch under vertex-cut node ownership: an
-/// edge op is routed to the fragment(s) owning either endpoint, an
-/// attribute op to its node's owner. This is introspection/reporting,
-/// not scheduling: the coordinator itself (serve/coordinator.h)
-/// broadcasts every batch to all replicas and lets overlay-wide
-/// affected-node ownership drive detection (a fragment may owe work to
-/// an OLDER batch's nodes even when this batch routes nowhere near it);
-/// `gfdtool serve append` uses RouteDelta to report which fragments own
-/// the batch's touched vertices.
+/// Per-fragment node residency map: resident[f][v] != 0 iff v lies
+/// within p.halo_radius undirected hops of a node owned by f (owned
+/// nodes are at distance 0, hence always resident).
+using FragmentResidency = std::vector<std::vector<char>>;
+
+/// Computes residency by multi-source BFS from each fragment's owned
+/// set over `adj`, the undirected neighbor lists of the live graph
+/// (duplicate neighbors are harmless).
+FragmentResidency ComputeResidency(const std::vector<std::vector<NodeId>>& adj,
+                                   const Partition& p);
+
+/// Convenience overload over a materialized graph.
+FragmentResidency ComputeResidency(const PropertyGraph& g, const Partition& p);
+
+/// Rebuilds p.borders from a residency map: borders[f] = sorted resident
+/// nodes of f that f does not own.
+void FillBorders(Partition* p, const FragmentResidency& resident);
+
+/// Shipping plan of one update batch under vertex-cut partitioned
+/// storage. RouteDelta is the coordinator's delivery mechanism: each
+/// fragment receives exactly the ops whose referenced nodes are all
+/// resident in its pre-batch view, in stream order; the coordinator
+/// appends halo-maintenance ops (border entry/exit repair) separately.
+/// `gfdtool serve append` reports the same plan as shipping fan-out.
 struct DeltaRouting {
-  /// Ops routed to each fragment (an op touching two fragments counts
-  /// once in each; sums can exceed the batch size, exactly like vertex
-  /// replication).
-  std::vector<size_t> ops_per_fragment;
-  /// Fragments owning at least one touched vertex, sorted ascending.
+  /// For each fragment: ascending indices into d.ops of the ops it
+  /// receives. An op shipping to k fragments appears in k lists,
+  /// exactly like vertex replication.
+  std::vector<std::vector<size_t>> fragment_ops;
+  /// Fragments receiving at least one op, sorted ascending.
   std::vector<uint32_t> affected_fragments;
 };
 
-/// Routes `d`'s ops across `num_fragments` fragments by `node_owner`
-/// (one owner per node, as Fragmentation::node_owner). Ops referencing
-/// out-of-range nodes are ignored (validation is the store's job).
-DeltaRouting RouteDelta(const GraphDelta& d,
-                        std::span<const uint32_t> node_owner,
-                        size_t num_fragments);
+/// Routes `d`'s ops by residency: an op ships to fragment f iff every
+/// node it references is resident in f (edge ops: both endpoints; attr
+/// ops: the node — so halo copies stay attribute-fresh). Ops that
+/// reference out-of-range nodes are ignored (validation is the store's
+/// job).
+DeltaRouting RouteDelta(const GraphDelta& d, const FragmentResidency& resident);
 
 }  // namespace gfd
 

@@ -58,7 +58,7 @@ class ParMiner {
     auto wildcard_labels =
         cfg_.wildcard_upgrades ? WildcardEdgeLabels(gstats_, cfg_)
                                : std::vector<LabelId>{};
-    cstats_.replication = frag_.replication;
+    cstats_.replication = frag_.partition.replication;
 
     // Level 0: single-node patterns; their "matches" are the label's nodes,
     // placed at their owner fragment.
@@ -115,7 +115,7 @@ class ParMiner {
 
   size_t OwnerOf(NodeId pivot) const {
     if (pcfg_.load_balance) return pivot % pcfg_.workers;
-    return frag_.node_owner[pivot];
+    return frag_.partition.node_owner[pivot];
   }
 
   void SeedSingleNodeMatches(int node_id) {

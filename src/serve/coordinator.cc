@@ -1,96 +1,216 @@
 #include "serve/coordinator.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <sstream>
-#include <system_error>
+#include <utility>
 
 #include "graph/loader.h"
-#include "parallel/fragment.h"
-#include "serve/durable_io.h"
+#include "graph/subgraph.h"
 
 namespace gfd {
 
+namespace {
 namespace fs = std::filesystem;
 
-namespace {
-
 constexpr char kMetaFile[] = "coordinator.meta";
-constexpr char kMetaMagic[] = "gfd-coordinator v1";
+constexpr char kMetaMagic[] = "gfd-coordinator v2";
+constexpr char kJournalFile[] = "routing.log";
 
 void SetError(std::string* error, const std::string& msg) {
   if (error) *error = msg;
 }
 
 std::string FragmentDir(const std::string& dir, size_t f) {
-  return (fs::path(dir) / ("frag-" + std::to_string(f))).string();
+  return dir + "/frag-" + std::to_string(f);
 }
 
-std::string MetaContent(size_t fragments, std::span<const uint32_t> node_owner,
+std::string GlobalSnapshotName(uint64_t seq) {
+  return "global-snapshot-" + std::to_string(seq) + ".tsv";
+}
+
+// Global snapshots present in `dir`, by anchor sequence, ascending.
+std::vector<uint64_t> ListGlobalSnapshots(const std::string& dir) {
+  constexpr std::string_view kPrefix = "global-snapshot-";
+  constexpr std::string_view kSuffix = ".tsv";
+  std::vector<uint64_t> seqs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() <= kPrefix.size() + kSuffix.size()) continue;
+    if (name.compare(0, kPrefix.size(), kPrefix) != 0) continue;
+    if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+        0) {
+      continue;
+    }
+    std::string mid = name.substr(
+        kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+    if (mid.empty() ||
+        mid.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    seqs.push_back(std::stoull(mid));
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+std::string MetaContent(const Partition& p, uint64_t owners_seq,
                         const std::optional<MetaCount>& count) {
-  std::string out(kMetaMagic);
-  out += "\nfragments " + std::to_string(fragments) + "\n";
-  if (count) out += MetaCountLine(*count);
+  std::ostringstream out;
+  out << kMetaMagic << '\n';
+  out << "fragments " << p.num_fragments << '\n';
+  out << "radius " << p.halo_radius << '\n';
+  out << "owners_seq " << owners_seq << '\n';
+  out << "replication " << p.replication << '\n';
+  if (count) out << MetaCountLine(*count);
   // Ownership is part of the coordinator's identity: recomputing it from
   // an evolved graph would silently re-partition the affected-node
   // attribution, so it is persisted verbatim.
-  out += "owners";
-  for (uint32_t o : node_owner) out += " " + std::to_string(o);
-  out += "\n";
-  return out;
+  out << "owners";
+  for (uint32_t o : p.node_owner) out << ' ' << o;
+  out << '\n';
+  // Border lists are advisory (status/introspection); residency is
+  // recomputed from the live graph on open.
+  for (size_t f = 0; f < p.borders.size(); ++f) {
+    out << "border " << f;
+    for (NodeId v : p.borders[f]) out << ' ' << v;
+    out << '\n';
+  }
+  return out.str();
 }
 
-bool ParseMeta(const std::string& path, size_t* fragments,
-               std::vector<uint32_t>* node_owner,
-               std::optional<MetaCount>* count, std::string* error) {
+struct MetaData {
+  size_t fragments = 0;
+  uint32_t radius = 0;
+  uint64_t owners_seq = 0;
+  double replication = 1.0;
+  std::vector<uint32_t> owners;
+  std::optional<MetaCount> count;
+};
+
+bool ParseMeta(const std::string& path, MetaData* meta, std::string* error) {
   std::ifstream in(path);
   if (!in) {
     SetError(error, path + ": cannot open (not a coordinator?)");
     return false;
   }
-  std::string magic;
-  if (!std::getline(in, magic) || magic != kMetaMagic) {
-    SetError(error, path + ": bad magic line '" + magic + "'");
+  std::string line;
+  if (!std::getline(in, line) || line != kMetaMagic) {
+    SetError(error, "bad magic in " + path);
     return false;
   }
-  bool have_fragments = false, have_owners = false;
-  std::string line;
+  bool have_fragments = false;
+  bool have_owners = false;
   while (std::getline(in, line)) {
+    if (line.empty()) continue;
     std::istringstream ls(line);
     std::string key;
     ls >> key;
     if (key == "fragments") {
-      have_fragments = static_cast<bool>(ls >> *fragments);
+      if (ls >> meta->fragments) have_fragments = true;
+    } else if (key == "radius") {
+      ls >> meta->radius;
+    } else if (key == "owners_seq") {
+      ls >> meta->owners_seq;
+    } else if (key == "replication") {
+      ls >> meta->replication;
     } else if (key == "violations") {
-      *count = ParseMetaCountFields(ls);
+      meta->count = ParseMetaCountFields(ls);
     } else if (key == "owners") {
       uint32_t o;
-      while (ls >> o) node_owner->push_back(o);
+      while (ls >> o) meta->owners.push_back(o);
       have_owners = true;
+    } else if (key == "border") {
+      // Advisory; skipped.
+    } else {
+      SetError(error, "unrecognized line in " + path + ": " + line);
+      return false;
     }
   }
-  if (!have_fragments || *fragments == 0 || !have_owners) {
-    SetError(error, path + ": missing fragments/owners entry");
+  if (!have_fragments || !have_owners || meta->radius < 1) {
+    SetError(error, "incomplete coordinator meta in " + path);
     return false;
   }
-  for (uint32_t o : *node_owner) {
-    if (o >= *fragments) {
-      SetError(error, path + ": owner " + std::to_string(o) +
-                          " out of range for " + std::to_string(*fragments) +
-                          " fragment(s)");
+  return true;
+}
+
+// One routing-journal record: the original global batch plus every
+// fragment's routed sub-batch, length-framed so arbitrary TSV bytes
+// survive the round trip.
+//
+//   G <bytes>\n<global batch>\n
+//   F <f> <bytes>\n<sub-batch f>\n   for f = 0 .. fragments-1
+std::string JournalPayload(std::string_view global_tsv,
+                           const std::vector<std::string>& frags) {
+  std::string out;
+  out += "G " + std::to_string(global_tsv.size()) + "\n";
+  out.append(global_tsv);
+  out += '\n';
+  for (size_t f = 0; f < frags.size(); ++f) {
+    out +=
+        "F " + std::to_string(f) + " " + std::to_string(frags[f].size()) + "\n";
+    out += frags[f];
+    out += '\n';
+  }
+  return out;
+}
+
+bool ParseJournalPayload(const std::string& payload, size_t fragments,
+                         std::string* global_tsv,
+                         std::vector<std::string>* frags, std::string* error) {
+  size_t pos = 0;
+  auto next_line = [&](std::string* out_line) {
+    size_t nl = payload.find('\n', pos);
+    if (nl == std::string::npos) return false;
+    *out_line = payload.substr(pos, nl - pos);
+    pos = nl + 1;
+    return true;
+  };
+  auto read_body = [&](size_t n, std::string* body) {
+    if (pos + n >= payload.size() || payload[pos + n] != '\n') return false;
+    body->assign(payload, pos, n);
+    pos += n + 1;
+    return true;
+  };
+  std::string header;
+  std::string tag;
+  size_t n = 0;
+  if (!next_line(&header)) {
+    SetError(error, "corrupt routing journal record");
+    return false;
+  }
+  {
+    std::istringstream hs(header);
+    if (!(hs >> tag >> n) || tag != "G" || !read_body(n, global_tsv)) {
+      SetError(error, "corrupt routing journal record");
+      return false;
+    }
+  }
+  frags->assign(fragments, "");
+  for (size_t f = 0; f < fragments; ++f) {
+    size_t id = 0;
+    if (!next_line(&header)) {
+      SetError(error, "corrupt routing journal record");
+      return false;
+    }
+    std::istringstream hs(header);
+    if (!(hs >> tag >> id >> n) || tag != "F" || id != f ||
+        !read_body(n, &(*frags)[f])) {
+      SetError(error, "corrupt routing journal record");
       return false;
     }
   }
   return true;
 }
 
-// Approximate wire size of one shipped violation record (the same
-// accounting DetectSharded uses).
-size_t DiffBytes(const IncrementalDiff& d) {
-  size_t bytes = 0;
-  for (const auto* side : {&d.added, &d.removed}) {
+// Accounted size of a diff shipped fragment -> master.
+uint64_t DiffBytes(const IncrementalDiff& diff) {
+  uint64_t bytes = 0;
+  for (const std::vector<Violation>* side : {&diff.added, &diff.removed}) {
     for (const Violation& v : *side) {
       bytes += sizeof(Violation) + v.match.size() * sizeof(NodeId);
     }
@@ -98,54 +218,96 @@ size_t DiffBytes(const IncrementalDiff& d) {
   return bytes;
 }
 
-// K-way merge of sorted, pairwise-disjoint per-fragment violation lists
-// (ownership attribution guarantees disjointness, so this is dedup-free).
+// Merges per-fragment violation lists. Ownership attribution makes the
+// parts disjoint, so sorting the concatenation reproduces the exact
+// single-node ordering.
 std::vector<Violation> MergeSorted(std::vector<std::vector<Violation>> parts) {
   std::vector<Violation> out;
-  for (auto& part : parts) {
-    if (part.empty()) continue;
-    if (out.empty()) {
-      out = std::move(part);
-      continue;
-    }
-    std::vector<Violation> merged;
-    merged.reserve(out.size() + part.size());
-    std::merge(std::make_move_iterator(out.begin()),
-               std::make_move_iterator(out.end()),
-               std::make_move_iterator(part.begin()),
-               std::make_move_iterator(part.end()),
-               std::back_inserter(merged));
-    out = std::move(merged);
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.reserve(total);
+  for (auto& p : parts) {
+    out.insert(out.end(), std::make_move_iterator(p.begin()),
+               std::make_move_iterator(p.end()));
   }
+  std::sort(out.begin(), out.end());
   return out;
+}
+
+void AddStats(IncrementalStats* into, const IncrementalStats& s) {
+  into->affected_nodes += s.affected_nodes;
+  into->anchor_plans += s.anchor_plans;
+  into->anchors_scanned += s.anchors_scanned;
+  into->matches_seen += s.matches_seen;
+  into->literal_evals += s.literal_evals;
+  into->violations_before += s.violations_before;
+  into->violations_after += s.violations_after;
 }
 
 }  // namespace
 
 bool Coordinator::Init(const std::string& dir, const PropertyGraph& g,
-                       size_t fragments, std::string* error) {
+                       size_t fragments, uint32_t halo_radius,
+                       std::string* error) {
   if (fragments == 0) {
     SetError(error, "fragment count must be >= 1");
+    return false;
+  }
+  if (halo_radius < 1) {
+    SetError(error, "halo radius must be >= 1");
     return false;
   }
   std::error_code ec;
   fs::create_directories(dir, ec);
   if (ec) {
-    SetError(error, dir + ": cannot create: " + ec.message());
+    SetError(error, "cannot create " + dir + ": " + ec.message());
     return false;
   }
-  std::string meta_path = (fs::path(dir) / kMetaFile).string();
-  if (fs::exists(meta_path)) {
-    SetError(error, dir + ": already holds a coordinator");
+  if (fs::exists(dir + "/" + kMetaFile)) {
+    SetError(error, dir + " already holds a coordinator");
     return false;
   }
+
   Fragmentation frag = VertexCutPartition(g, fragments);
+  Partition p = std::move(frag.partition);
+  p.halo_radius = halo_radius;
+  FragmentResidency resident = ComputeResidency(g, p);
+  FillBorders(&p, resident);
+
+  // Each fragment starts from its resident subgraph -- owned partition
+  // plus halo -- never the whole graph.
   for (size_t f = 0; f < fragments; ++f) {
-    if (!GraphStore::Init(FragmentDir(dir, f), g, error)) return false;
+    std::string ferr;
+    if (!GraphStore::Init(FragmentDir(dir, f), ExtractSubgraph(g, resident[f]),
+                          &ferr)) {
+      SetError(error, "fragment " + std::to_string(f) + ": " + ferr);
+      return false;
+    }
   }
-  return AtomicWriteFile(meta_path,
-                         MetaContent(fragments, frag.node_owner, std::nullopt),
-                         error);
+  {
+    std::ostringstream snap;
+    SaveGraphTsv(g, snap, /*with_vocab=*/true);
+    std::string werr;
+    if (!AtomicWriteFile(dir + "/" + GlobalSnapshotName(0), snap.str(),
+                         &werr)) {
+      SetError(error, "global snapshot: " + werr);
+      return false;
+    }
+  }
+  {
+    std::string jerr;
+    if (!DeltaLog::Open(dir + "/" + kJournalFile, 1, &jerr)) {
+      SetError(error, "routing journal: " + jerr);
+      return false;
+    }
+  }
+  std::string werr;
+  if (!AtomicWriteFile(dir + "/" + kMetaFile,
+                       MetaContent(p, /*owners_seq=*/0, std::nullopt), &werr)) {
+    SetError(error, "meta: " + werr);
+    return false;
+  }
+  return true;
 }
 
 std::optional<Coordinator> Coordinator::Open(const std::string& dir,
@@ -154,278 +316,457 @@ std::optional<Coordinator> Coordinator::Open(const std::string& dir,
   Coordinator c;
   c.dir_ = dir;
   c.opts_ = opts;
-
-  size_t fragments = 0;
-  std::optional<MetaCount> count;
-  if (!ParseMeta((fs::path(dir) / kMetaFile).string(), &fragments,
-                 &c.node_owner_, &count, error)) {
+  MetaData meta;
+  if (!ParseMeta(dir + "/" + kMetaFile, &meta, error)) return std::nullopt;
+  if (meta.fragments == 0) {
+    SetError(error, "coordinator meta has no fragments");
     return std::nullopt;
   }
-  c.fragments_.reserve(fragments);
-  for (size_t f = 0; f < fragments; ++f) {
-    auto store = GraphStore::Open(FragmentDir(dir, f), opts.store, error);
-    if (!store) {
-      if (error) *error = "fragment " + std::to_string(f) + ": " + *error;
+  for (uint32_t o : meta.owners) {
+    if (o >= meta.fragments) {
+      SetError(error, "meta owner out of range");
       return std::nullopt;
     }
-    c.fragments_.push_back(std::move(*store));
   }
-  if (c.node_owner_.size() != c.fragments_[0].base().NumNodes()) {
-    SetError(error, dir + ": ownership covers " +
-                        std::to_string(c.node_owner_.size()) +
-                        " node(s) but the graph has " +
-                        std::to_string(c.fragments_[0].base().NumNodes()));
+  c.owners_seq_ = meta.owners_seq;
+  c.cluster_ = std::make_unique<Cluster>(meta.fragments);
+
+  // Every fragment store recovers independently from its local log;
+  // fragments lost outright are rebuilt below from the global state.
+  std::vector<std::optional<GraphStore>> opened(meta.fragments);
+  uint64_t frag_max = 0;
+  for (size_t f = 0; f < meta.fragments; ++f) {
+    std::string ferr;
+    auto s = GraphStore::Open(FragmentDir(dir, f), opts.store, &ferr);
+    if (!s) continue;
+    frag_max = std::max(frag_max, s->last_seq());
+    opened[f] = std::move(*s);
+  }
+
+  // Recover the master's global state from the newest snapshot the
+  // routing journal can bridge to the global sequence, preferring the
+  // common fragment anchor so a clean open needs no re-compaction.
+  std::vector<uint64_t> snaps = ListGlobalSnapshots(dir);
+  if (snaps.empty()) {
+    SetError(error, "no global snapshot in " + dir);
     return std::nullopt;
   }
-
-  c.cluster_ = std::make_unique<Cluster>(fragments);
-  uint64_t global = 0;
-  for (const GraphStore& s : c.fragments_) {
-    global = std::max(global, s.last_seq());
+  uint64_t provisional = std::max(frag_max, snaps.back());
+  {
+    std::string jerr;
+    auto j = DeltaLog::Open(dir + "/" + kJournalFile, provisional + 1, &jerr);
+    if (!j) {
+      SetError(error, "routing journal: " + jerr);
+      return std::nullopt;
+    }
+    c.journal_ = std::move(*j);
   }
-  if (!c.CatchUp(global, error)) return std::nullopt;
-  c.stats_.last_seq = global;
-  c.stats_.anchor_seq = c.fragments_[0].stats().anchor_seq;
+  auto records = c.journal_->records();
+  uint64_t global_seq = provisional;
+  if (!records.empty()) global_seq = std::max(global_seq, records.back().seq);
 
-  c.count_.Restore(count, global);
+  auto bridgeable = [&](uint64_t x) {
+    if (x > global_seq) return false;
+    if (x == global_seq) return true;
+    if (records.empty()) return false;
+    return records.front().seq <= x + 1 && records.back().seq >= global_seq;
+  };
+  std::optional<uint64_t> common_anchor;
+  bool anchors_equal = true;
+  for (const auto& s : opened) {
+    if (!s) continue;
+    uint64_t a = s->stats().anchor_seq;
+    if (!common_anchor) {
+      common_anchor = a;
+    } else if (*common_anchor != a) {
+      anchors_equal = false;
+    }
+  }
+  std::optional<uint64_t> chosen;
+  if (anchors_equal && common_anchor &&
+      std::binary_search(snaps.begin(), snaps.end(), *common_anchor) &&
+      bridgeable(*common_anchor)) {
+    chosen = *common_anchor;
+  }
+  if (!chosen) {
+    for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+      if (bridgeable(*it)) {
+        chosen = *it;
+        break;
+      }
+    }
+  }
+  if (!chosen) {
+    SetError(error,
+             "cannot reconstruct the global state: no snapshot bridges to "
+             "sequence " +
+                 std::to_string(global_seq));
+    return std::nullopt;
+  }
+  const uint64_t master_anchor = *chosen;
+  std::string gerr;
+  auto g =
+      LoadGraphTsvFile(dir + "/" + GlobalSnapshotName(master_anchor), &gerr);
+  if (!g) {
+    SetError(error, "global snapshot: " + gerr);
+    return std::nullopt;
+  }
+  if (meta.owners.size() != g->NumNodes()) {
+    SetError(error, "ownership table does not match the graph");
+    return std::nullopt;
+  }
+  Partition p;
+  p.num_fragments = meta.fragments;
+  p.halo_radius = meta.radius;
+  p.node_owner = std::move(meta.owners);
+  p.replication = meta.replication;
+  c.index_ = RoutingIndex::Build(std::move(*g), std::move(p), error);
+  if (!c.index_) return std::nullopt;
+  for (const auto& rec : records) {
+    if (rec.seq <= master_anchor) continue;
+    std::string gtsv;
+    std::vector<std::string> fpayloads;
+    if (!ParseJournalPayload(rec.payload, meta.fragments, &gtsv, &fpayloads,
+                             error)) {
+      return std::nullopt;
+    }
+    auto plan = c.index_->PlanBatch(gtsv, &gerr);
+    if (!plan) {
+      SetError(error, "routing journal replay seq " + std::to_string(rec.seq) +
+                          ": " + gerr);
+      return std::nullopt;
+    }
+    c.index_->Commit(std::move(*plan));
+  }
+  c.stats_.last_seq = global_seq;
+
+  std::optional<PropertyGraph> current;
+  for (size_t f = 0; f < meta.fragments; ++f) {
+    if (opened[f]) {
+      c.fragments_.push_back(std::move(*opened[f]));
+      continue;
+    }
+    if (!current) current = c.index_->view().Materialize();
+    auto s = c.RebuildFragment(f, global_seq, *current, error);
+    if (!s) return std::nullopt;
+    c.fragments_.push_back(std::move(*s));
+    ++c.stats_.catchup_snapshots;
+    ++c.stats_.lagging_fragments;
+  }
+
+  if (!c.CatchUp(global_seq, master_anchor, error)) return std::nullopt;
+
+  for (const GraphStore& s : c.fragments_) {
+    if (s.last_seq() != global_seq) {
+      SetError(error, "fragments disagree after catch-up");
+      return std::nullopt;
+    }
+  }
+  uint64_t anchor = c.fragments_.front().stats().anchor_seq;
+  for (const GraphStore& s : c.fragments_) {
+    if (s.stats().anchor_seq != anchor) {
+      SetError(error, "fragment anchors disagree after catch-up");
+      return std::nullopt;
+    }
+  }
+  c.stats_.anchor_seq = anchor;
+  c.count_.Restore(meta.count, global_seq);
   return c;
 }
 
-bool Coordinator::CatchUp(uint64_t global_seq, std::string* error) {
-  // Re-ship missing batches to every lagging fragment. A fragment that
-  // lost its log tail (torn append) recovers to a strict prefix of the
-  // global stream; any fully-caught-up peer whose log still reaches back
-  // far enough supplies the missing records, and the lagging fragment's
-  // own Append assigns them the same sequence numbers -- catch-up is
-  // replay, not a new code path.
+std::optional<GraphStore> Coordinator::RebuildFragment(
+    size_t f, uint64_t global_seq, const PropertyGraph& current,
+    std::string* error) {
+  PropertyGraph sub = ExtractSubgraph(current, index_->residency()[f]);
+  std::ostringstream shipped;
+  SaveGraphTsv(sub, shipped, /*with_vocab=*/true);
+  std::error_code ec;
+  fs::remove_all(FragmentDir(dir_, f), ec);
+  std::string ferr;
+  if (!GraphStore::InitAt(FragmentDir(dir_, f), sub, global_seq, &ferr)) {
+    SetError(error, "fragment " + std::to_string(f) + ": rebuild: " + ferr);
+    return std::nullopt;
+  }
+  auto s = GraphStore::Open(FragmentDir(dir_, f), opts_.store, &ferr);
+  if (!s) {
+    SetError(error, "fragment " + std::to_string(f) +
+                        ": reopen after rebuild: " + ferr);
+    return std::nullopt;
+  }
+  cluster_->CountShipment(1, shipped.str().size());
+  return s;
+}
+
+bool Coordinator::CatchUp(uint64_t global_seq, uint64_t master_anchor,
+                          std::string* error) {
+  auto records = journal_->records();
+  const uint64_t journal_first = records.empty() ? 0 : records.front().seq;
+  std::vector<std::optional<std::vector<std::string>>> parsed(records.size());
   for (size_t f = 0; f < fragments_.size(); ++f) {
-    if (fragments_[f].last_seq() == global_seq) continue;
-    ++stats_.lagging_fragments;
-
-    // Peer with full coverage: up to date, anchored at or before the
-    // lagging fragment's last durable batch.
-    size_t peer = fragments_.size();
-    for (size_t p = 0; p < fragments_.size(); ++p) {
-      if (fragments_[p].last_seq() != global_seq) continue;
-      if (fragments_[p].stats().anchor_seq > fragments_[f].last_seq()) {
-        continue;  // compacted past the gap; its log lost those records
+    bool lagged = false;
+    while (fragments_[f].last_seq() < global_seq) {
+      uint64_t need = fragments_[f].last_seq() + 1;
+      if (records.empty() || need < journal_first ||
+          need > records.back().seq) {
+        SetError(error, "fragment " + std::to_string(f) +
+                            " cannot be caught up from the routing journal");
+        return false;
       }
-      if (peer == fragments_.size() ||
-          fragments_[p].stats().anchor_seq <
-              fragments_[peer].stats().anchor_seq) {
-        peer = p;
-      }
-    }
-
-    if (peer < fragments_.size()) {
-      for (const DeltaLogRecord& rec : fragments_[peer].log().records()) {
-        if (rec.seq <= fragments_[f].last_seq()) continue;
-        auto seq = fragments_[f].Append(rec.payload, error);
-        if (!seq) {
-          if (error) {
-            *error = "fragment " + std::to_string(f) + " catch-up at seq " +
-                     std::to_string(rec.seq) + ": " + *error;
-          }
+      size_t idx = need - journal_first;
+      if (!parsed[idx]) {
+        std::string gtsv;
+        std::vector<std::string> fpayloads;
+        if (!ParseJournalPayload(records[idx].payload, fragments_.size(),
+                                 &gtsv, &fpayloads, error)) {
           return false;
         }
-        if (*seq != rec.seq) {
-          SetError(error, "fragment " + std::to_string(f) +
-                              " catch-up assigned seq " +
-                              std::to_string(*seq) + " for record " +
-                              std::to_string(rec.seq));
-          return false;
-        }
-        cluster_->CountShipment(1, rec.payload.size());
-        ++stats_.catchup_records;
+        parsed[idx] = std::move(fpayloads);
       }
-      continue;
+      const std::string& payload = (*parsed[idx])[f];
+      std::string ferr;
+      auto seq2 = fragments_[f].Append(payload, &ferr);
+      if (!seq2) {
+        SetError(error,
+                 "fragment " + std::to_string(f) + ": catch-up: " + ferr);
+        return false;
+      }
+      if (*seq2 != need) {
+        SetError(error, "fragment " + std::to_string(f) +
+                            ": catch-up out of sequence");
+        return false;
+      }
+      cluster_->CountShipment(1, payload.size());
+      ++stats_.catchup_records;
+      lagged = true;
     }
-
-    // Every up-to-date peer compacted past the gap: ship a snapshot of
-    // the current global state instead and re-anchor the fragment there.
-    size_t donor = 0;
-    for (size_t p = 0; p < fragments_.size(); ++p) {
-      if (fragments_[p].last_seq() == global_seq) donor = p;
-    }
-    PropertyGraph current = fragments_[donor].MaterializeCurrent();
-    std::string frag_dir = FragmentDir(dir_, f);
-    std::error_code ec;
-    fs::remove_all(frag_dir, ec);
-    if (ec) {
-      SetError(error, frag_dir + ": cannot reset: " + ec.message());
-      return false;
-    }
-    if (!GraphStore::InitAt(frag_dir, current, global_seq, error)) {
-      return false;
-    }
-    auto store = GraphStore::Open(frag_dir, opts_.store, error);
-    if (!store) return false;
-    std::string snap = "snapshot-" + std::to_string(global_seq) + ".tsv";
-    uint64_t snap_bytes = 0;
-    const auto size = fs::file_size(fs::path(frag_dir) / snap, ec);
-    if (!ec) snap_bytes = size;
-    cluster_->CountShipment(1, snap_bytes);
-    ++stats_.catchup_snapshots;
-    fragments_[f] = std::move(*store);
+    if (lagged) ++stats_.lagging_fragments;
   }
 
-  // Re-unify anchors: a fragment that missed a lockstep compaction round
-  // (or was just rebuilt from a snapshot) would otherwise diff against a
-  // different base, and base-relative diffs only compose over one base.
+  uint64_t min_anchor = fragments_.front().stats().anchor_seq;
   bool anchors_differ = false;
   for (const GraphStore& s : fragments_) {
-    if (s.stats().anchor_seq != fragments_[0].stats().anchor_seq) {
-      anchors_differ = true;
-      break;
-    }
+    uint64_t a = s.stats().anchor_seq;
+    min_anchor = std::min(min_anchor, a);
+    if (a != fragments_.front().stats().anchor_seq) anchors_differ = true;
   }
-  if (anchors_differ && !CompactAll(error)) return false;
 
-  for (const GraphStore& s : fragments_) {
-    if (s.last_seq() != global_seq ||
-        s.stats().anchor_seq != fragments_[0].stats().anchor_seq) {
-      SetError(error, dir_ + ": fragments disagree after catch-up");
-      return false;
+  // A rebalance that crashed between its meta commit and its lockstep
+  // compaction leaves fragment bases (and halos) laid out under the old
+  // ownership: rebuild every fragment from the recovered global state
+  // under the persisted (new) ownership.
+  if (owners_seq_ > min_anchor) {
+    PropertyGraph current = index_->view().Materialize();
+    for (size_t f = 0; f < fragments_.size(); ++f) {
+      auto s = RebuildFragment(f, global_seq, current, error);
+      if (!s) return false;
+      fragments_[f] = std::move(*s);
+      ++stats_.catchup_snapshots;
     }
+    owners_seq_ = global_seq;  // ownership takes effect at the new anchor
+    anchors_differ = true;
+  }
+
+  if (anchors_differ ||
+      fragments_.front().stats().anchor_seq != master_anchor) {
+    if (!CompactAll(error)) return false;
   }
   return true;
 }
 
 CoordinatorStats Coordinator::stats() const {
-  CoordinatorStats out = stats_;
-  out.anchor_seq = fragments_[0].stats().anchor_seq;
-  out.messages = cluster_->messages();
-  out.bytes_shipped = cluster_->bytes();
-  return out;
+  CoordinatorStats s = stats_;
+  s.anchor_seq = fragments_.front().stats().anchor_seq;
+  s.messages = cluster_->messages();
+  s.bytes_shipped = cluster_->bytes();
+  return s;
 }
 
-bool Coordinator::CheckNotDegraded(std::string* error) const {
-  if (!degraded_) return true;
-  SetError(error, dir_ +
-                      ": a previous batch failed on some fragment; "
-                      "reopen the coordinator to re-sync before appending");
-  return false;
+struct Coordinator::DiffContext {
+  const ViolationEngine* engine = nullptr;
+  const IncrementalOptions* opts = nullptr;
+  std::vector<IncrementalDiff> before;
+  std::vector<IncrementalDiff> after;
+};
+
+std::optional<uint64_t> Coordinator::ShipSequenced(
+    RoutingIndex::ShipPlan&& plan, std::string_view global_tsv,
+    DiffContext* diff_ctx, std::string* error) {
+  const size_t n = fragments_.size();
+  const uint64_t seq = stats_.last_seq + 1;
+
+  // Journal first: once the routed sub-batches are durable at the
+  // master, a crash anywhere below is repaired by re-shipping them.
+  {
+    std::string jerr;
+    auto jseq =
+        journal_->Append(JournalPayload(global_tsv, plan.payloads), &jerr);
+    if (!jseq) {
+      SetError(error, "routing journal: " + jerr);
+      return std::nullopt;
+    }
+    if (*jseq != seq) {
+      degraded_ = true;
+      SetError(error, "routing journal out of sequence");
+      return std::nullopt;
+    }
+  }
+
+  // Per-fragment anchor seeds: the globally affected nodes it owns.
+  // Bucketing a sorted list by owner keeps each bucket sorted.
+  std::vector<std::vector<NodeId>> seeds_before(n);
+  std::vector<std::vector<NodeId>> seeds_after(n);
+  if (diff_ctx) {
+    std::span<const uint32_t> owner = index_->partition().node_owner;
+    for (NodeId v : plan.affected_before) seeds_before[owner[v]].push_back(v);
+    for (NodeId v : plan.affected_after) seeds_after[owner[v]].push_back(v);
+    diff_ctx->before.resize(n);
+    diff_ctx->after.resize(n);
+  }
+
+  std::vector<std::string> errs(n);
+  cluster_->RunStep([&](size_t f) {
+    if (diff_ctx) {
+      diff_ctx->before[f] = diff_ctx->engine->DetectIncrementalOwned(
+          fragments_[f].view(), seeds_before[f], plan.affected_before,
+          *diff_ctx->opts);
+    }
+    std::string ferr;
+    auto seq2 = fragments_[f].Append(plan.payloads[f], &ferr);
+    if (!seq2) {
+      errs[f] = "fragment " + std::to_string(f) + ": " + ferr;
+      return;
+    }
+    if (*seq2 != seq) {
+      errs[f] = "fragment " + std::to_string(f) + ": out of sequence";
+      return;
+    }
+    if (diff_ctx) {
+      diff_ctx->after[f] = diff_ctx->engine->DetectIncrementalOwned(
+          fragments_[f].view(), seeds_after[f], plan.affected_after,
+          *diff_ctx->opts);
+    }
+  });
+  for (size_t f = 0; f < n; ++f) {
+    cluster_->CountShipment(1, plan.payloads[f].size());
+    stats_.bytes_owned_shipped += plan.owned_bytes[f];
+    stats_.bytes_halo_shipped += plan.halo_bytes[f];
+  }
+  for (size_t f = 0; f < n; ++f) {
+    if (!errs[f].empty()) {
+      degraded_ = true;
+      SetError(error, errs[f] + "; coordinator degraded, reopen to recover");
+      return std::nullopt;
+    }
+  }
+  if (diff_ctx) {
+    for (size_t f = 0; f < n; ++f) {
+      cluster_->CountShipment(
+          1, DiffBytes(diff_ctx->before[f]) + DiffBytes(diff_ctx->after[f]));
+    }
+  }
+  index_->Commit(std::move(plan));
+  stats_.last_seq = seq;
+  count_.Invalidate();
+  return seq;
 }
 
 std::optional<uint64_t> Coordinator::Append(std::string_view delta_tsv,
                                             std::string* error) {
   if (!CheckNotDegraded(error)) return std::nullopt;
-  // One dry-run validation up front: an invalid batch must be rejected
-  // before any fragment's log sees it (replicas are identical, so
-  // fragment 0's verdict is everyone's verdict).
-  if (!fragments_[0].Validate(delta_tsv, error)) return std::nullopt;
-
-  uint64_t seq = stats_.last_seq + 1;
-  cluster_->CountBroadcast(1, delta_tsv.size());
-  std::vector<std::string> errors(fragments_.size());
-  std::vector<char> ok(fragments_.size(), 0);
-  cluster_->RunStep([&](size_t f) {
-    auto got = fragments_[f].Append(delta_tsv, &errors[f]);
-    if (!got) return;
-    if (*got != seq) {
-      errors[f] = "assigned seq " + std::to_string(*got) + ", expected " +
-                  std::to_string(seq);
-      return;
-    }
-    ok[f] = 1;
-  });
-  for (size_t f = 0; f < fragments_.size(); ++f) {
-    if (!ok[f]) {
-      // An I/O failure after validation passed leaves this fragment
-      // behind its peers; reopening the coordinator repairs it through
-      // the catch-up path. Until then the coordinator refuses further
-      // batches (see degraded_).
-      degraded_ = true;
-      SetError(error, "fragment " + std::to_string(f) + ": " + errors[f] +
-                          " (reopen to re-sync)");
-      return std::nullopt;
-    }
-  }
-  stats_.last_seq = seq;
+  auto plan = index_->PlanBatch(delta_tsv, error);
+  if (!plan) return std::nullopt;
+  auto seq = ShipSequenced(std::move(*plan), delta_tsv, nullptr, error);
+  if (!seq) return std::nullopt;
   ++stats_.batches;
-  count_.Invalidate();
   return seq;
 }
 
 std::optional<IncrementalDiff> Coordinator::AppendAndDiff(
     const ViolationEngine& engine, std::string_view delta_tsv,
-    uint64_t* seq_out, std::string* error) {
+    const IncrementalOptions& opts, uint64_t* seq_out, std::string* error) {
   if (!CheckNotDegraded(error)) return std::nullopt;
-  if (!fragments_[0].Validate(delta_tsv, error)) return std::nullopt;
+  const uint32_t need = engine.MaxPatternRadius();
+  if (need > index_->partition().halo_radius) {
+    SetError(error, "rule pattern radius " + std::to_string(need) +
+                        " exceeds the partition halo radius " +
+                        std::to_string(index_->partition().halo_radius) +
+                        "; re-init the coordinator with a larger radius");
+    return std::nullopt;
+  }
+  auto plan = index_->PlanBatch(delta_tsv, error);
+  if (!plan) return std::nullopt;
+  DiffContext ctx;
+  ctx.engine = &engine;
+  ctx.opts = &opts;
+  auto seq = ShipSequenced(std::move(*plan), delta_tsv, &ctx, error);
+  if (!seq) return std::nullopt;
+  ++stats_.batches;
 
-  uint64_t seq = stats_.last_seq + 1;
-  cluster_->CountBroadcast(1, delta_tsv.size());
-
-  // One barrier step per fragment: base-relative diff before the batch,
-  // sequenced durable append, base-relative diff after. Both sides see
-  // only the matches attributed to this fragment's owned affected nodes.
-  std::vector<IncrementalDiff> before(fragments_.size());
-  std::vector<IncrementalDiff> after(fragments_.size());
-  std::vector<std::string> errors(fragments_.size());
-  std::vector<char> ok(fragments_.size(), 0);
-  cluster_->RunStep([&](size_t f) {
-    before[f] = engine.DetectIncrementalOwned(
-        fragments_[f].view(), node_owner_, static_cast<uint32_t>(f),
-        opts_.incremental);
-    auto got = fragments_[f].Append(delta_tsv, &errors[f]);
-    if (!got) return;
-    if (*got != seq) {
-      errors[f] = "assigned seq " + std::to_string(*got) + ", expected " +
-                  std::to_string(seq);
-      return;
+  // Ownership attribution partitions the global diff, so merging the
+  // per-fragment base-relative sides and composing reproduces the
+  // single-node step diff record for record.
+  IncrementalDiff before;
+  IncrementalDiff after;
+  auto merge_side = [](std::vector<IncrementalDiff>& parts, bool added) {
+    std::vector<std::vector<Violation>> lists;
+    lists.reserve(parts.size());
+    for (IncrementalDiff& d : parts) {
+      lists.push_back(std::move(added ? d.added : d.removed));
     }
-    after[f] = engine.DetectIncrementalOwned(
-        fragments_[f].view(), node_owner_, static_cast<uint32_t>(f),
-        opts_.incremental);
-    ok[f] = 1;
-  });
-  for (size_t f = 0; f < fragments_.size(); ++f) {
-    if (!ok[f]) {
-      degraded_ = true;
-      SetError(error, "fragment " + std::to_string(f) + ": " + errors[f] +
-                          " (reopen to re-sync)");
+    return MergeSorted(std::move(lists));
+  };
+  before.added = merge_side(ctx.before, true);
+  before.removed = merge_side(ctx.before, false);
+  after.added = merge_side(ctx.after, true);
+  after.removed = merge_side(ctx.after, false);
+  for (const IncrementalDiff& d : ctx.before) AddStats(&before.stats, d.stats);
+  for (const IncrementalDiff& d : ctx.after) AddStats(&after.stats, d.stats);
+  IncrementalDiff diff = ComposeStepDiff(before, after);
+  if (seq_out) *seq_out = *seq;
+  return diff;
+}
+
+std::optional<uint64_t> Coordinator::Rebalance(NodeId node,
+                                               uint32_t to_fragment,
+                                               std::string* error) {
+  if (!CheckNotDegraded(error)) return std::nullopt;
+  auto plan = index_->PlanRebalance(node, to_fragment, error);
+  if (!plan) return std::nullopt;
+  const uint64_t seq = stats_.last_seq + 1;
+
+  // The graph (hence the violation set) is unchanged; carry the running
+  // count across the consumed sequence number.
+  auto carried = count_.Persisted(stats_.last_seq);
+
+  // Persist intent FIRST: if anything past this point crashes, Open
+  // sees owners_seq beyond the minimum fragment anchor and rebuilds the
+  // fragments under the new ownership from the recovered global state.
+  const uint64_t prev_owners_seq = owners_seq_;
+  owners_seq_ = seq;
+  {
+    Partition intent = index_->partition();
+    intent.node_owner = plan->new_owner;
+    std::string werr;
+    if (!AtomicWriteFile(
+            dir_ + "/" + kMetaFile,
+            MetaContent(intent, owners_seq_, count_.Persisted(stats_.last_seq)),
+            &werr)) {
+      owners_seq_ = prev_owners_seq;
+      SetError(error, "meta: " + werr);
       return std::nullopt;
     }
   }
 
-  // Each fragment ships its four record lists to the master.
-  IncrementalDiff merged_before, merged_after;
-  {
-    std::vector<std::vector<Violation>> parts;
-    auto take = [&](std::vector<IncrementalDiff>& diffs, bool added) {
-      parts.clear();
-      parts.reserve(diffs.size());
-      for (auto& d : diffs) {
-        parts.push_back(std::move(added ? d.added : d.removed));
-      }
-      return MergeSorted(std::move(parts));
-    };
-    for (size_t f = 0; f < fragments_.size(); ++f) {
-      size_t bytes = DiffBytes(before[f]) + DiffBytes(after[f]);
-      if (bytes > 0) cluster_->CountShipment(1, bytes);
-      auto add_stats = [](IncrementalStats& acc, const IncrementalStats& s) {
-        acc.affected_nodes += s.affected_nodes;
-        acc.anchor_plans += s.anchor_plans;
-        acc.anchors_scanned += s.anchors_scanned;
-        acc.matches_seen += s.matches_seen;
-        acc.literal_evals += s.literal_evals;
-        acc.violations_before += s.violations_before;
-        acc.violations_after += s.violations_after;
-      };
-      add_stats(merged_before.stats, before[f].stats);
-      add_stats(merged_after.stats, after[f].stats);
-    }
-    merged_before.added = take(before, /*added=*/true);
-    merged_before.removed = take(before, /*added=*/false);
-    merged_after.added = take(after, /*added=*/true);
-    merged_after.removed = take(after, /*added=*/false);
-  }
+  auto s = ShipSequenced(std::move(*plan), "", nullptr, error);
+  if (!s) return std::nullopt;
+  ++stats_.rebalances;
+  if (carried) count_.Set(carried->count, seq, carried->fingerprint);
 
-  stats_.last_seq = seq;
-  ++stats_.batches;
-  count_.Invalidate();
-  if (seq_out) *seq_out = seq;
-  return ComposeStepDiff(merged_before, merged_after);
+  // Mandatory lockstep compaction: the next batch's before-side
+  // enumeration runs on fragment BASES, which must reflect the new
+  // residency (including the halo around the migrated node).
+  if (!CompactAll(error)) return std::nullopt;
+  return seq;
 }
 
 bool Coordinator::ShouldCompact() const {
@@ -437,23 +778,49 @@ bool Coordinator::ShouldCompact() const {
 
 bool Coordinator::CompactAll(std::string* error) {
   if (!CheckNotDegraded(error)) return false;
-  std::vector<std::string> errors(fragments_.size());
-  std::vector<char> ok(fragments_.size(), 0);
-  cluster_->RunStep(
-      [&](size_t f) { ok[f] = fragments_[f].Compact(&errors[f]) ? 1 : 0; });
-  for (size_t f = 0; f < fragments_.size(); ++f) {
-    if (!ok[f]) {
-      // A half-done round splits the anchors, and base-relative diffs
-      // do not compose across different bases; refuse further batches
-      // until a reopen re-unifies them.
-      degraded_ = true;
-      if (errors[f].empty()) errors[f] = "compaction failed";
-      SetError(error, "fragment " + std::to_string(f) + ": " + errors[f]);
+  const uint64_t seq = stats_.last_seq;
+
+  // Global snapshot first (the gross-damage recovery source), fragment
+  // rolls second, journal re-anchor last: a crash between any two steps
+  // leaves a state Open() can still bridge.
+  {
+    PropertyGraph current = index_->view().Materialize();
+    std::ostringstream snap;
+    SaveGraphTsv(current, snap, /*with_vocab=*/true);
+    std::string werr;
+    if (!AtomicWriteFile(dir_ + "/" + GlobalSnapshotName(seq), snap.str(),
+                         &werr)) {
+      SetError(error, "global snapshot: " + werr);
       return false;
     }
   }
+  std::vector<std::string> errs(fragments_.size());
+  cluster_->RunStep([&](size_t f) {
+    std::string ferr;
+    if (!fragments_[f].Compact(&ferr)) {
+      errs[f] = "fragment " + std::to_string(f) + ": " + ferr;
+    }
+  });
+  for (const std::string& e : errs) {
+    if (!e.empty()) {
+      degraded_ = true;
+      SetError(error, e + "; coordinator degraded, reopen to recover");
+      return false;
+    }
+  }
+  index_->Compact();
+  std::string jerr;
+  if (!journal_->DropThrough(seq, &jerr)) {
+    SetError(error, "routing journal: " + jerr);
+    return false;
+  }
+  std::error_code ec;
+  for (uint64_t old : ListGlobalSnapshots(dir_)) {
+    if (old != seq) fs::remove(dir_ + "/" + GlobalSnapshotName(old), ec);
+  }
+  stats_.anchor_seq = seq;
   ++stats_.compactions;
-  return true;
+  return WriteMeta(error);
 }
 
 bool Coordinator::MaybeCompactAll(std::string* error) {
@@ -471,15 +838,28 @@ bool Coordinator::SetViolationCount(uint64_t count, uint64_t fingerprint,
   return WriteMeta(error);
 }
 
-bool Coordinator::WriteMeta(std::string* error) {
-  return AtomicWriteFile((fs::path(dir_) / kMetaFile).string(),
-                         MetaContent(fragments_.size(), node_owner_,
-                                     count_.Persisted(stats_.last_seq)),
-                         error);
+PropertyGraph Coordinator::MaterializeCurrent() const {
+  return index_->view().Materialize();
 }
 
-PropertyGraph Coordinator::MaterializeCurrent() const {
-  return fragments_[0].MaterializeCurrent();
+bool Coordinator::CheckNotDegraded(std::string* error) const {
+  if (!degraded_) return true;
+  SetError(error,
+           "coordinator degraded by a partial batch failure; reopen to "
+           "recover");
+  return false;
+}
+
+bool Coordinator::WriteMeta(std::string* error) {
+  std::string werr;
+  if (!AtomicWriteFile(dir_ + "/" + kMetaFile,
+                       MetaContent(index_->partition(), owners_seq_,
+                                   count_.Persisted(stats_.last_seq)),
+                       &werr)) {
+    SetError(error, "meta: " + werr);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace gfd

@@ -315,7 +315,16 @@ bool GraphStore::ShouldCompact() const {
 }
 
 bool GraphStore::Compact(std::string* error) {
-  if (overlay_.ops.empty()) return true;
+  // No-op only when there is truly nothing to fold AND the anchor is
+  // already current. Extras-only overlays must still fold (they change
+  // the post-compaction base vocabulary), and empty sub-batches must
+  // still roll the anchor -- coordinator lockstep compares anchors
+  // across fragments.
+  if (overlay_.ops.empty() && overlay_.extra_labels.empty() &&
+      overlay_.extra_attrs.empty() && overlay_.extra_values.empty() &&
+      stats_.anchor_seq == stats_.last_seq) {
+    return true;
+  }
   PropertyGraph next = view_->Materialize();
   uint64_t anchor = stats_.last_seq;
   std::string snapshot = SnapshotName(anchor);
@@ -355,6 +364,12 @@ bool GraphStore::MaybeCompact(std::string* error) {
 
 PropertyGraph GraphStore::MaterializeCurrent() const {
   return view_->Materialize();
+}
+
+std::optional<IncrementalDiff> GraphStore::AppendAndDiff(
+    const ViolationEngine& engine, std::string_view delta_tsv,
+    const IncrementalOptions& opts, uint64_t* seq_out, std::string* error) {
+  return gfd::AppendAndDiff(*this, engine, delta_tsv, opts, seq_out, error);
 }
 
 std::optional<IncrementalDiff> AppendAndDiff(GraphStore& store,

@@ -49,6 +49,7 @@
 #include "graph/property_graph.h"
 #include "serve/delta_log.h"
 #include "serve/durable_io.h"
+#include "serve/serving_store.h"
 
 namespace gfd {
 
@@ -72,7 +73,7 @@ struct GraphStoreStats {
   size_t compactions = 0;        ///< snapshot rolls this session
 };
 
-class GraphStore {
+class GraphStore final : public ServingStore {
  public:
   /// Creates a store directory holding `g` as snapshot-0 and an empty
   /// log. Fails if `dir` already holds a store.
@@ -98,7 +99,7 @@ class GraphStore {
   const GraphDelta& overlay() const { return overlay_; }
   const GraphStoreStats& stats() const { return stats_; }
   const std::string& dir() const { return dir_; }
-  uint64_t last_seq() const { return stats_.last_seq; }
+  uint64_t last_seq() const override { return stats_.last_seq; }
   /// The store's log (read access; the coordinator's catch-up path ships
   /// a lagging peer the records it is missing straight out of here).
   const DeltaLog& log() const { return *log_; }
@@ -111,7 +112,7 @@ class GraphStore {
   /// bounded by the compaction policy; an in-place incremental view
   /// apply (ROADMAP) would drop it to O(batch).
   std::optional<uint64_t> Append(std::string_view delta_tsv,
-                                 std::string* error = nullptr);
+                                 std::string* error = nullptr) override;
 
   /// Programmatic batch append: `batch` is expressed over the store's
   /// base graph (node ids and base vocabulary ids; extension vocabulary
@@ -136,25 +137,34 @@ class GraphStore {
   /// after an append that has not been followed by SetViolationCount, or
   /// across a restart whose replayed sequence disagrees with the persisted
   /// one, returns nullopt -- the caller re-seeds with a full scan.
-  std::optional<uint64_t> violation_count(uint64_t fingerprint) const;
+  std::optional<uint64_t> violation_count(
+      uint64_t fingerprint) const override;
 
   /// Persists `count` (under `fingerprint`) as the violation count at the
   /// current last_seq, via an atomic meta rewrite. Survives restarts and
   /// compactions.
   bool SetViolationCount(uint64_t count, uint64_t fingerprint,
-                         std::string* error = nullptr);
+                         std::string* error = nullptr) override;
 
   /// True when the overlay exceeds a configured compaction threshold.
-  bool ShouldCompact() const;
+  bool ShouldCompact() const override;
 
   /// Compact() regardless of thresholds; no-op on an empty overlay.
-  bool Compact(std::string* error = nullptr);
+  bool Compact(std::string* error = nullptr) override;
 
   /// Policy entry point: Compact() iff ShouldCompact().
-  bool MaybeCompact(std::string* error = nullptr);
+  bool MaybeCompact(std::string* error = nullptr) override;
 
   /// The current graph as a standalone PropertyGraph (ids preserved).
-  PropertyGraph MaterializeCurrent() const;
+  PropertyGraph MaterializeCurrent() const override;
+
+  /// ServingStore conformance: forwards to the free AppendAndDiff below
+  /// (one serving step -- append plus the step diff of exactly this
+  /// batch).
+  std::optional<IncrementalDiff> AppendAndDiff(
+      const ViolationEngine& engine, std::string_view delta_tsv,
+      const IncrementalOptions& opts = {}, uint64_t* seq_out = nullptr,
+      std::string* error = nullptr) override;
 
  private:
   GraphStore() = default;

@@ -1,0 +1,77 @@
+// The one serving interface both backends implement.
+//
+// A ServingStore is "a durable graph you can append update batches to,
+// ask for per-batch violation diffs, compact, and materialize":
+//
+//   GraphStore   (serve/graph_store.h)  -- single node: snapshot + log
+//   Coordinator  (serve/coordinator.h)  -- distributed: vertex-cut
+//                partitioned fragments behind the same verbs
+//
+// `gfdtool detect --log` / `gfdtool serve append` and the oracle tests
+// drive either backend through this interface, so the serving loop --
+// validate, append, diff, classify, maintain the running violation
+// count, compact -- exists exactly once; whether one store or N routed
+// fragments answer is a deployment choice, not a code path.
+#ifndef GFD_SERVE_SERVING_STORE_H_
+#define GFD_SERVE_SERVING_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "detect/engine.h"
+#include "graph/property_graph.h"
+
+namespace gfd {
+
+class ServingStore {
+ public:
+  virtual ~ServingStore() = default;
+
+  /// Appends one TSV delta batch (graph/loader.h delta format) to the
+  /// store: parse, validate, persist durably, apply. Returns the
+  /// assigned sequence number; nothing is persisted or applied on error.
+  virtual std::optional<uint64_t> Append(std::string_view delta_tsv,
+                                         std::string* error = nullptr) = 0;
+
+  /// One serving step: Append plus the violation diff induced by exactly
+  /// this batch relative to the pre-append state. On success `*seq_out`
+  /// (if non-null) is the assigned sequence number.
+  virtual std::optional<IncrementalDiff> AppendAndDiff(
+      const ViolationEngine& engine, std::string_view delta_tsv,
+      const IncrementalOptions& opts = {}, uint64_t* seq_out = nullptr,
+      std::string* error = nullptr) = 0;
+
+  /// Last applied batch sequence number (0 = none yet).
+  virtual uint64_t last_seq() const = 0;
+
+  /// Running violation count as of last_seq() under the rule-set
+  /// fingerprint, or nullopt when stale (see GraphStore::violation_count
+  /// for the validity rule).
+  virtual std::optional<uint64_t> violation_count(
+      uint64_t fingerprint) const = 0;
+
+  /// Persists `count` (under `fingerprint`) as the violation count at
+  /// the current last_seq.
+  virtual bool SetViolationCount(uint64_t count, uint64_t fingerprint,
+                                 std::string* error = nullptr) = 0;
+
+  /// True when the overlay state exceeds the compaction threshold.
+  virtual bool ShouldCompact() const = 0;
+
+  /// Compacts regardless of thresholds; no-op when nothing to fold.
+  virtual bool Compact(std::string* error = nullptr) = 0;
+
+  /// Policy entry point: Compact() iff ShouldCompact().
+  virtual bool MaybeCompact(std::string* error = nullptr) = 0;
+
+  /// The current graph as a standalone PropertyGraph. Node and
+  /// vocabulary ids are preserved across both backends, so results
+  /// computed over the materialization compare equal across them.
+  virtual PropertyGraph MaterializeCurrent() const = 0;
+};
+
+}  // namespace gfd
+
+#endif  // GFD_SERVE_SERVING_STORE_H_

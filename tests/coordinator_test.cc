@@ -1,17 +1,24 @@
-// Distributed incremental detection: the Coordinator's merged
-// per-fragment diffs must be byte-identical to single-node
-// DetectIncremental / AppendAndDiff on the unfragmented store -- on
-// fixtures, property-style across random seeds x graph scales x fragment
-// counts {1,2,4,8} x batch streams (repeated and delete-heavy batches
-// included), and across crash-recovery boundaries (torn fragment logs,
-// missed lockstep compactions).
+// Distributed incremental detection over true vertex-cut partitioned
+// storage: the Coordinator's merged per-fragment diffs must be
+// byte-identical to single-node DetectIncremental / AppendAndDiff on the
+// unfragmented store -- on fixtures, property-style across random seeds
+// x graph scales x fragment counts {1,2,4,8} x batch streams (repeated,
+// delete-heavy, and mid-stream rebalanced batches included), and across
+// crash-recovery boundaries (torn fragment logs, lost fragment
+// directories, missed lockstep compactions, torn rebalances). Both
+// backends are driven through the ServingStore interface. On top of the
+// oracle, every fragment must equal the resident subgraph of the global
+// state (edges exact, resident-node attributes fresh) and the summed
+// footprint must be ~replication x |G|, not N x |G|.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "datagen/gfd_gen.h"
@@ -19,9 +26,11 @@
 #include "detect/engine.h"
 #include "graph/graph_view.h"
 #include "graph/loader.h"
+#include "graph/subgraph.h"
 #include "parallel/fragment.h"
 #include "serve/coordinator.h"
 #include "serve/graph_store.h"
+#include "serve/serving_store.h"
 #include "util/rng.h"
 
 namespace gfd {
@@ -86,6 +95,43 @@ GraphDelta RandomBatch(const PropertyGraph& g, Rng& rng, size_t ops,
   return d;
 }
 
+// Edge multiset by (src, dst, label) -- node and label ids are preserved
+// across fragments and the master, so keys compare directly.
+std::multiset<std::tuple<NodeId, NodeId, LabelId>> EdgeKeys(
+    const PropertyGraph& g) {
+  std::multiset<std::tuple<NodeId, NodeId, LabelId>> keys;
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    keys.insert({g.EdgeSrc(e), g.EdgeDst(e), g.EdgeLabel(e)});
+  }
+  return keys;
+}
+
+std::vector<Attribute> Attrs(const PropertyGraph& g, NodeId v) {
+  auto s = g.NodeAttrs(v);
+  return {s.begin(), s.end()};
+}
+
+// The storage invariant of vertex-cut sharding: every fragment's current
+// graph is exactly the resident subgraph of the global state (edge
+// multisets equal), and attributes of resident nodes are fresh.
+// Attributes of NON-resident nodes may be stale by design (they are
+// refreshed when the node re-enters the halo), so they are not compared.
+void ExpectFragmentsMatchResidentSubgraphs(const Coordinator& coord) {
+  PropertyGraph current = coord.MaterializeCurrent();
+  const FragmentResidency& res = coord.residency();
+  for (size_t f = 0; f < coord.num_fragments(); ++f) {
+    PropertyGraph frag = coord.fragment(f).MaterializeCurrent();
+    PropertyGraph want = ExtractSubgraph(current, res[f]);
+    EXPECT_EQ(EdgeKeys(frag), EdgeKeys(want)) << "fragment " << f;
+    ASSERT_EQ(frag.NumNodes(), current.NumNodes()) << "fragment " << f;
+    for (NodeId v = 0; v < current.NumNodes(); ++v) {
+      if (!res[f][v]) continue;
+      EXPECT_EQ(Attrs(frag, v), Attrs(current, v))
+          << "fragment " << f << " node " << v;
+    }
+  }
+}
+
 // --- Fragment-scoped incremental entry point -------------------------------
 
 TEST(DetectIncrementalOwned, FragmentsPartitionTheFullDiff) {
@@ -109,7 +155,8 @@ TEST(DetectIncrementalOwned, FragmentsPartitionTheFullDiff) {
     std::vector<Violation> added, removed;
     size_t owned_total = 0;
     for (uint32_t f = 0; f < n; ++f) {
-      auto part = engine.DetectIncrementalOwned(view, frag.node_owner, f);
+      auto part =
+          engine.DetectIncrementalOwned(view, frag.partition.node_owner, f);
       owned_total += part.stats.affected_nodes;
       // Disjoint by attribution: plain merges reproduce the full diff.
       std::vector<Violation> merged;
@@ -129,41 +176,54 @@ TEST(DetectIncrementalOwned, FragmentsPartitionTheFullDiff) {
   }
 }
 
-TEST(RouteDelta, RoutesOpsToOwnersAndNamesAffectedFragments) {
+TEST(RouteDelta, ShipsOpsToFragmentsWhoseResidentSetCoversThem) {
   auto g = MakeSynthetic({.nodes = 50, .edges = 150, .seed = 5});
   Fragmentation frag = VertexCutPartition(g, 4);
+  frag.partition.halo_radius = 1;
+  auto resident = ComputeResidency(g, frag.partition);
   GraphDelta d;
   EdgeId e = 0;
   d.InsertEdge(g.EdgeSrc(e), g.EdgeDst(e), g.EdgeLabel(e));
   d.SetAttr(g.EdgeSrc(e), 0, 0);
-  auto route = RouteDelta(d, frag.node_owner, frag.num_fragments);
-  uint32_t src_owner = frag.node_owner[g.EdgeSrc(e)];
-  uint32_t dst_owner = frag.node_owner[g.EdgeDst(e)];
-  EXPECT_GE(route.ops_per_fragment[src_owner], 2u);  // edge + attr op
+  auto route = RouteDelta(d, resident);
+  uint32_t src_owner = frag.partition.node_owner[g.EdgeSrc(e)];
+  uint32_t dst_owner = frag.partition.node_owner[g.EdgeDst(e)];
+  // Radius >= 1 makes both endpoints of an existing edge resident at
+  // both endpoint owners, so the edge op reaches at least those two; the
+  // src owner additionally receives the attribute op.
+  EXPECT_GE(route.fragment_ops[src_owner].size(), 2u);
   EXPECT_TRUE(std::binary_search(route.affected_fragments.begin(),
                                  route.affected_fragments.end(), src_owner));
   EXPECT_TRUE(std::binary_search(route.affected_fragments.begin(),
                                  route.affected_fragments.end(), dst_owner));
-  size_t routed = 0;
-  for (size_t c : route.ops_per_fragment) routed += c;
-  // Each op counts once per owner fragment of its touched nodes.
-  EXPECT_GE(routed, d.ops.size());
-  EXPECT_LE(routed, 2 * d.ops.size());
+  // Every shipped op's referenced nodes are resident at the receiver --
+  // the storage-completeness contract of residency-based routing.
+  for (size_t f = 0; f < resident.size(); ++f) {
+    for (size_t i : route.fragment_ops[f]) {
+      const GraphDelta::Op& op = d.ops[i];
+      EXPECT_TRUE(resident[f][op.src]) << "fragment " << f << " op " << i;
+      if (op.kind != GraphDelta::OpKind::kSetAttr) {
+        EXPECT_TRUE(resident[f][op.dst]) << "fragment " << f << " op " << i;
+      }
+    }
+  }
 }
 
 // --- Coordinator basics ----------------------------------------------------
 
-TEST(Coordinator, InitRejectsZeroFragmentsAndDoubleInit) {
+TEST(Coordinator, InitRejectsBadParamsAndDoubleInit) {
   auto g = MakeSynthetic({.nodes = 20, .edges = 40, .seed = 1});
   std::string dir = Scratch("coord_init");
   std::string error;
-  EXPECT_FALSE(Coordinator::Init(dir, g, 0, &error));
-  ASSERT_TRUE(Coordinator::Init(dir, g, 2, &error)) << error;
-  EXPECT_FALSE(Coordinator::Init(dir, g, 2, &error));
+  EXPECT_FALSE(Coordinator::Init(dir, g, 0, 3, &error));
+  EXPECT_FALSE(Coordinator::Init(dir, g, 2, 0, &error));
+  EXPECT_NE(error.find("halo radius"), std::string::npos);
+  ASSERT_TRUE(Coordinator::Init(dir, g, 2, 3, &error)) << error;
+  EXPECT_FALSE(Coordinator::Init(dir, g, 2, 3, &error));
   EXPECT_NE(error.find("already holds"), std::string::npos);
 }
 
-TEST(Coordinator, AppendKeepsReplicasInLockstep) {
+TEST(Coordinator, AppendKeepsFragmentsInLockstepAndResident) {
   auto g = MakeSynthetic({.nodes = 60, .edges = 180, .seed = 2});
   std::string dir = Scratch("coord_lockstep");
   ASSERT_TRUE(Coordinator::Init(dir, g, 3));
@@ -171,19 +231,17 @@ TEST(Coordinator, AppendKeepsReplicasInLockstep) {
   ASSERT_TRUE(coord.has_value());
   Rng rng(7);
   for (int b = 0; b < 3; ++b) {
-    GraphDelta d = RandomBatch(coord->fragment(0).base(), rng, 10);
+    PropertyGraph current = coord->MaterializeCurrent();
+    GraphDelta d = RandomBatch(current, rng, 10);
     std::string error;
-    auto seq =
-        coord->Append(DeltaBytes(coord->fragment(0).base(), d), &error);
+    auto seq = coord->Append(DeltaBytes(current, d), &error);
     ASSERT_TRUE(seq.has_value()) << error;
     EXPECT_EQ(*seq, static_cast<uint64_t>(b + 1));
   }
-  std::string expect = GraphBytes(coord->fragment(0).MaterializeCurrent());
   for (size_t f = 0; f < coord->num_fragments(); ++f) {
-    EXPECT_EQ(coord->fragment(f).last_seq(), 3u);
-    EXPECT_EQ(GraphBytes(coord->fragment(f).MaterializeCurrent()), expect)
-        << "fragment " << f << " diverged";
+    EXPECT_EQ(coord->fragment(f).last_seq(), 3u) << "fragment " << f;
   }
+  ExpectFragmentsMatchResidentSubgraphs(*coord);
   // An invalid batch is rejected before any log sees it.
   std::string error;
   EXPECT_FALSE(coord->Append("E-\tno_such_node\talso_missing\tx\n", &error));
@@ -193,13 +251,39 @@ TEST(Coordinator, AppendKeepsReplicasInLockstep) {
   }
 }
 
+TEST(Coordinator, PartitionedFootprintIsReplicationTimesGNotNTimesG) {
+  // Sparse graph + tight halo: the regime partitioned storage exists
+  // for. Whole-graph replication would store fragments x |E| edges.
+  auto g = MakeSynthetic({.nodes = 600, .edges = 900, .seed = 11});
+  const size_t fragments = 8;
+  std::string dir = Scratch("coord_footprint");
+  ASSERT_TRUE(Coordinator::Init(dir, g, fragments, /*halo_radius=*/1));
+  auto coord = Coordinator::Open(dir);
+  ASSERT_TRUE(coord.has_value());
+  uint64_t sum = 0;
+  for (size_t f = 0; f < fragments; ++f) {
+    uint64_t resident = coord->resident_edges(f);
+    // The footprint counter equals what the fragment store actually holds.
+    EXPECT_EQ(resident, coord->fragment(f).MaterializeCurrent().NumEdges())
+        << "fragment " << f;
+    sum += resident;
+  }
+  // Every edge is stored at least once (storage completeness)...
+  EXPECT_GE(sum, g.NumEdges());
+  // ...and the total is a small replication multiple of |G|, far below
+  // the N x |G| of whole-graph replication.
+  EXPECT_LT(sum, fragments * g.NumEdges() / 2);
+}
+
 // --- The oracle property suite ---------------------------------------------
 //
-// Coordinator::AppendAndDiff over fragmented stores must equal
-// single-node AppendAndDiff over one unfragmented store, batch for batch,
-// byte for byte -- across seeds, graph scales, fragment counts {1,2,4,8},
-// and stream shapes (a repeated batch and a delete-heavy batch ride in
-// every stream).
+// Coordinator::AppendAndDiff over vertex-cut partitioned fragments must
+// equal single-node AppendAndDiff over one unfragmented store, batch for
+// batch, byte for byte -- across seeds, graph scales, fragment counts
+// {1,2,4,8}, and stream shapes (a repeated batch, a delete-heavy batch,
+// and -- for multi-fragment runs -- a mid-stream ownership rebalance ride
+// in every stream). Both backends are driven through the ServingStore
+// interface, the way gfdtool drives them.
 class CoordinatorOracle : public ::testing::TestWithParam<int> {};
 
 TEST_P(CoordinatorOracle, MergedDiffEqualsSingleNodeIncremental) {
@@ -227,6 +311,8 @@ TEST_P(CoordinatorOracle, MergedDiffEqualsSingleNodeIncremental) {
   auto single = GraphStore::Open(single_dir);
   ASSERT_TRUE(coord.has_value());
   ASSERT_TRUE(single.has_value());
+  ServingStore& dist = *coord;
+  ServingStore& ref = *single;
 
   // 4 batches: random, repeated (delete-free, so it re-validates),
   // delete-heavy, random -- in one sequenced stream.
@@ -250,22 +336,42 @@ TEST_P(CoordinatorOracle, MergedDiffEqualsSingleNodeIncremental) {
   for (size_t b = 0; b < payloads.size(); ++b) {
     std::string cerror, serror;
     uint64_t cseq = 0, sseq = 0;
-    auto merged = coord->AppendAndDiff(engine, payloads[b], &cseq, &cerror);
-    auto ref = AppendAndDiff(*single, engine, payloads[b], {}, &sseq, &serror);
+    auto merged = dist.AppendAndDiff(engine, payloads[b], {}, &cseq, &cerror);
+    auto refd = ref.AppendAndDiff(engine, payloads[b], {}, &sseq, &serror);
     ASSERT_TRUE(merged.has_value())
         << "seed " << seed << " batch " << b << ": " << cerror;
-    ASSERT_TRUE(ref.has_value())
+    ASSERT_TRUE(refd.has_value())
         << "seed " << seed << " batch " << b << ": " << serror;
     EXPECT_EQ(cseq, sseq);
-    EXPECT_EQ(merged->added, ref->added)
+    EXPECT_EQ(merged->added, refd->added)
         << "seed " << seed << " batch " << b << " (" << fragments
         << " fragments)";
-    EXPECT_EQ(merged->removed, ref->removed)
+    EXPECT_EQ(merged->removed, refd->removed)
         << "seed " << seed << " batch " << b << " (" << fragments
         << " fragments)";
+
+    // Mid-stream rebalance: move ownership of one node to the last
+    // fragment. The graph is unchanged, so the reference consumes the
+    // same sequence number with an empty batch, and both sides compact
+    // (Rebalance forces lockstep compaction) to stay at the same anchor.
+    if (b == 1 && fragments > 1) {
+      std::span<const uint32_t> owner = coord->node_owner();
+      uint32_t target = static_cast<uint32_t>(fragments - 1);
+      NodeId node = 0;
+      while (node < owner.size() && owner[node] == target) ++node;
+      ASSERT_LT(node, owner.size());
+      std::string rerror;
+      auto rseq = coord->Rebalance(node, target, &rerror);
+      ASSERT_TRUE(rseq.has_value()) << "seed " << seed << ": " << rerror;
+      EXPECT_EQ(coord->node_owner()[node], target);
+      ASSERT_TRUE(ref.Append("").has_value());
+      ASSERT_TRUE(ref.Compact());
+      ExpectFragmentsMatchResidentSubgraphs(*coord);
+    }
   }
   EXPECT_EQ(GraphBytes(coord->MaterializeCurrent()),
             GraphBytes(single->MaterializeCurrent()));
+  ExpectFragmentsMatchResidentSubgraphs(*coord);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CoordinatorOracle, ::testing::Range(0, 25));
@@ -284,9 +390,9 @@ TEST(Coordinator, RestartReplaysEveryFragmentToTheSameGlobalState) {
     auto coord = Coordinator::Open(dir);
     ASSERT_TRUE(coord.has_value());
     for (int b = 0; b < 3; ++b) {
-      GraphDelta d = RandomBatch(coord->fragment(0).base(), rng, 12);
-      auto diff = coord->AppendAndDiff(
-          engine, DeltaBytes(coord->fragment(0).base(), d));
+      PropertyGraph current = coord->MaterializeCurrent();
+      GraphDelta d = RandomBatch(current, rng, 12);
+      auto diff = coord->AppendAndDiff(engine, DeltaBytes(current, d));
       ASSERT_TRUE(diff.has_value());
     }
     expect = GraphBytes(coord->MaterializeCurrent());
@@ -296,11 +402,13 @@ TEST(Coordinator, RestartReplaysEveryFragmentToTheSameGlobalState) {
   EXPECT_EQ(reopened->last_seq(), 3u);
   EXPECT_EQ(reopened->stats().lagging_fragments, 0u);
   EXPECT_EQ(GraphBytes(reopened->MaterializeCurrent()), expect);
+  ExpectFragmentsMatchResidentSubgraphs(*reopened);
 }
 
 // Kill one fragment mid-append (truncate its local log tail), reopen:
-// the fragment must replay to the coordinator's sequence anchor, and the
-// next batch must produce the same merged diff as an uninterrupted run.
+// the fragment must be re-shipped its routed sub-batches from the
+// routing journal, and the next batch must produce the same merged diff
+// as an uninterrupted run.
 TEST(Coordinator, TornFragmentLogCatchesUpAndNextDiffMatchesUninterrupted) {
   auto g = MakeSynthetic({.nodes = 100,
                           .edges = 300,
@@ -354,10 +462,11 @@ TEST(Coordinator, TornFragmentLogCatchesUpAndNextDiffMatchesUninterrupted) {
   for (size_t f = 0; f < reopened->num_fragments(); ++f) {
     EXPECT_EQ(reopened->fragment(f).last_seq(), 2u) << "fragment " << f;
   }
+  ExpectFragmentsMatchResidentSubgraphs(*reopened);
 
   // The next batch: merged diff == uninterrupted single-node diff.
   uint64_t seq = 0;
-  auto merged = reopened->AppendAndDiff(engine, payloads[2], &seq);
+  auto merged = reopened->AppendAndDiff(engine, payloads[2], {}, &seq);
   auto ref = AppendAndDiff(*single, engine, payloads[2]);
   ASSERT_TRUE(merged.has_value());
   ASSERT_TRUE(ref.has_value());
@@ -429,9 +538,10 @@ TEST(Coordinator, UnilateralFragmentCompactionIsReunifiedOnOpen) {
   EXPECT_EQ(merged->removed, ref->removed);
 }
 
-// When every up-to-date peer has compacted past a lagging fragment's gap,
-// catch-up falls back to a snapshot transfer at the global sequence.
-TEST(Coordinator, SnapshotTransferWhenPeersCompactedPastTheGap) {
+// A fragment that loses its entire directory is rebuilt from the global
+// state as a partition-scoped snapshot transfer: it receives exactly its
+// resident subgraph at the global sequence, not the whole graph.
+TEST(Coordinator, LostFragmentDirectoryIsRebuiltFromItsResidentSubgraph) {
   auto g = MakeSynthetic({.nodes = 70, .edges = 200, .seed = 8});
   std::string dir = Scratch("coord_snapxfer");
   ASSERT_TRUE(Coordinator::Init(dir, g, 2));
@@ -441,17 +551,15 @@ TEST(Coordinator, SnapshotTransferWhenPeersCompactedPastTheGap) {
     auto coord = Coordinator::Open(dir);
     ASSERT_TRUE(coord.has_value());
     for (int b = 0; b < 2; ++b) {
-      GraphDelta d = RandomBatch(coord->fragment(0).base(), rng, 8);
-      auto seq = coord->Append(DeltaBytes(coord->fragment(0).base(), d));
+      PropertyGraph current = coord->MaterializeCurrent();
+      GraphDelta d = RandomBatch(current, rng, 8);
+      auto seq = coord->Append(DeltaBytes(current, d));
       ASSERT_TRUE(seq.has_value());
     }
     expect = GraphBytes(coord->MaterializeCurrent());
   }
-  // Fragment 1 loses its whole log (both records)...
-  {
-    std::string frag_log = dir + "/frag-1/deltas.log";
-    std::ofstream truncate(frag_log, std::ios::trunc);
-  }
+  // Fragment 1's whole directory is lost (disk gone)...
+  fs::remove_all(dir + "/frag-1");
   // ...while fragment 0 compacts, dropping the records from its log too.
   {
     auto frag = GraphStore::Open(dir + "/frag-0");
@@ -464,7 +572,94 @@ TEST(Coordinator, SnapshotTransferWhenPeersCompactedPastTheGap) {
   EXPECT_EQ(reopened->last_seq(), 2u);
   EXPECT_EQ(reopened->fragment(1).last_seq(), 2u);
   EXPECT_EQ(GraphBytes(reopened->MaterializeCurrent()), expect);
-  EXPECT_EQ(GraphBytes(reopened->fragment(1).MaterializeCurrent()), expect);
+  ExpectFragmentsMatchResidentSubgraphs(*reopened);
+}
+
+// A rebalance that crashed right after persisting its intent (meta
+// carries owners_seq beyond every fragment anchor) must trigger a full
+// partition-scoped resync on open, after which serving continues and
+// diffs still match the single-node reference.
+TEST(Coordinator, TornRebalanceIsRepairedByFullResyncOnOpen) {
+  auto g = MakeSynthetic({.nodes = 80,
+                          .edges = 240,
+                          .value_correlation = 0.9,
+                          .seed = 12});
+  auto rules = GenerateGfdSet(g, {.count = 8, .k = 3, .seed = 27});
+  ViolationEngine engine(rules);
+  std::string dir = Scratch("coord_torn_rebalance");
+  std::string ref_dir = Scratch("coord_torn_rebalance_ref");
+  ASSERT_TRUE(Coordinator::Init(dir, g, 2));
+  ASSERT_TRUE(GraphStore::Init(ref_dir, g));
+  auto single = GraphStore::Open(ref_dir);
+  ASSERT_TRUE(single.has_value());
+
+  Rng rng(53);
+  std::vector<std::string> payloads;
+  {
+    PropertyGraph current = g;
+    for (int b = 0; b < 3; ++b) {
+      GraphDelta d = RandomBatch(current, rng, 10);
+      payloads.push_back(DeltaBytes(current, d));
+      current = GraphView::Apply(current, d)->Materialize();
+    }
+  }
+  {
+    auto coord = Coordinator::Open(dir);
+    ASSERT_TRUE(coord.has_value());
+    for (int b = 0; b < 2; ++b) {
+      ASSERT_TRUE(coord->AppendAndDiff(engine, payloads[b]).has_value());
+      ASSERT_TRUE(AppendAndDiff(*single, engine, payloads[b]).has_value());
+    }
+  }
+  // Simulate the crash window: bump owners_seq in the meta past every
+  // fragment anchor, exactly what Rebalance persists before shipping.
+  {
+    std::ifstream in(dir + "/coordinator.meta");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string meta = buf.str();
+    size_t pos = meta.find("owners_seq 0");
+    ASSERT_NE(pos, std::string::npos);
+    meta.replace(pos, 12, "owners_seq 2");
+    std::ofstream out(dir + "/coordinator.meta", std::ios::trunc);
+    out << meta;
+  }
+
+  auto reopened = Coordinator::Open(dir);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->stats().catchup_snapshots, reopened->num_fragments());
+  EXPECT_EQ(reopened->last_seq(), 2u);
+  ExpectFragmentsMatchResidentSubgraphs(*reopened);
+
+  auto merged = reopened->AppendAndDiff(engine, payloads[2]);
+  auto ref = AppendAndDiff(*single, engine, payloads[2]);
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(merged->added, ref->added);
+  EXPECT_EQ(merged->removed, ref->removed);
+}
+
+// --- Halo-radius guard -----------------------------------------------------
+
+TEST(Coordinator, RejectsRulesWiderThanTheHaloRadius) {
+  auto g = MakeSynthetic({.nodes = 60,
+                          .edges = 180,
+                          .value_correlation = 0.9,
+                          .seed = 14});
+  auto rules = GenerateGfdSet(g, {.count = 10, .k = 4, .seed = 33});
+  ViolationEngine engine(rules);
+  if (engine.MaxPatternRadius() <= 1) {
+    GTEST_SKIP() << "generated patterns too narrow to exercise the guard";
+  }
+  std::string dir = Scratch("coord_radius_guard");
+  ASSERT_TRUE(Coordinator::Init(dir, g, 2, /*halo_radius=*/1));
+  auto coord = Coordinator::Open(dir);
+  ASSERT_TRUE(coord.has_value());
+  std::string error;
+  EXPECT_FALSE(coord->AppendAndDiff(engine, "", {}, nullptr, &error));
+  EXPECT_NE(error.find("halo radius"), std::string::npos);
+  // Plain appends (no detection) are still fine at any radius >= 1.
+  EXPECT_TRUE(coord->Append("").has_value());
 }
 
 // --- Running violation count on the coordinator ----------------------------
@@ -484,15 +679,15 @@ TEST(Coordinator, ViolationCountPersistsAndInvalidates) {
   ASSERT_TRUE(coord.has_value());
   EXPECT_FALSE(coord->violation_count(fp).has_value());
 
-  uint64_t count = engine.Detect(coord->fragment(0).view()).violations.size();
+  uint64_t count = engine.Detect(coord->MaterializeCurrent()).violations.size();
   ASSERT_TRUE(coord->SetViolationCount(count, fp));
   EXPECT_EQ(coord->violation_count(fp), count);
   EXPECT_FALSE(coord->violation_count(fp + 1).has_value());  // wrong rules
 
   Rng rng(43);
-  GraphDelta d = RandomBatch(coord->fragment(0).base(), rng, 10);
-  auto diff = coord->AppendAndDiff(
-      engine, DeltaBytes(coord->fragment(0).base(), d));
+  PropertyGraph current = coord->MaterializeCurrent();
+  GraphDelta d = RandomBatch(current, rng, 10);
+  auto diff = coord->AppendAndDiff(engine, DeltaBytes(current, d));
   ASSERT_TRUE(diff.has_value());
   EXPECT_FALSE(coord->violation_count(fp).has_value());  // outdated
   count = count + diff->added.size() - diff->removed.size();
@@ -502,7 +697,7 @@ TEST(Coordinator, ViolationCountPersistsAndInvalidates) {
   ASSERT_TRUE(reopened.has_value());
   EXPECT_EQ(reopened->violation_count(fp), count);
   EXPECT_EQ(
-      engine.Detect(reopened->fragment(0).view()).violations.size(), count);
+      engine.Detect(reopened->MaterializeCurrent()).violations.size(), count);
 }
 
 }  // namespace

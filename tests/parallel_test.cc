@@ -59,11 +59,11 @@ TEST(Fragmentation, ReplicationBounded) {
   KbConfig cfg{.scale = 150, .seed = 3};
   auto g = MakeYago2Like(cfg);
   auto frag = VertexCutPartition(g, 8);
-  EXPECT_GE(frag.replication, 1.0);
-  EXPECT_LE(frag.replication, 8.0);
+  EXPECT_GE(frag.partition.replication, 1.0);
+  EXPECT_LE(frag.partition.replication, 8.0);
   // The greedy endpoint-affine placement should do much better than
   // random (which would approach min(degree, n)).
-  EXPECT_LT(frag.replication, 4.0);
+  EXPECT_LT(frag.partition.replication, 4.0);
 }
 
 TEST(Fragmentation, NodeOwnersValid) {
@@ -71,7 +71,7 @@ TEST(Fragmentation, NodeOwnersValid) {
   auto g = MakeYago2Like(cfg);
   auto frag = VertexCutPartition(g, 4);
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
-    EXPECT_LT(frag.node_owner[v], 4u);
+    EXPECT_LT(frag.partition.node_owner[v], 4u);
   }
 }
 
@@ -80,7 +80,7 @@ TEST(Fragmentation, SingleFragmentDegenerate) {
   auto g = MakeYago2Like(cfg);
   auto frag = VertexCutPartition(g, 1);
   EXPECT_EQ(frag.fragment_edges[0].size(), g.NumEdges());
-  EXPECT_DOUBLE_EQ(frag.replication, 1.0);
+  EXPECT_DOUBLE_EQ(frag.partition.replication, 1.0);
 }
 
 // --- ParDis == SeqDis --------------------------------------------------------

@@ -4,11 +4,20 @@
 Compares every BENCH_*.json under --current against the file of the same
 name under --baseline (the artifact downloaded from the latest successful
 main run) and fails when any timed metric slowed down by more than
---threshold. Metrics are the per-bench "seconds" fields; counter fields
-(violations, matches, ...) are informational and never gate.
+--threshold. Metrics are the per-bench "seconds" fields; most counter
+fields (violations, matches, ...) are informational and never gate.
+
+The exception is the distributed footprint/traffic counters
+(resident_edges_*, replication_measured, *_bytes_per_batch): those are
+deterministic, so growth beyond the threshold gates exactly like a
+slowdown -- a replication-factor or shipped-bytes blowup is a storage
+regression even when wall-clock stays flat. A counter present in this
+run but absent from the baseline reports "new, no baseline" and passes
+(warn-only bootstrap, same as a brand-new bench).
 
 Rows faster than --min-seconds in the baseline are skipped: at
 sub-10-millisecond scale, CI-runner jitter swamps any real signal.
+Gated counters have no such floor.
 
 Exit codes: 0 ok / baseline missing (warn-only bootstrap), 1 regression,
 2 usage or malformed input.
@@ -21,8 +30,22 @@ import sys
 from pathlib import Path
 
 
+# Deterministic counters that gate on growth like a slowdown would.
+GATED_COUNTERS = (
+    "resident_edges_total",
+    "resident_edges_max",
+    "replication_measured",
+    "shipped_bytes_per_batch",
+    "owned_bytes_per_batch",
+    "halo_bytes_per_batch",
+)
+
+
 def load_benches(path):
-    """Returns {bench name: seconds} for one BENCH_*.json file."""
+    """Returns {bench name: {metric: value}} for one BENCH_*.json file.
+
+    Every bench maps its "seconds" plus any gated counters it carries.
+    """
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     out = {}
@@ -31,7 +54,11 @@ def load_benches(path):
         seconds = row.get("seconds")
         if name is None or not isinstance(seconds, (int, float)):
             continue
-        out[name] = float(seconds)
+        metrics = {"seconds": float(seconds)}
+        for key in GATED_COUNTERS:
+            if isinstance(row.get(key), (int, float)):
+                metrics[key] = float(row[key])
+        out[name] = metrics
     return out
 
 
@@ -68,29 +95,44 @@ def main():
         except (json.JSONDecodeError, OSError) as e:
             print(f"error: {e}", file=sys.stderr)
             return 2
-        for name, base_s in sorted(base.items()):
+        for name, base_metrics in sorted(base.items()):
             if name not in cur:
-                lines.append((cur_path.name, name, f"{base_s:.3f}", "-",
-                              "dropped"))
+                lines.append((cur_path.name, name,
+                              f"{base_metrics['seconds']:.3f}", "-", "dropped"))
                 continue
-            cur_s = cur[name]
-            if base_s < args.min_seconds:
-                continue  # sub-jitter rows never gate
-            ratio = (cur_s - base_s) / base_s
-            status = "ok"
-            if ratio > args.threshold:
-                status = "REGRESSION"
-                regressions.append((cur_path.name, name, base_s, cur_s, ratio))
-            elif ratio < -args.threshold:
-                status = "improved"
-            lines.append((cur_path.name, name, f"{base_s:.3f}",
-                          f"{cur_s:.3f}", f"{ratio:+.1%} {status}"))
+            cur_metrics = cur[name]
+            for key, base_v in sorted(base_metrics.items()):
+                label = name if key == "seconds" else f"{name}.{key}"
+                if key not in cur_metrics:
+                    lines.append((cur_path.name, label, f"{base_v:.3f}", "-",
+                                  "dropped"))
+                    continue
+                cur_v = cur_metrics[key]
+                if key == "seconds" and base_v < args.min_seconds:
+                    continue  # sub-jitter rows never gate
+                if base_v <= 0:
+                    continue  # zero baselines have no meaningful ratio
+                ratio = (cur_v - base_v) / base_v
+                status = "ok"
+                if ratio > args.threshold:
+                    status = "REGRESSION"
+                    regressions.append((cur_path.name, label, base_v, cur_v,
+                                        ratio))
+                elif ratio < -args.threshold:
+                    status = "improved"
+                lines.append((cur_path.name, label, f"{base_v:.3f}",
+                              f"{cur_v:.3f}", f"{ratio:+.1%} {status}"))
+            for key, cur_v in sorted(cur_metrics.items()):
+                if key not in base_metrics:
+                    lines.append((cur_path.name, f"{name}.{key}", "-",
+                                  f"{cur_v:.3f}", "new, no baseline"))
         # Benches present in this run but absent from the baseline (a new
         # bench file, or new keys in an existing one) cannot gate yet, but
         # must be visible -- they are next run's baseline.
-        for name, cur_s in sorted(cur.items()):
+        for name, cur_metrics in sorted(cur.items()):
             if name not in base:
-                lines.append((cur_path.name, name, "-", f"{cur_s:.3f}",
+                lines.append((cur_path.name, name, "-",
+                              f"{cur_metrics['seconds']:.3f}",
                               "new, no baseline"))
 
     header = ("file", "bench", "base(s)", "cur(s)", "delta")
@@ -112,8 +154,8 @@ def main():
     if regressions:
         print(f"\n{len(regressions)} metric(s) slowed down more than "
               f"{args.threshold:.0%}:", file=sys.stderr)
-        for file, name, base_s, cur_s, ratio in regressions:
-            print(f"  {file}:{name}: {base_s:.3f}s -> {cur_s:.3f}s "
+        for file, name, base_v, cur_v, ratio in regressions:
+            print(f"  {file}:{name}: {base_v:.3f} -> {cur_v:.3f} "
                   f"({ratio:+.1%})", file=sys.stderr)
         return 1
     print("\nperf gate: ok")

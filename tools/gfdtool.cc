@@ -32,22 +32,28 @@
 //       optionally dump the materialized current graph.
 //   gfdtool log compact <dir>
 //       Roll the snapshot forward over the overlay and re-anchor the log.
-//   gfdtool serve init <dir> <graph.tsv> --fragments N
-//       Create a distributed serving directory: N fragment replicas (one
-//       GraphStore with a private delta log each) under a coordinator
-//       with persisted vertex-cut node ownership.
+//   gfdtool serve init <dir> <graph.tsv> --fragments N [--radius R]
+//       Create a distributed serving directory: N vertex-cut partitioned
+//       fragments (each a GraphStore holding only its owned edge
+//       partition plus a radius-R border halo, with a private delta log)
+//       under a coordinator with persisted node ownership.
 //   gfdtool serve append <dir> <rules.gfd> <delta.tsv> [-w W]
 //           [--compact-ops N]
 //       The distributed serving step: the coordinator assigns the batch
-//       the next global sequence number, ships it to every fragment
-//       (applied strictly in sequence order onto each private log), runs
-//       fragment-scoped incremental detection on the affected fragments,
-//       and merges the per-fragment diffs -- printed as +/- records with
-//       the same 0/3/4 verdict exit codes as detect --delta, read off
-//       the running violation counter. Lagging fragments (say, after a
-//       mid-append kill) are caught up on open before the batch applies.
+//       the next global sequence number, routes each op to exactly the
+//       fragments whose resident set covers it (plus halo-maintenance
+//       traffic), runs owned-scope incremental detection on every
+//       fragment, and merges the per-fragment diffs -- printed as +/-
+//       records with the same 0/3/4 verdict exit codes as detect
+//       --delta, read off the running violation counter. Lagging
+//       fragments (say, after a mid-append kill) are caught up from the
+//       routing journal on open before the batch applies.
+//   gfdtool serve rebalance <dir> <node> <fragment> [--compact-ops N]
+//       Move ownership of one node to another fragment online: halo
+//       maintenance ships the newly resident edges, then all fragments
+//       compact in lockstep onto the new ownership.
 //   gfdtool serve status <dir>
-//       Per-fragment sequence/anchor/overlay report.
+//       Per-fragment sequence/anchor/overlay/footprint report.
 //   gfdtool validate <graph.tsv> <rules.gfd>
 //       Boolean check G |= Sigma, rule by rule. Exit 3 on violation.
 //   gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] [-o cover.gfd]
@@ -71,6 +77,7 @@
 #include "parallel/pardis.h"
 #include "serve/coordinator.h"
 #include "serve/graph_store.h"
+#include "serve/serving_store.h"
 #include "util/hash.h"
 #include "util/timer.h"
 
@@ -92,9 +99,12 @@ int Usage() {
       "       gfdtool log append <dir> <delta.tsv> [--compact-ops N]\n"
       "       gfdtool log replay <dir> [-o graph.tsv]\n"
       "       gfdtool log compact <dir>\n"
-      "       gfdtool serve init <dir> <graph.tsv> --fragments N\n"
+      "       gfdtool serve init <dir> <graph.tsv> --fragments N "
+      "[--radius R]\n"
       "       gfdtool serve append <dir> <rules.gfd> <delta.tsv> "
       "[-w WORKERS] [--compact-ops N]\n"
+      "       gfdtool serve rebalance <dir> <node> <fragment> "
+      "[--compact-ops N]\n"
       "       gfdtool serve status <dir>\n"
       "       gfdtool validate <graph.tsv> <rules.gfd>\n"
       "       gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] "
@@ -407,6 +417,51 @@ uint64_t PreBatchCount(const ViolationEngine& engine, const GraphView& view,
   return count;
 }
 
+// One serving step, driven entirely through the ServingStore interface:
+// read/seed the running counter, durably append the batch with its
+// per-batch diff, print +/- records, persist the updated counter, and
+// return the documented verdict exit code (nullopt when the append was
+// rejected). `detect --log --delta` (single GraphStore) and `serve
+// append` (coordinator over vertex-cut fragments) both come through
+// here -- the serving loop exists exactly once.
+std::optional<int> ServeBatch(ServingStore& store,
+                              const ViolationEngine& engine,
+                              const std::string& payload,
+                              const char* payload_path, size_t workers,
+                              uint64_t* seq_out = nullptr) {
+  // Reporting works off materialized pre/post states (ids preserved by
+  // both backends), so it stays valid across any later compaction.
+  PropertyGraph before = store.MaterializeCurrent();
+  GraphDelta no_delta;
+  auto before_view = GraphView::Apply(before, no_delta);
+  uint64_t fp = RuleFingerprint(engine.rules(), before);
+  uint64_t pre_count =
+      PreBatchCount(engine, *before_view, store.violation_count(fp), workers);
+  IncrementalOptions iopts;
+  iopts.workers = workers;
+  std::string error;
+  uint64_t seq = 0;
+  WallTimer t;
+  auto diff = store.AppendAndDiff(engine, payload, iopts, &seq, &error);
+  if (!diff) {
+    std::fprintf(stderr, "error appending %s\n",
+                 FileLineError(payload_path, error).c_str());
+    return std::nullopt;
+  }
+  double seconds = t.Seconds();
+  uint64_t post_count = pre_count + diff->added.size() - diff->removed.size();
+  if (!store.SetViolationCount(post_count, fp, &error)) {
+    std::fprintf(stderr, "warning: could not persist counter: %s\n",
+                 error.c_str());
+  }
+  PropertyGraph after = store.MaterializeCurrent();
+  auto after_view = GraphView::Apply(after, no_delta);
+  int code = ReportDiff(engine, *after_view, before, *diff, seconds, workers,
+                        post_count);
+  if (seq_out) *seq_out = seq;
+  return code;
+}
+
 int Detect(int argc, char** argv) {
   if (argc < 2) return Usage();
   const char* log_dir = nullptr;
@@ -470,51 +525,17 @@ int Detect(int argc, char** argv) {
       }
     }
     if (log_dir) {
-      // Serving step: durably append the batch, then diff exactly it.
+      // Serving step: durably append the batch, then diff exactly it --
+      // the same ServingStore-driven loop `serve append` runs over the
+      // coordinator backend.
       auto payload = ReadFile(delta_path);
       if (!payload) return 1;
-      // Removed violations render against the graph they existed in --
-      // the pre-append state. A copy of the overlay is enough to rebuild
-      // it, and only needed when something was actually removed.
-      GraphDelta pre_overlay = store->overlay();
-      // Running violation count (ROADMAP): the verdict comes off the
-      // counter, not a post-batch scan -- one startup scan when the store
-      // holds no current count, then pure arithmetic per batch.
-      uint64_t fp = RuleFingerprint(engine.rules(), store->base());
-      uint64_t pre_count = PreBatchCount(
-          engine, store->view(), store->violation_count(fp), opts.workers);
-      std::string error;
       uint64_t seq = 0;
-      IncrementalOptions iopts;
-      iopts.workers = opts.workers;
-      WallTimer t;
-      auto diff =
-          AppendAndDiff(*store, engine, *payload, iopts, &seq, &error);
-      if (!diff) {
-        std::fprintf(stderr, "error appending %s\n",
-                     FileLineError(delta_path, error).c_str());
-        return 1;
-      }
-      double seconds = t.Seconds();
-      uint64_t post_count =
-          pre_count + diff->added.size() - diff->removed.size();
-      if (!store->SetViolationCount(post_count, fp, &error)) {
-        std::fprintf(stderr, "warning: could not persist counter: %s\n",
-                     error.c_str());
-      }
-      // Report before AppendFollowUp: a compaction there replaces the
-      // base graph the pre-append view would dangle on.
-      int code;
-      if (diff->removed.empty()) {
-        code = ReportDiff(engine, store->view(), store->base(), *diff,
-                          seconds, opts.workers, post_count);
-      } else {
-        auto before = GraphView::Apply(store->base(), pre_overlay);
-        code = ReportDiff(engine, store->view(), *before, *diff, seconds,
-                          opts.workers, post_count);
-      }
+      auto code =
+          ServeBatch(*store, engine, *payload, delta_path, opts.workers, &seq);
+      if (!code) return 1;
       if (!AppendFollowUp(*store, seq)) return 1;
-      return code;
+      return *code;
     }
     std::string error;
     auto delta = LoadGraphDeltaTsvFile(delta_path, *g, &error);
@@ -558,7 +579,7 @@ int Detect(int argc, char** argv) {
     std::fprintf(stderr,
                  "sharded over %zu fragments: %lu messages, %lu bytes "
                  "shipped, replication %.2f\n",
-                 frag.num_fragments,
+                 frag.partition.num_fragments,
                  static_cast<unsigned long>(cstats.messages),
                  static_cast<unsigned long>(cstats.bytes_shipped),
                  cstats.replication);
@@ -698,18 +719,21 @@ int Serve(int argc, char** argv) {
   if (!std::strcmp(verb, "init")) {
     if (argc < 3) return Usage();
     size_t fragments = 2;
+    size_t radius = 3;
     if (!CountFlag(argc, argv, "--fragments", &fragments)) return Usage();
+    if (!CountFlag(argc, argv, "--radius", &radius)) return Usage();
     auto g = LoadGraph(argv[2]);
     if (!g) return 1;
     std::string error;
-    if (!Coordinator::Init(dir, *g, fragments, &error)) {
+    if (!Coordinator::Init(dir, *g, fragments,
+                           static_cast<uint32_t>(radius), &error)) {
       std::fprintf(stderr, "error initializing %s: %s\n", dir, error.c_str());
       return 1;
     }
     std::fprintf(stderr,
-                 "initialized coordinator %s: %zu fragment replicas of "
-                 "%zu nodes, %zu edges\n",
-                 dir, fragments, g->NumNodes(), g->NumEdges());
+                 "initialized coordinator %s: %zu vertex-cut fragment(s) of "
+                 "%zu nodes, %zu edges (halo radius %zu)\n",
+                 dir, fragments, g->NumNodes(), g->NumEdges(), radius);
     return 0;
   }
 
@@ -722,16 +746,55 @@ int Serve(int argc, char** argv) {
   if (!std::strcmp(verb, "status")) {
     auto coord = OpenCoordinator(dir, copts);
     if (!coord) return 1;
+    uint64_t resident_total = 0;
     for (size_t f = 0; f < coord->num_fragments(); ++f) {
       const GraphStoreStats& st = coord->fragment(f).stats();
       size_t owned = 0;
       for (uint32_t o : coord->node_owner()) owned += o == f ? 1 : 0;
+      uint64_t resident = coord->resident_edges(f);
+      resident_total += resident;
       std::printf("frag-%zu: seq %llu anchor %llu, %zu overlay op(s), "
-                  "%zu owned node(s)\n",
+                  "%zu owned node(s), %llu resident edge(s)\n",
                   f, static_cast<unsigned long long>(st.last_seq),
                   static_cast<unsigned long long>(st.anchor_seq),
-                  coord->fragment(f).overlay().ops.size(), owned);
+                  coord->fragment(f).overlay().ops.size(), owned,
+                  static_cast<unsigned long long>(resident));
     }
+    std::printf("partition: halo radius %u, replication %.2f, "
+                "%llu resident edge(s) total\n",
+                coord->partition().halo_radius,
+                coord->partition().replication,
+                static_cast<unsigned long long>(resident_total));
+    return 0;
+  }
+
+  if (!std::strcmp(verb, "rebalance")) {
+    if (argc < 4) return Usage();
+    char* end = nullptr;
+    unsigned long long node = std::strtoull(argv[2], &end, 10);
+    if (!end || *end != '\0') {
+      std::fprintf(stderr, "bad node id '%s'\n", argv[2]);
+      return Usage();
+    }
+    end = nullptr;
+    unsigned long long to = std::strtoull(argv[3], &end, 10);
+    if (!end || *end != '\0') {
+      std::fprintf(stderr, "bad fragment id '%s'\n", argv[3]);
+      return Usage();
+    }
+    auto coord = OpenCoordinator(dir, copts);
+    if (!coord) return 1;
+    std::string error;
+    auto seq = coord->Rebalance(static_cast<NodeId>(node),
+                                static_cast<uint32_t>(to), &error);
+    if (!seq) {
+      std::fprintf(stderr, "rebalance failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "rebalanced node %llu to fragment %llu at seq %llu; all "
+                 "fragments compacted onto the new ownership\n",
+                 node, to, static_cast<unsigned long long>(*seq));
     return 0;
   }
 
@@ -739,74 +802,51 @@ int Serve(int argc, char** argv) {
     if (argc < 4) return Usage();
     size_t workers = 1;
     if (!CountFlag(argc, argv, "-w", &workers)) return Usage();
-    copts.incremental.workers = workers;
     auto coord = OpenCoordinator(dir, copts);
     if (!coord) return 1;
-    auto rules = LoadRules(argv[2], coord->fragment(0).base());
+    PropertyGraph current = coord->MaterializeCurrent();
+    auto rules = LoadRules(argv[2], current);
     if (!rules) return 1;
     ViolationEngine engine(std::move(*rules));
     auto payload = ReadFile(argv[3]);
     if (!payload) return 1;
 
-    // Routing report: which fragments own the batch's touched vertices.
+    // Routing report: which fragments' resident sets receive batch ops.
     {
       std::istringstream in(*payload);
       std::string error;
-      auto d = LoadGraphDeltaTsv(in, coord->fragment(0).base(), &error);
+      auto d = LoadGraphDeltaTsv(in, current, &error);
       if (!d) {
         std::fprintf(stderr, "error loading %s\n",
                      FileLineError(argv[3], error).c_str());
         return 1;
       }
-      auto route = RouteDelta(*d, coord->node_owner(), coord->num_fragments());
+      auto route = RouteDelta(*d, coord->residency());
       std::fprintf(stderr, "batch: %zu op(s) routed to %zu fragment(s)\n",
                    d->ops.size(), route.affected_fragments.size());
     }
 
-    uint64_t fp = RuleFingerprint(engine.rules(), coord->fragment(0).base());
-    uint64_t pre_count = PreBatchCount(engine, coord->fragment(0).view(),
-                                       coord->violation_count(fp), workers);
-    GraphDelta pre_overlay = coord->fragment(0).overlay();
-    uint64_t before_bytes = coord->stats().bytes_shipped;
-
-    std::string error;
+    CoordinatorStats pre = coord->stats();
     uint64_t seq = 0;
-    WallTimer t;
-    auto diff = coord->AppendAndDiff(engine, *payload, &seq, &error);
-    if (!diff) {
-      std::fprintf(stderr, "error appending %s\n",
-                   FileLineError(argv[3], error).c_str());
-      return 1;
-    }
-    double seconds = t.Seconds();
-    uint64_t post_count = pre_count + diff->added.size() - diff->removed.size();
-    if (!coord->SetViolationCount(post_count, fp, &error)) {
-      std::fprintf(stderr, "warning: could not persist counter: %s\n",
-                   error.c_str());
-    }
-    uint64_t shipped = coord->stats().bytes_shipped - before_bytes;
+    auto code = ServeBatch(*coord, engine, *payload, argv[3], workers, &seq);
+    if (!code) return 1;
+    CoordinatorStats post = coord->stats();
     std::fprintf(stderr,
                  "batch seq %llu: %llu byte(s) shipped across %zu "
-                 "fragment(s)\n",
+                 "fragment(s) (%llu owned-op, %llu border-halo)\n",
                  static_cast<unsigned long long>(seq),
-                 static_cast<unsigned long long>(shipped),
-                 coord->num_fragments());
+                 static_cast<unsigned long long>(post.bytes_shipped -
+                                                 pre.bytes_shipped),
+                 coord->num_fragments(),
+                 static_cast<unsigned long long>(post.bytes_owned_shipped -
+                                                 pre.bytes_owned_shipped),
+                 static_cast<unsigned long long>(post.bytes_halo_shipped -
+                                                 pre.bytes_halo_shipped));
 
-    // Report before compaction: a snapshot roll replaces the base graph
-    // the pre-append view would dangle on.
-    int code;
-    if (diff->removed.empty()) {
-      code = ReportDiff(engine, coord->fragment(0).view(),
-                        coord->fragment(0).base(), *diff, seconds, workers,
-                        post_count);
-    } else {
-      auto before = GraphView::Apply(coord->fragment(0).base(), pre_overlay);
-      code = ReportDiff(engine, coord->fragment(0).view(), *before, *diff,
-                        seconds, workers, post_count);
-    }
     // stats().compactions is cumulative (an open-time anchor re-unify
     // counts too); only a delta means THIS batch triggered a roll.
     size_t compactions_before = coord->stats().compactions;
+    std::string error;
     if (!coord->MaybeCompactAll(&error)) {
       std::fprintf(stderr, "compaction failed: %s\n", error.c_str());
       return 1;
@@ -815,7 +855,7 @@ int Serve(int argc, char** argv) {
       std::fprintf(stderr, "compacted: all fragments rolled to seq %llu\n",
                    static_cast<unsigned long long>(coord->stats().anchor_seq));
     }
-    return code;
+    return *code;
   }
 
   return Usage();
