@@ -23,6 +23,7 @@
 #include "bench_util.h"
 #include "datagen/noise.h"
 #include "detect/engine.h"
+#include "detect/metrics.h"
 #include "graph/graph_view.h"
 #include "graph/loader.h"
 #include "pattern/canonical.h"
@@ -226,6 +227,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     bool ok = true;
+    // Deterministic-work counters for the warn-only perf-gate class:
+    // routed/maintenance op deltas come off CoordinatorStats, enumerated
+    // matches off the process metrics registry.
+    uint64_t matches_before = DetectMatchesEnumerated().Value();
     WallTimer t;
     for (size_t b = 0; b < payloads.size(); ++b) {
       auto diff =
@@ -239,6 +244,8 @@ int main(int argc, char** argv) {
     }
     double s = t.Seconds();
     verified = verified && ok;
+    uint64_t matches_enumerated =
+        DetectMatchesEnumerated().Value() - matches_before;
     CoordinatorStats st = coord->stats();
     double bytes_per_batch =
         static_cast<double>(st.bytes_shipped) / double(kBatches);
@@ -275,6 +282,9 @@ int main(int argc, char** argv) {
                      {"resident_edges_max", double(resident_max)},
                      {"replication_measured", replication},
                      {"messages", double(st.messages)},
+                     {"ops_routed_total", double(st.ops_routed)},
+                     {"ops_maintenance_total", double(st.ops_maintenance)},
+                     {"matches_enumerated", double(matches_enumerated)},
                      {"verified", ok ? 1.0 : 0.0}}});
   }
 

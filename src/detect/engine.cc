@@ -6,6 +6,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "detect/metrics.h"
+#include "obs/trace.h"
 #include "pattern/canonical.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
@@ -193,23 +195,32 @@ bool ViolationEngine::EvalPivot(const GraphT& g, const Group& group,
 template <typename GraphT>
 DetectionResult ViolationEngine::DetectImpl(const GraphT& g,
                                             const DetectOptions& opts) const {
+  obs::ScopedTimer run_timer(&DetectFullLatency());
   RunState st(opts, rules_.size());
   DetectionResult result;
   result.stats.num_rules = rules_.size();
   result.stats.num_groups = groups_.size();
 
+  // Per-group match attribution rides the existing per-group barrier:
+  // one load before / after each group, never per match.
   size_t workers = std::max<size_t>(1, opts.workers);
   if (workers == 1) {
-    for (const Group& group : groups_) {
+    for (size_t gi = 0; gi < groups_.size(); ++gi) {
+      const Group& group = groups_[gi];
+      const uint64_t group_entry = st.matches.load(std::memory_order_relaxed);
       for (NodeId v : group.plan.PivotCandidates(g)) {
         if (!EvalPivot(g, group, v, st, result.violations)) break;
       }
+      DetectGroupMatches(gi).Inc(st.matches.load(std::memory_order_relaxed) -
+                                 group_entry);
       if (st.stop.load(std::memory_order_relaxed)) break;
     }
   } else {
     ThreadPool pool(workers);
     std::vector<std::vector<Violation>> buffers(workers);
-    for (const Group& group : groups_) {
+    for (size_t gi = 0; gi < groups_.size(); ++gi) {
+      const Group& group = groups_[gi];
+      const uint64_t group_entry = st.matches.load(std::memory_order_relaxed);
       // Contiguous pivot ranges, one per worker; worker-local buffers
       // avoid any locking on the hot path.
       std::vector<NodeId> pivots = group.plan.PivotCandidates(g);
@@ -224,6 +235,8 @@ DetectionResult ViolationEngine::DetectImpl(const GraphT& g,
         });
       }
       pool.Wait();
+      DetectGroupMatches(gi).Inc(st.matches.load(std::memory_order_relaxed) -
+                                 group_entry);
       if (st.stop.load(std::memory_order_relaxed)) break;
     }
     for (auto& buf : buffers) {
@@ -238,6 +251,8 @@ DetectionResult ViolationEngine::DetectImpl(const GraphT& g,
   result.stats.matches_seen = st.matches.load();
   result.stats.literal_evals = st.literal_evals.load();
   result.stats.truncated = st.truncated.load();
+  DetectMatchesEnumerated().Inc(result.stats.matches_seen);
+  DetectLiteralEvals().Inc(result.stats.literal_evals);
   return result;
 }
 
@@ -437,6 +452,7 @@ uint32_t ViolationEngine::MaxPatternRadius() const {
 IncrementalDiff ViolationEngine::AnchoredDiff(
     const GraphView& view, std::span<const NodeId> seeds,
     std::span<const NodeId> affected, const IncrementalOptions& opts) const {
+  obs::ScopedTimer run_timer(&DetectIncrementalLatency());
   const PropertyGraph& base = view.base();
   IncrementalDiff diff;
   diff.stats.affected_nodes = seeds.size();
@@ -476,6 +492,10 @@ IncrementalDiff ViolationEngine::AnchoredDiff(
                       before.end(), std::back_inserter(diff.added));
   std::set_difference(before.begin(), before.end(), after.begin(),
                       after.end(), std::back_inserter(diff.removed));
+  DetectMatchesEnumerated().Inc(diff.stats.matches_seen);
+  DetectLiteralEvals().Inc(diff.stats.literal_evals);
+  DetectDiffAdded().Inc(diff.added.size());
+  DetectDiffRemoved().Inc(diff.removed.size());
   return diff;
 }
 

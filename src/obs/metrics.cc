@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gfd::obs {
+namespace {
+
+// Shortest round-trip decimal rendering; Prometheus accepts Go-style
+// floats including exponents and the +Inf/-Inf/NaN spellings.
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  return std::string(buf, ptr);
+}
+
+// Escapes \ and newline for # HELP text.
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Escapes \, " and newline for label values.
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Renders label pairs as k1="v1",k2="v2" (no braces) so histogram lines
+// can append their le label.
+std::string LabelBody(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  return out;
+}
+
+std::string SampleName(const std::string& name, const std::string& suffix,
+                       const std::string& label_body) {
+  std::string out = name + suffix;
+  if (!label_body.empty()) {
+    out += '{';
+    out += label_body;
+    out += '}';
+  }
+  return out;
+}
+
+[[noreturn]] void DieOnFamilyMismatch(const std::string& name) {
+  std::fprintf(stderr,
+               "obs: metric family '%s' re-registered with a different "
+               "type or bucket layout\n",
+               name.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (std::isnan(value)) return;
+  size_t idx = bounds_.size();  // +Inf bucket
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      idx = i;
+      break;
+    }
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+const std::vector<double>& DefaultLatencyBuckets() {
+  static const std::vector<double> kBuckets = {
+      1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0};
+  return kBuckets;
+}
+
+MetricsRegistry::Family& MetricsRegistry::FamilyFor(
+    const std::string& name, Type type, const std::string& help,
+    std::vector<double> bounds) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    Family family;
+    family.type = type;
+    family.help = help;
+    family.bounds = std::move(bounds);
+    it = families_.emplace(name, std::move(family)).first;
+  } else if (it->second.type != type ||
+             (type == Type::kHistogram && it->second.bounds != bounds)) {
+    DieOnFamilyMismatch(name);
+  }
+  return it->second;
+}
+
+MetricsRegistry::Child& MetricsRegistry::ChildFor(Family& family,
+                                                  Labels labels) {
+  for (auto& child : family.children) {
+    if (child->labels == labels) return *child;
+  }
+  auto child = std::make_unique<Child>();
+  child->labels = std::move(labels);
+  switch (family.type) {
+    case Type::kCounter:
+      child->counter = std::make_unique<Counter>();
+      break;
+    case Type::kGauge:
+      child->gauge = std::make_unique<Gauge>();
+      break;
+    case Type::kHistogram:
+      child->histogram = std::make_unique<Histogram>(family.bounds);
+      break;
+  }
+  family.children.push_back(std::move(child));
+  return *family.children.back();
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, Type::kCounter, help, {});
+  return *ChildFor(family, std::move(labels)).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, Type::kGauge, help, {});
+  return *ChildFor(family, std::move(labels)).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds,
+                                         Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Family& family = FamilyFor(name, Type::kHistogram, help, std::move(bounds));
+  return *ChildFor(family, std::move(labels)).histogram;
+}
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + ' ' + EscapeHelp(family.help) + '\n';
+    out += "# TYPE " + name + ' ';
+    switch (family.type) {
+      case Type::kCounter:
+        out += "counter";
+        break;
+      case Type::kGauge:
+        out += "gauge";
+        break;
+      case Type::kHistogram:
+        out += "histogram";
+        break;
+    }
+    out += '\n';
+    // Deterministic sample order: children sorted by label signature.
+    std::vector<std::pair<std::string, const Child*>> children;
+    children.reserve(family.children.size());
+    for (const auto& child : family.children) {
+      children.emplace_back(LabelBody(child->labels), child.get());
+    }
+    std::sort(children.begin(), children.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [label_body, child] : children) {
+      switch (family.type) {
+        case Type::kCounter:
+          out += SampleName(name, "", label_body) + ' ' +
+                 std::to_string(child->counter->Value()) + '\n';
+          break;
+        case Type::kGauge:
+          out += SampleName(name, "", label_body) + ' ' +
+                 FormatDouble(child->gauge->Value()) + '\n';
+          break;
+        case Type::kHistogram: {
+          const Histogram& hist = *child->histogram;
+          const std::vector<uint64_t> counts = hist.BucketCounts();
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < counts.size(); ++i) {
+            cumulative += counts[i];
+            std::string le = i < hist.bounds().size()
+                                 ? FormatDouble(hist.bounds()[i])
+                                 : std::string("+Inf");
+            std::string bucket_body = label_body;
+            if (!bucket_body.empty()) bucket_body += ',';
+            bucket_body += "le=\"" + EscapeLabelValue(le) + '"';
+            out += SampleName(name, "_bucket", bucket_body) + ' ' +
+                   std::to_string(cumulative) + '\n';
+          }
+          out += SampleName(name, "_sum", label_body) + ' ' +
+                 FormatDouble(hist.Sum()) + '\n';
+          // _count from the same bucket snapshot, so +Inf == _count holds
+          // even when a writer races the render.
+          out += SampleName(name, "_count", label_body) + ' ' +
+                 std::to_string(cumulative) + '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace gfd::obs

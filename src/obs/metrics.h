@@ -1,0 +1,154 @@
+// Dependency-free metrics registry: named counters, gauges, and
+// fixed-bucket latency histograms with a lock-free std::atomic hot path,
+// rendered in Prometheus text exposition format.
+//
+// Usage pattern: registration (GetCounter / GetGauge / GetHistogram)
+// takes a mutex and returns a reference that stays valid for the
+// registry's lifetime, so hot paths register once (typically in a
+// function-local static) and then only touch relaxed atomics:
+//
+//   static obs::Counter& appends = obs::MetricsRegistry::Default()
+//       .GetCounter("gfd_log_appends_total", "Delta-log record appends.");
+//   appends.Inc();
+//
+// Labeled children of one family share the metric name and differ by
+// label values, e.g. gfd_fragment_bytes_shipped{fragment="3",kind="halo"}.
+#ifndef GFD_OBS_METRICS_H_
+#define GFD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gfd::obs {
+
+/// Ordered label key/value pairs identifying one child of a family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  /// Adds `delta` (relaxed; safe from any thread).
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Settable instantaneous value (e.g. overlay size, running violations).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+
+  /// Adds `delta` (CAS loop; atomic<double> has no fetch_add pre-C++20
+  /// on all library implementations we target).
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bounds are upper-inclusive bucket edges in
+/// ascending order; a final +Inf bucket is implicit. Observe() is a
+/// linear scan plus two relaxed atomic updates -- cheap at the bucket
+/// counts we use (~a dozen) and wait-free on the count side.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Records one observation (NaN observations are dropped).
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Per-bucket (non-cumulative) counts; the last entry is the +Inf
+  /// bucket. Snapshot under concurrent writers: each cell individually
+  /// consistent.
+  std::vector<uint64_t> BucketCounts() const;
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bucket edges in seconds: 10us .. 10s, roughly
+/// logarithmic, sized for fsync'd appends through full re-detects.
+const std::vector<double>& DefaultLatencyBuckets();
+
+/// Registry of metric families. Registration is mutex-guarded and
+/// idempotent: the same (name, labels) returns the same child, and the
+/// first registration of a name fixes its type, help text, and (for
+/// histograms) bucket bounds. Returned references live as long as the
+/// registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(const std::string& name, const std::string& help,
+                      Labels labels = {});
+  Gauge& GetGauge(const std::string& name, const std::string& help,
+                  Labels labels = {});
+  Histogram& GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds, Labels labels = {});
+
+  /// Renders every family in Prometheus text exposition format:
+  /// families sorted by name, each with # HELP and # TYPE lines followed
+  /// by its samples (children sorted by label signature); histograms as
+  /// cumulative _bucket{le="..."} series plus _sum and _count.
+  std::string RenderPrometheusText() const;
+
+  /// Process-global registry used by the serving stack.
+  static MetricsRegistry& Default();
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Child {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  struct Family {
+    Type type;
+    std::string help;
+    std::vector<double> bounds;  // histogram families only
+    std::vector<std::unique_ptr<Child>> children;
+  };
+
+  // Both require mu_ held.
+  Family& FamilyFor(const std::string& name, Type type,
+                    const std::string& help, std::vector<double> bounds);
+  Child& ChildFor(Family& family, Labels labels);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace gfd::obs
+
+#endif  // GFD_OBS_METRICS_H_

@@ -10,6 +10,9 @@
 
 #include "graph/loader.h"
 #include "graph/subgraph.h"
+#include "obs/trace.h"
+#include "serve/metrics.h"
+#include "util/timer.h"
 
 namespace gfd {
 
@@ -452,6 +455,7 @@ std::optional<Coordinator> Coordinator::Open(const std::string& dir,
     c.fragments_.push_back(std::move(*s));
     ++c.stats_.catchup_snapshots;
     ++c.stats_.lagging_fragments;
+    CatchupFragmentsTotal().Inc();
   }
 
   if (!c.CatchUp(global_seq, master_anchor, error)) return std::nullopt;
@@ -494,6 +498,11 @@ std::optional<GraphStore> Coordinator::RebuildFragment(
     return std::nullopt;
   }
   cluster_->CountShipment(1, shipped.str().size());
+  SnapshotTransfersTotal().Inc();
+  obs::EmitTrace("snapshot_transfer",
+                 {{"fragment", f},
+                  {"seq", global_seq},
+                  {"bytes", shipped.str().size()}});
   return s;
 }
 
@@ -537,9 +546,16 @@ bool Coordinator::CatchUp(uint64_t global_seq, uint64_t master_anchor,
       }
       cluster_->CountShipment(1, payload.size());
       ++stats_.catchup_records;
+      CatchupRecordsTotal().Inc();
       lagged = true;
     }
-    if (lagged) ++stats_.lagging_fragments;
+    if (lagged) {
+      ++stats_.lagging_fragments;
+      CatchupFragmentsTotal().Inc();
+      obs::EmitTrace("catchup", {{"fragment", f},
+                                 {"seq", global_seq},
+                                 {"records", stats_.catchup_records}});
+    }
   }
 
   uint64_t min_anchor = fragments_.front().stats().anchor_seq;
@@ -625,10 +641,13 @@ std::optional<uint64_t> Coordinator::ShipSequenced(
 
   std::vector<std::string> errs(n);
   cluster_->RunStep([&](size_t f) {
+    uint64_t detect_ns = 0;
     if (diff_ctx) {
+      StopwatchNs watch;
       diff_ctx->before[f] = diff_ctx->engine->DetectIncrementalOwned(
           fragments_[f].view(), seeds_before[f], plan.affected_before,
           *diff_ctx->opts);
+      detect_ns = watch.ElapsedNs();
     }
     std::string ferr;
     auto seq2 = fragments_[f].Append(plan.payloads[f], &ferr);
@@ -641,15 +660,30 @@ std::optional<uint64_t> Coordinator::ShipSequenced(
       return;
     }
     if (diff_ctx) {
+      StopwatchNs watch;
       diff_ctx->after[f] = diff_ctx->engine->DetectIncrementalOwned(
           fragments_[f].view(), seeds_after[f], plan.affected_after,
           *diff_ctx->opts);
+      detect_ns += watch.ElapsedNs();
+      if (obs::TraceLog* trace = obs::ActiveTrace()) {
+        trace->Emit("detect", {{"seq", seq}, {"fragment", f}},
+                    static_cast<int64_t>(detect_ns));
+      }
     }
   });
   for (size_t f = 0; f < n; ++f) {
     cluster_->CountShipment(1, plan.payloads[f].size());
     stats_.bytes_owned_shipped += plan.owned_bytes[f];
     stats_.bytes_halo_shipped += plan.halo_bytes[f];
+    stats_.ops_routed += plan.routed_ops[f];
+    stats_.ops_maintenance += plan.halo_ops[f];
+    FragmentBytesShipped(f, "owned").Inc(plan.owned_bytes[f]);
+    FragmentBytesShipped(f, "halo").Inc(plan.halo_bytes[f]);
+    FragmentOpsShipped(f, "routed").Inc(plan.routed_ops[f]);
+    FragmentOpsShipped(f, "maintenance").Inc(plan.halo_ops[f]);
+    obs::EmitTrace("ship", {{"seq", seq},
+                            {"fragment", f},
+                            {"bytes", plan.payloads[f].size()}});
   }
   for (size_t f = 0; f < n; ++f) {
     if (!errs[f].empty()) {
@@ -673,8 +707,14 @@ std::optional<uint64_t> Coordinator::ShipSequenced(
 std::optional<uint64_t> Coordinator::Append(std::string_view delta_tsv,
                                             std::string* error) {
   if (!CheckNotDegraded(error)) return std::nullopt;
+  obs::ScopedTimer route_timer(nullptr, "route",
+                               {{"seq", stats_.last_seq + 1}});
   auto plan = index_->PlanBatch(delta_tsv, error);
-  if (!plan) return std::nullopt;
+  if (!plan) {
+    route_timer.Discard();
+    return std::nullopt;
+  }
+  route_timer.StopNs();
   auto seq = ShipSequenced(std::move(*plan), delta_tsv, nullptr, error);
   if (!seq) return std::nullopt;
   ++stats_.batches;
@@ -693,8 +733,14 @@ std::optional<IncrementalDiff> Coordinator::AppendAndDiff(
                         "; re-init the coordinator with a larger radius");
     return std::nullopt;
   }
+  obs::ScopedTimer route_timer(nullptr, "route",
+                               {{"seq", stats_.last_seq + 1}});
   auto plan = index_->PlanBatch(delta_tsv, error);
-  if (!plan) return std::nullopt;
+  if (!plan) {
+    route_timer.Discard();
+    return std::nullopt;
+  }
+  route_timer.StopNs();
   DiffContext ctx;
   ctx.engine = &engine;
   ctx.opts = &opts;
@@ -705,6 +751,7 @@ std::optional<IncrementalDiff> Coordinator::AppendAndDiff(
   // Ownership attribution partitions the global diff, so merging the
   // per-fragment base-relative sides and composing reproduces the
   // single-node step diff record for record.
+  obs::ScopedTimer merge_timer(nullptr, "merge", {{"seq", *seq}});
   IncrementalDiff before;
   IncrementalDiff after;
   auto merge_side = [](std::vector<IncrementalDiff>& parts, bool added) {
@@ -730,9 +777,15 @@ std::optional<uint64_t> Coordinator::Rebalance(NodeId node,
                                                uint32_t to_fragment,
                                                std::string* error) {
   if (!CheckNotDegraded(error)) return std::nullopt;
+  obs::ScopedTimer rebalance_timer(&RebalanceLatency(), "rebalance",
+                                   {{"node", node}, {"to", to_fragment}});
   auto plan = index_->PlanRebalance(node, to_fragment, error);
-  if (!plan) return std::nullopt;
+  if (!plan) {
+    rebalance_timer.Discard();
+    return std::nullopt;
+  }
   const uint64_t seq = stats_.last_seq + 1;
+  rebalance_timer.AddField("seq", seq);
 
   // The graph (hence the violation set) is unchanged; carry the running
   // count across the consumed sequence number.
@@ -753,19 +806,27 @@ std::optional<uint64_t> Coordinator::Rebalance(NodeId node,
             &werr)) {
       owners_seq_ = prev_owners_seq;
       SetError(error, "meta: " + werr);
+      rebalance_timer.Discard();
       return std::nullopt;
     }
   }
 
   auto s = ShipSequenced(std::move(*plan), "", nullptr, error);
-  if (!s) return std::nullopt;
+  if (!s) {
+    rebalance_timer.Discard();
+    return std::nullopt;
+  }
   ++stats_.rebalances;
+  RebalancesTotal().Inc();
   if (carried) count_.Set(carried->count, seq, carried->fingerprint);
 
   // Mandatory lockstep compaction: the next batch's before-side
   // enumeration runs on fragment BASES, which must reflect the new
   // residency (including the halo around the migrated node).
-  if (!CompactAll(error)) return std::nullopt;
+  if (!CompactAll(error)) {
+    rebalance_timer.Discard();
+    return std::nullopt;
+  }
   return seq;
 }
 
@@ -835,11 +896,39 @@ std::optional<uint64_t> Coordinator::violation_count(
 bool Coordinator::SetViolationCount(uint64_t count, uint64_t fingerprint,
                                     std::string* error) {
   count_.Set(count, stats_.last_seq, fingerprint);
+  ViolationsRunning().Set(static_cast<double>(count));
   return WriteMeta(error);
 }
 
 PropertyGraph Coordinator::MaterializeCurrent() const {
   return index_->view().Materialize();
+}
+
+ServingMetricsSnapshot Coordinator::MetricsSnapshot() const {
+  const CoordinatorStats s = stats();
+  ServingMetricsSnapshot snap;
+  snap.anchor_seq = s.anchor_seq;
+  snap.last_seq = s.last_seq;
+  snap.fragments = fragments_.size();
+  for (const GraphStore& f : fragments_) {
+    snap.replayed_batches += f.stats().replayed_batches;
+    snap.skipped_batches += f.stats().skipped_batches;
+    snap.overlay_ops += f.overlay().ops.size();
+    snap.truncated_bytes += f.stats().truncated_bytes;
+    snap.compactions += f.stats().compactions;
+  }
+  snap.batches = s.batches;
+  snap.lagging_fragments = s.lagging_fragments;
+  snap.catchup_records = s.catchup_records;
+  snap.catchup_snapshots = s.catchup_snapshots;
+  snap.rebalances = s.rebalances;
+  snap.messages = s.messages;
+  snap.bytes_shipped = s.bytes_shipped;
+  snap.bytes_owned_shipped = s.bytes_owned_shipped;
+  snap.bytes_halo_shipped = s.bytes_halo_shipped;
+  snap.ops_routed = s.ops_routed;
+  snap.ops_maintenance = s.ops_maintenance;
+  return snap;
 }
 
 bool Coordinator::CheckNotDegraded(std::string* error) const {

@@ -118,6 +118,10 @@ struct CoordinatorStats {
   /// shared vocabulary preamble) vs. border-halo maintenance traffic.
   uint64_t bytes_owned_shipped = 0;
   uint64_t bytes_halo_shipped = 0;
+  /// Shipped op counts, split the same way: batch ops routed by
+  /// residency vs. halo-maintenance ops.
+  uint64_t ops_routed = 0;
+  uint64_t ops_maintenance = 0;
 };
 
 class Coordinator final : public ServingStore {
@@ -224,6 +228,11 @@ class Coordinator final : public ServingStore {
   /// The current global graph, materialized from the master's view (by
   /// the storage invariant, equal to the union of fragment states).
   PropertyGraph MaterializeCurrent() const override;
+
+  /// Unified telemetry snapshot: coordinator stats plus per-fragment
+  /// recovery/overlay state folded into the shared shape (overlay_ops
+  /// and replay counters are summed over fragments).
+  ServingMetricsSnapshot MetricsSnapshot() const override;
 
  private:
   Coordinator() = default;

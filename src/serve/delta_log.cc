@@ -10,7 +10,9 @@
 #include <sstream>
 #include <system_error>
 
+#include "obs/trace.h"
 #include "serve/durable_io.h"
+#include "serve/metrics.h"
 
 namespace gfd {
 
@@ -147,6 +149,11 @@ std::optional<DeltaLog> DeltaLog::Open(const std::string& path,
       SetError(error, path + ": cannot truncate corrupt tail: " + ec.message());
       return std::nullopt;
     }
+    LogTornTailTruncationsTotal().Inc();
+    LogTruncatedBytesTotal().Inc(log.open_stats_.truncated_bytes);
+    obs::EmitTrace("torn_tail",
+                   {{"bytes", log.open_stats_.truncated_bytes},
+                    {"durable_records", log.records_.size()}});
   }
   if (!log.records_.empty()) {
     log.next_seq_ = log.records_.back().seq + 1;
@@ -162,11 +169,14 @@ std::optional<uint64_t> DeltaLog::Append(std::string_view payload,
   // fwrite a null stream.
   if (!file_ && !RecoverAppendHandle(error)) return std::nullopt;
   uint64_t seq = next_seq_;
+  obs::ScopedTimer timer(&LogAppendLatency());
   std::string frame = FrameRecord(seq, payload);
   bool ok = std::fwrite(frame.data(), 1, frame.size(), file_.get()) ==
                 frame.size() &&
             SyncFile(file_.get());
   if (!ok) {
+    timer.Discard();
+    LogAppendFailuresTotal().Inc();
     SetError(error, path_ + ": append failed: " + std::strerror(errno));
     // A torn frame may sit on disk (or in the stdio buffer). Cut the file
     // back to the last durable record so a *later* successful append can
@@ -178,6 +188,8 @@ std::optional<uint64_t> DeltaLog::Append(std::string_view payload,
     return std::nullopt;
   }
   durable_bytes_ += frame.size();
+  LogAppendsTotal().Inc();
+  LogAppendBytesTotal().Inc(frame.size());
   records_.push_back({seq, std::string(payload)});
   ++next_seq_;
   return seq;

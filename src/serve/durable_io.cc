@@ -1,5 +1,7 @@
 #include "serve/durable_io.h"
 
+#include "serve/metrics.h"
+
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -19,6 +21,7 @@ namespace fs = std::filesystem;
 bool SyncFile(std::FILE* f) {
   if (std::fflush(f) != 0) return false;
 #ifdef GFD_HAVE_FSYNC
+  FsyncsTotal().Inc();
   if (::fsync(::fileno(f)) != 0) return false;
 #endif
   return true;
@@ -28,6 +31,7 @@ bool SyncClosedFile(const std::string& path) {
 #ifdef GFD_HAVE_FSYNC
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) return false;
+  FsyncsTotal().Inc();
   bool ok = ::fsync(fd) == 0;
   ::close(fd);
   return ok;
@@ -43,6 +47,7 @@ void SyncParentDir(const std::string& path) {
   if (dir.empty()) dir = ".";
   int fd = ::open(dir.c_str(), O_RDONLY);
   if (fd >= 0) {
+    FsyncsTotal().Inc();
     ::fsync(fd);
     ::close(fd);
   }

@@ -10,7 +10,10 @@
 #include <system_error>
 
 #include "graph/loader.h"
+#include "obs/trace.h"
 #include "serve/durable_io.h"
+#include "serve/metrics.h"
+#include "util/timer.h"
 
 namespace gfd {
 
@@ -145,6 +148,7 @@ std::optional<GraphStore> GraphStore::Open(const std::string& dir,
   // (seq <= anchor; left over when a crash hit between the meta commit
   // and the log re-anchor) are skipped, the rest must continue the chain
   // at anchor+1.
+  StopwatchNs replay_watch;
   GraphDelta overlay;
   std::vector<std::pair<size_t, uint64_t>> op_origin;  // ops-so-far -> seq
   for (const DeltaLogRecord& rec : store.log_->records()) {
@@ -191,6 +195,11 @@ std::optional<GraphStore> GraphStore::Open(const std::string& dir,
   }
   store.overlay_ = std::move(overlay);
   store.view_ = std::move(*view);
+  StoreReplayLatency().Observe(replay_watch.Seconds());
+  StoreReplayedBatchesTotal().Inc(store.stats_.replayed_batches);
+  obs::EmitTrace("replay", {{"seq", store.stats_.last_seq},
+                            {"batches", store.stats_.replayed_batches},
+                            {"overlay_ops", store.overlay_.ops.size()}});
 
   // The persisted count is trusted only when it was taken at exactly the
   // state replay reconstructed: a torn tail (count ahead) or appends that
@@ -228,10 +237,14 @@ bool GraphStore::ApplyOverlay(GraphDelta next_overlay, std::string* error) {
 
 std::optional<uint64_t> GraphStore::Append(std::string_view delta_tsv,
                                            std::string* error) {
+  obs::ScopedTimer append_timer(&StoreAppendLatency(), "append");
+  obs::ScopedTimer validate_timer(nullptr, "validate");
   std::istringstream in{std::string(delta_tsv)};
   std::string parse_error;
   auto d = LoadGraphDeltaTsv(in, *base_, &parse_error);
   if (!d) {
+    append_timer.Discard();
+    validate_timer.Discard();
     SetError(error, parse_error);
     return std::nullopt;
   }
@@ -242,14 +255,23 @@ std::optional<uint64_t> GraphStore::Append(std::string_view delta_tsv,
   std::string apply_error;
   auto view = GraphView::Apply(*base_, candidate, &apply_error);
   if (!view) {
+    append_timer.Discard();
+    validate_timer.Discard();
     SetError(error, apply_error);
     return std::nullopt;
   }
+  validate_timer.AddField("ops", candidate.ops.size());
+  validate_timer.StopNs();
   auto seq = log_->Append(delta_tsv, error);
-  if (!seq) return std::nullopt;
+  if (!seq) {
+    append_timer.Discard();
+    return std::nullopt;
+  }
   overlay_ = std::move(candidate);
   view_ = std::move(*view);
   stats_.last_seq = *seq;
+  StoreAppendsTotal().Inc();
+  append_timer.AddField("seq", *seq);
   // The batch changed the graph; the count is stale until the serving
   // loop folds the batch's diff back in via SetViolationCount.
   count_.Invalidate();
@@ -283,6 +305,7 @@ std::optional<uint64_t> GraphStore::violation_count(
 bool GraphStore::SetViolationCount(uint64_t count, uint64_t fingerprint,
                                    std::string* error) {
   count_.Set(count, stats_.last_seq, fingerprint);
+  ViolationsRunning().Set(static_cast<double>(count));
   return WriteMeta(error);
 }
 
@@ -325,6 +348,9 @@ bool GraphStore::Compact(std::string* error) {
       stats_.anchor_seq == stats_.last_seq) {
     return true;
   }
+  obs::ScopedTimer compact_timer(&StoreCompactLatency(), "compact",
+                                 {{"seq", stats_.last_seq},
+                                  {"overlay_ops", overlay_.ops.size()}});
   PropertyGraph next = view_->Materialize();
   uint64_t anchor = stats_.last_seq;
   std::string snapshot = SnapshotName(anchor);
@@ -355,6 +381,7 @@ bool GraphStore::Compact(std::string* error) {
   base_ = std::make_unique<PropertyGraph>(std::move(next));
   stats_.anchor_seq = anchor;
   ++stats_.compactions;
+  StoreCompactionsTotal().Inc();
   return ApplyOverlay(GraphDelta{}, error);
 }
 
@@ -372,6 +399,19 @@ std::optional<IncrementalDiff> GraphStore::AppendAndDiff(
   return gfd::AppendAndDiff(*this, engine, delta_tsv, opts, seq_out, error);
 }
 
+ServingMetricsSnapshot GraphStore::MetricsSnapshot() const {
+  ServingMetricsSnapshot snap;
+  snap.anchor_seq = stats_.anchor_seq;
+  snap.last_seq = stats_.last_seq;
+  snap.fragments = 1;
+  snap.replayed_batches = stats_.replayed_batches;
+  snap.skipped_batches = stats_.skipped_batches;
+  snap.overlay_ops = overlay_.ops.size();
+  snap.truncated_bytes = stats_.truncated_bytes;
+  snap.compactions = stats_.compactions;
+  return snap;
+}
+
 std::optional<IncrementalDiff> AppendAndDiff(GraphStore& store,
                                              const ViolationEngine& engine,
                                              std::string_view delta_tsv,
@@ -380,11 +420,18 @@ std::optional<IncrementalDiff> AppendAndDiff(GraphStore& store,
                                              std::string* error) {
   // Both runs diff against the shared base; Append never compacts, so the
   // base is identical across them and the diffs compose.
+  obs::ScopedTimer detect_timer(nullptr, "detect");
   IncrementalDiff before = engine.DetectIncremental(store.view(), opts);
   auto seq = store.Append(delta_tsv, error);
-  if (!seq) return std::nullopt;
+  if (!seq) {
+    detect_timer.Discard();
+    return std::nullopt;
+  }
   if (seq_out) *seq_out = *seq;
   IncrementalDiff after = engine.DetectIncremental(store.view(), opts);
+  detect_timer.AddField("seq", *seq);
+  detect_timer.StopNs();
+  obs::ScopedTimer merge_timer(nullptr, "merge", {{"seq", *seq}});
   return ComposeStepDiff(before, after);
 }
 

@@ -166,6 +166,10 @@ class GraphStore final : public ServingStore {
       const IncrementalOptions& opts = {}, uint64_t* seq_out = nullptr,
       std::string* error = nullptr) override;
 
+  /// Unified telemetry snapshot (mirrors stats() plus the live overlay
+  /// size; distributed-only fields stay zero).
+  ServingMetricsSnapshot MetricsSnapshot() const override;
+
  private:
   GraphStore() = default;
 

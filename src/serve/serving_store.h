@@ -25,6 +25,33 @@
 
 namespace gfd {
 
+/// One unified telemetry snapshot both backends report through --
+/// replaces querying GraphStoreStats and CoordinatorStats separately.
+/// Distributed-only fields are zero for a single store; `fragments` is 1
+/// there. `overlay_ops` is the total pending (un-compacted) delta ops.
+struct ServingMetricsSnapshot {
+  uint64_t anchor_seq = 0;
+  uint64_t last_seq = 0;
+  size_t fragments = 1;
+  size_t replayed_batches = 0;
+  size_t skipped_batches = 0;
+  size_t overlay_ops = 0;
+  uint64_t truncated_bytes = 0;
+  size_t compactions = 0;
+  // Distributed (Coordinator) only.
+  size_t batches = 0;
+  size_t lagging_fragments = 0;
+  size_t catchup_records = 0;
+  size_t catchup_snapshots = 0;
+  size_t rebalances = 0;
+  uint64_t messages = 0;
+  uint64_t bytes_shipped = 0;
+  uint64_t bytes_owned_shipped = 0;
+  uint64_t bytes_halo_shipped = 0;
+  uint64_t ops_routed = 0;
+  uint64_t ops_maintenance = 0;
+};
+
 class ServingStore {
  public:
   virtual ~ServingStore() = default;
@@ -45,6 +72,11 @@ class ServingStore {
 
   /// Last applied batch sequence number (0 = none yet).
   virtual uint64_t last_seq() const = 0;
+
+  /// Unified telemetry snapshot (see ServingMetricsSnapshot): both
+  /// backends report recovery, compaction, and shipping state through
+  /// this one path.
+  virtual ServingMetricsSnapshot MetricsSnapshot() const = 0;
 
   /// Running violation count as of last_seq() under the rule-set
   /// fingerprint, or nullopt when stale (see GraphStore::violation_count

@@ -1,30 +1,59 @@
-// Wall-clock timing helper used by benches and the parallel runtime.
+// Wall-clock timing helpers used by benches, the parallel runtime, and
+// the observability layer.
 #ifndef GFD_UTIL_TIMER_H_
 #define GFD_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace gfd {
 
-/// Monotonic wall-clock stopwatch.
-class WallTimer {
+/// Monotonic nanosecond stopwatch.
+///
+/// Backed by std::chrono::steady_clock, which the standard guarantees is
+/// monotonic: it never jumps backwards (NTP slew, DST, manual clock
+/// changes do not affect it), so elapsed readings are always >= 0 and
+/// safe to feed into latency histograms and trace timestamps.
+class StopwatchNs {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  StopwatchNs() : start_(Clock::now()) {}
 
   /// Restarts the stopwatch.
-  void Reset() { start_ = Clock::now(); }
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed nanoseconds since construction / last Restart().
+  uint64_t ElapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  /// Elapsed seconds since construction / last Restart().
+  double Seconds() const { return static_cast<double>(ElapsedNs()) * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Monotonic wall-clock stopwatch reporting in seconds / milliseconds.
+/// Thin facade over StopwatchNs, kept for the bench and CLI call sites.
+class WallTimer {
+ public:
+  WallTimer() = default;
+
+  /// Restarts the stopwatch.
+  void Reset() { watch_.Restart(); }
 
   /// Elapsed seconds since construction / last Reset().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double Seconds() const { return watch_.Seconds(); }
 
   /// Elapsed milliseconds.
   double Millis() const { return Seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  StopwatchNs watch_;
 };
 
 }  // namespace gfd

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -27,9 +28,11 @@
 #include "graph/graph_view.h"
 #include "graph/loader.h"
 #include "graph/subgraph.h"
+#include "obs/trace.h"
 #include "parallel/fragment.h"
 #include "serve/coordinator.h"
 #include "serve/graph_store.h"
+#include "serve/metrics.h"
 #include "serve/serving_store.h"
 #include "util/rng.h"
 
@@ -50,6 +53,30 @@ std::string GraphBytes(const PropertyGraph& g) {
   SaveGraphTsv(g, os);
   return std::move(os).str();
 }
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+// Opens a fresh JSON-lines trace at a scratch path and installs it as
+// the process trace. Uninstalls (and closes) on scope exit.
+struct ScopedTestTrace {
+  std::string path;
+  std::unique_ptr<obs::TraceLog> log;
+
+  explicit ScopedTestTrace(const std::string& name)
+      : path(::testing::TempDir() + "gfd_" + name + ".jsonl") {
+    fs::remove(path);
+    log = obs::TraceLog::Open(path);
+    obs::SetActiveTrace(log.get());
+  }
+  ~ScopedTestTrace() { obs::SetActiveTrace(nullptr); }
+
+  std::string Text() const { return FileBytes(path); }
+};
 
 std::string DeltaBytes(const PropertyGraph& base, const GraphDelta& d) {
   std::ostringstream os;
@@ -453,11 +480,24 @@ TEST(Coordinator, TornFragmentLogCatchesUpAndNextDiffMatchesUninterrupted) {
   auto size = fs::file_size(frag_log);
   fs::resize_file(frag_log, size - 7);
 
-  auto reopened = Coordinator::Open(dir);
-  ASSERT_TRUE(reopened.has_value());
+  // Catch-up must be visible through the metrics/trace channel too.
+  uint64_t catchup_frags_before = CatchupFragmentsTotal().Value();
+  uint64_t catchup_recs_before = CatchupRecordsTotal().Value();
+  std::optional<Coordinator> reopened;
+  {
+    ScopedTestTrace trace("coord_torn_trace");
+    reopened = Coordinator::Open(dir);
+    ASSERT_TRUE(reopened.has_value());
+    std::string text = trace.Text();
+    EXPECT_NE(text.find("\"stage\":\"catchup\""), std::string::npos);
+    EXPECT_NE(text.find("\"stage\":\"torn_tail\""), std::string::npos);
+  }
   auto stats = reopened->stats();
   EXPECT_EQ(stats.lagging_fragments, 1u);
   EXPECT_GE(stats.catchup_records, 1u);
+  EXPECT_EQ(CatchupFragmentsTotal().Value(), catchup_frags_before + 1);
+  EXPECT_EQ(CatchupRecordsTotal().Value() - catchup_recs_before,
+            stats.catchup_records);
   EXPECT_EQ(reopened->last_seq(), 2u);
   for (size_t f = 0; f < reopened->num_fragments(); ++f) {
     EXPECT_EQ(reopened->fragment(f).last_seq(), 2u) << "fragment " << f;
@@ -566,8 +606,19 @@ TEST(Coordinator, LostFragmentDirectoryIsRebuiltFromItsResidentSubgraph) {
     ASSERT_TRUE(frag.has_value());
     ASSERT_TRUE(frag->Compact());
   }
-  auto reopened = Coordinator::Open(dir);
-  ASSERT_TRUE(reopened.has_value());
+  // The rebuild is a snapshot transfer: counted, and traced as one.
+  uint64_t transfers_before = SnapshotTransfersTotal().Value();
+  std::optional<Coordinator> reopened;
+  {
+    ScopedTestTrace trace("coord_snapxfer_trace");
+    reopened = Coordinator::Open(dir);
+    ASSERT_TRUE(reopened.has_value());
+    std::string text = trace.Text();
+    EXPECT_NE(text.find("\"stage\":\"snapshot_transfer\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"fragment\":1"), std::string::npos);
+  }
+  EXPECT_EQ(SnapshotTransfersTotal().Value(), transfers_before + 1);
   EXPECT_EQ(reopened->stats().catchup_snapshots, 1u);
   EXPECT_EQ(reopened->last_seq(), 2u);
   EXPECT_EQ(reopened->fragment(1).last_seq(), 2u);
@@ -625,9 +676,12 @@ TEST(Coordinator, TornRebalanceIsRepairedByFullResyncOnOpen) {
     out << meta;
   }
 
+  uint64_t transfers_before = SnapshotTransfersTotal().Value();
   auto reopened = Coordinator::Open(dir);
   ASSERT_TRUE(reopened.has_value());
   EXPECT_EQ(reopened->stats().catchup_snapshots, reopened->num_fragments());
+  EXPECT_EQ(SnapshotTransfersTotal().Value() - transfers_before,
+            reopened->num_fragments());
   EXPECT_EQ(reopened->last_seq(), 2u);
   ExpectFragmentsMatchResidentSubgraphs(*reopened);
 

@@ -13,8 +13,10 @@
 
 #include "detect/engine.h"
 #include "graph/loader.h"
+#include "obs/trace.h"
 #include "serve/delta_log.h"
 #include "serve/graph_store.h"
+#include "serve/metrics.h"
 
 namespace gfd {
 namespace {
@@ -98,11 +100,26 @@ TEST(DeltaLog, GarbageTailIsCutAndFileTruncated) {
   }
   size_t good_size = fs::file_size(path);
   AppendBytes(path, "not a record header at all");
+  // The cut must also surface in the process metrics and, when a trace
+  // is active, as a torn_tail event.
+  uint64_t cuts_before = LogTornTailTruncationsTotal().Value();
+  uint64_t bytes_before = LogTruncatedBytesTotal().Value();
+  std::string trace_path = ::testing::TempDir() + "gfd_log_garbage.jsonl";
+  fs::remove(trace_path);
+  auto trace = obs::TraceLog::Open(trace_path);
+  ASSERT_NE(trace, nullptr);
+  obs::SetActiveTrace(trace.get());
   auto log = DeltaLog::Open(path, 1);
+  obs::SetActiveTrace(nullptr);
   ASSERT_TRUE(log.has_value());
   EXPECT_EQ(log->open_stats().records, 2u);
   EXPECT_GT(log->open_stats().truncated_bytes, 0u);
   EXPECT_EQ(fs::file_size(path), good_size);
+  EXPECT_EQ(LogTornTailTruncationsTotal().Value(), cuts_before + 1);
+  EXPECT_EQ(LogTruncatedBytesTotal().Value() - bytes_before,
+            log->open_stats().truncated_bytes);
+  EXPECT_NE(ReadBytes(trace_path).find("\"stage\":\"torn_tail\""),
+            std::string::npos);
   EXPECT_EQ(log->Append("three"), 3u);
 }
 
@@ -361,10 +378,23 @@ TEST(GraphStore, TruncatedTailCrashConvergesAndReappends) {
   std::string log_path = (fs::path(dir) / "deltas.log").string();
   AppendBytes(log_path, "R 2 24 00000000\nA\tProducer0\tty");
 
+  // Recovery must report the cut through the metrics/trace channel the
+  // serving CLI exports, not only through GraphStoreStats.
+  uint64_t cuts_before = LogTornTailTruncationsTotal().Value();
+  std::string trace_path = ::testing::TempDir() + "gfd_store_crash.jsonl";
+  fs::remove(trace_path);
+  auto trace = obs::TraceLog::Open(trace_path);
+  ASSERT_NE(trace, nullptr);
+  obs::SetActiveTrace(trace.get());
   auto recovered = GraphStore::Open(dir);
+  obs::SetActiveTrace(nullptr);
   ASSERT_TRUE(recovered.has_value());
   EXPECT_EQ(recovered->last_seq(), 1u);
   EXPECT_GT(recovered->stats().truncated_bytes, 0u);
+  EXPECT_EQ(LogTornTailTruncationsTotal().Value(), cuts_before + 1);
+  std::string trace_text = ReadBytes(trace_path);
+  EXPECT_NE(trace_text.find("\"stage\":\"torn_tail\""), std::string::npos);
+  EXPECT_NE(trace_text.find("\"stage\":\"replay\""), std::string::npos);
   EXPECT_EQ(engine.Detect(recovered->view()).violations, want);
 
   // The torn batch was never applied; re-submitting it works and lands

@@ -15,6 +15,11 @@ regression even when wall-clock stays flat. A counter present in this
 run but absent from the baseline reports "new, no baseline" and passes
 (warn-only bootstrap, same as a brand-new bench).
 
+A second class of deterministic work counters (ops routed, matches
+enumerated, touched matches) is compared and reported but warn-only:
+drift there flags an algorithmic-shape change for review without ever
+failing the gate.
+
 Rows faster than --min-seconds in the baseline are skipped: at
 sub-10-millisecond scale, CI-runner jitter swamps any real signal.
 Gated counters have no such floor.
@@ -40,6 +45,18 @@ GATED_COUNTERS = (
     "halo_bytes_per_batch",
 )
 
+# Deterministic work counters that are compared and reported but never
+# fail the gate: drift here means the workload or algorithm changed shape
+# (more ops routed, more matches enumerated), which a PR may well intend.
+# The WARN line makes an unintended change visible in review instead of
+# blocking it.
+WARN_COUNTERS = (
+    "ops_routed_total",
+    "ops_maintenance_total",
+    "matches_enumerated",
+    "touched_matches",
+)
+
 
 def load_benches(path):
     """Returns {bench name: {metric: value}} for one BENCH_*.json file.
@@ -55,7 +72,7 @@ def load_benches(path):
         if name is None or not isinstance(seconds, (int, float)):
             continue
         metrics = {"seconds": float(seconds)}
-        for key in GATED_COUNTERS:
+        for key in GATED_COUNTERS + WARN_COUNTERS:
             if isinstance(row.get(key), (int, float)):
                 metrics[key] = float(row[key])
         out[name] = metrics
@@ -114,7 +131,10 @@ def main():
                     continue  # zero baselines have no meaningful ratio
                 ratio = (cur_v - base_v) / base_v
                 status = "ok"
-                if ratio > args.threshold:
+                if key in WARN_COUNTERS:
+                    if abs(ratio) > args.threshold:
+                        status = "WARN drift (not gated)"
+                elif ratio > args.threshold:
                     status = "REGRESSION"
                     regressions.append((cur_path.name, label, base_v, cur_v,
                                         ratio))

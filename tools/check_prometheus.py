@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition file (as gfdtool emits it).
+
+Checks the structural rules a scraper relies on:
+
+  * metric and label names match the Prometheus grammar
+  * every family has exactly one # HELP and one # TYPE line, HELP first,
+    both before any sample of that family
+  * samples of one family are contiguous (no interleaving) and no family
+    appears twice
+  * label values use only the \\\\, \\", and \\n escapes; HELP text only
+    \\\\ and \\n
+  * counter and histogram sample values are non-negative; counters and
+    bucket counts are integers
+  * histogram invariants: le edges strictly ascending and ending in
+    +Inf, cumulative bucket counts monotone, the +Inf bucket equals
+    _count, and _sum/_count present exactly once per label set
+
+Usage: check_prometheus.py [FILE]   (reads stdin without FILE)
+Exits 0 when valid, 1 with one "line N: ..." message per defect.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name{labels} value  -- labels optional; value is the last token.
+SAMPLE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$")
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(token):
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    if token == "NaN":
+        return float("nan")
+    return float(token)
+
+
+def check_escapes(raw, allow_quote_escape, errors, lineno, what):
+    i = 0
+    while i < len(raw):
+        if raw[i] == "\\":
+            nxt = raw[i + 1] if i + 1 < len(raw) else ""
+            if nxt not in ("\\", "n") + (('"',) if allow_quote_escape else ()):
+                errors.append(f"line {lineno}: bad escape '\\{nxt}' in {what}")
+            i += 2
+        elif raw[i] == '"' and allow_quote_escape:
+            errors.append(f"line {lineno}: unescaped '\"' in {what}")
+            i += 1
+        else:
+            i += 1
+
+
+def base_family(name):
+    """The family a sample belongs to: strips histogram sample suffixes."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+
+class Family:
+    def __init__(self, kind):
+        self.kind = kind  # counter | gauge | histogram | untyped
+        self.saw_help = False
+        self.closed = False  # a different family's sample appeared after
+        self.label_sets = set()
+        # histogram state per label signature (labels minus le)
+        self.buckets = {}  # sig -> list of (le, cumulative_count)
+        self.sums = {}  # sig -> value
+        self.counts = {}  # sig -> value
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    else:
+        lines = sys.stdin.read().splitlines()
+
+    errors = []
+    families = {}
+    current = None  # family name whose sample block is open
+
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            errors.append(f"line {lineno}: blank line")
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, help_text = rest.partition(" ")
+            if not METRIC_NAME.match(name):
+                errors.append(f"line {lineno}: bad metric name '{name}'")
+                continue
+            if name in families:
+                errors.append(f"line {lineno}: duplicate family '{name}'")
+                continue
+            fam = Family("untyped")
+            fam.saw_help = True
+            families[name] = fam
+            check_escapes(help_text, False, errors, lineno, "HELP text")
+            current = None
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split(" ")
+            if len(parts) != 2:
+                errors.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                errors.append(f"line {lineno}: unknown type '{kind}'")
+                continue
+            fam = families.get(name)
+            if fam is None or not fam.saw_help:
+                errors.append(f"line {lineno}: TYPE for '{name}' without a "
+                              "preceding HELP")
+                fam = families.setdefault(name, Family(kind))
+            if fam.kind != "untyped":
+                errors.append(f"line {lineno}: duplicate TYPE for '{name}'")
+            fam.kind = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            continue  # comment
+
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        sample_name, _, label_body, value_token = m.groups()
+        try:
+            value = parse_value(value_token)
+        except ValueError:
+            errors.append(f"line {lineno}: bad sample value '{value_token}'")
+            continue
+
+        fam_name, suffix = base_family(sample_name)
+        fam = families.get(fam_name)
+        if fam is None or fam.kind != "histogram":
+            # _bucket/_sum/_count only mean "histogram sample" when the
+            # base family is one; else the full name is the family.
+            fam_name, suffix = sample_name, ""
+            fam = families.get(fam_name)
+        if fam is None:
+            errors.append(f"line {lineno}: sample for unannounced family "
+                          f"'{fam_name}'")
+            continue
+        if fam.kind == "untyped" and fam.saw_help:
+            errors.append(f"line {lineno}: sample for '{fam_name}' before "
+                          "its TYPE line")
+        if current != fam_name:
+            if fam.closed:
+                errors.append(f"line {lineno}: samples of '{fam_name}' are "
+                              "interleaved with another family")
+            if current is not None and current in families:
+                families[current].closed = True
+            current = fam_name
+
+        labels = []
+        if label_body is not None:
+            stripped = LABEL_PAIR.sub("", label_body)
+            if stripped.strip(","):
+                errors.append(f"line {lineno}: malformed label body "
+                              f"'{{{label_body}}}'")
+            for lm in LABEL_PAIR.finditer(label_body):
+                key, raw_value = lm.group(1), lm.group(2)
+                if not LABEL_NAME.match(key):
+                    errors.append(f"line {lineno}: bad label name '{key}'")
+                check_escapes(raw_value, True, errors, lineno,
+                              f"label '{key}'")
+                labels.append((key, raw_value))
+
+        if fam.kind == "counter":
+            if suffix:
+                errors.append(f"line {lineno}: suffix '{suffix}' on counter")
+            if value < 0 or value != int(value):
+                errors.append(f"line {lineno}: counter value must be a "
+                              f"non-negative integer, got {value_token}")
+            key = tuple(labels)
+            if key in fam.label_sets:
+                errors.append(f"line {lineno}: duplicate sample")
+            fam.label_sets.add(key)
+        elif fam.kind == "gauge":
+            key = tuple(labels)
+            if key in fam.label_sets:
+                errors.append(f"line {lineno}: duplicate sample")
+            fam.label_sets.add(key)
+        elif fam.kind == "histogram":
+            sig = tuple(p for p in labels if p[0] != "le")
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: _bucket without le label")
+                    continue
+                try:
+                    edge = parse_value(le)
+                except ValueError:
+                    errors.append(f"line {lineno}: bad le value '{le}'")
+                    continue
+                if value < 0 or value != int(value):
+                    errors.append(f"line {lineno}: bucket count must be a "
+                                  f"non-negative integer, got {value_token}")
+                series = fam.buckets.setdefault(sig, [])
+                if series:
+                    prev_edge, prev_count = series[-1]
+                    if edge <= prev_edge:
+                        errors.append(f"line {lineno}: le edges not "
+                                      "ascending")
+                    if value < prev_count:
+                        errors.append(f"line {lineno}: cumulative bucket "
+                                      "counts decreased")
+                series.append((edge, value))
+            elif suffix == "_sum":
+                if sig in fam.sums:
+                    errors.append(f"line {lineno}: duplicate _sum")
+                fam.sums[sig] = value
+            elif suffix == "_count":
+                if sig in fam.counts:
+                    errors.append(f"line {lineno}: duplicate _count")
+                if value < 0 or value != int(value):
+                    errors.append(f"line {lineno}: _count must be a "
+                                  f"non-negative integer, got {value_token}")
+                fam.counts[sig] = value
+            else:
+                errors.append(f"line {lineno}: bare sample '{sample_name}' "
+                              "for histogram family")
+
+    # Whole-file histogram invariants.
+    for name, fam in families.items():
+        if fam.kind != "histogram":
+            continue
+        for sig in set(fam.buckets) | set(fam.sums) | set(fam.counts):
+            where = f"histogram '{name}'" + (f" {dict(sig)}" if sig else "")
+            series = fam.buckets.get(sig)
+            if not series:
+                errors.append(f"{where}: no _bucket samples")
+                continue
+            if series[-1][0] != float("inf"):
+                errors.append(f"{where}: bucket series does not end in +Inf")
+            if sig not in fam.counts:
+                errors.append(f"{where}: missing _count")
+            elif series[-1][0] == float("inf") and \
+                    series[-1][1] != fam.counts[sig]:
+                errors.append(f"{where}: +Inf bucket {series[-1][1]:.0f} != "
+                              f"_count {fam.counts[sig]:.0f}")
+            if sig not in fam.sums:
+                errors.append(f"{where}: missing _sum")
+
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        total = sum(1 for f in families.values())
+        print(f"ok: {total} families, {len(lines)} lines")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,14 +54,25 @@
 //       compact in lockstep onto the new ownership.
 //   gfdtool serve status <dir>
 //       Per-fragment sequence/anchor/overlay/footprint report.
+//   gfdtool metrics <dir> [-o FILE]
+//       Open the store or coordinator at <dir> (replaying its logs, so
+//       recovery metrics are populated) and render the full metrics
+//       registry in Prometheus text format to stdout or FILE.
 //   gfdtool validate <graph.tsv> <rules.gfd>
 //       Boolean check G |= Sigma, rule by rule. Exit 3 on violation.
 //   gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] [-o cover.gfd]
 //       Reduce a rule file to a minimal equivalent cover.
+//
+// The serving verbs (`detect --log`, `serve append`) additionally accept
+//   --metrics-out FILE   atomically write the Prometheus exposition of
+//                        everything this invocation did on exit
+//   --trace FILE         append one JSON-lines trace event per serving
+//                        stage (validate/route/ship/detect/merge/compact)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -69,14 +80,19 @@
 #include "datagen/kb.h"
 #include "datagen/noise.h"
 #include "detect/engine.h"
+#include "detect/metrics.h"
 #include "gfd/serialize.h"
 #include "gfd/validation.h"
 #include "graph/loader.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/fragment.h"
 #include "parallel/parcover.h"
 #include "parallel/pardis.h"
 #include "serve/coordinator.h"
+#include "serve/durable_io.h"
 #include "serve/graph_store.h"
+#include "serve/metrics.h"
 #include "serve/serving_store.h"
 #include "util/hash.h"
 #include "util/timer.h"
@@ -94,7 +110,8 @@ int Usage() {
       "[-o rules.gfd]\n"
       "       gfdtool detect <graph.tsv>|--log <dir> <rules.gfd> "
       "[-w WORKERS] [--shards N] [--max-per-gfd N] [--max-total N] "
-      "[--delta FILE] [--compact-ops N]\n"
+      "[--delta FILE] [--compact-ops N] [--metrics-out FILE] "
+      "[--trace FILE]\n"
       "       gfdtool log init <dir> <graph.tsv>\n"
       "       gfdtool log append <dir> <delta.tsv> [--compact-ops N]\n"
       "       gfdtool log replay <dir> [-o graph.tsv]\n"
@@ -102,10 +119,12 @@ int Usage() {
       "       gfdtool serve init <dir> <graph.tsv> --fragments N "
       "[--radius R]\n"
       "       gfdtool serve append <dir> <rules.gfd> <delta.tsv> "
-      "[-w WORKERS] [--compact-ops N]\n"
+      "[-w WORKERS] [--compact-ops N] [--metrics-out FILE] "
+      "[--trace FILE]\n"
       "       gfdtool serve rebalance <dir> <node> <fragment> "
       "[--compact-ops N]\n"
       "       gfdtool serve status <dir>\n"
+      "       gfdtool metrics <dir> [-o FILE]\n"
       "       gfdtool validate <graph.tsv> <rules.gfd>\n"
       "       gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] "
       "[-o cover.gfd]\n");
@@ -252,6 +271,47 @@ bool CountFlag(int argc, char** argv, const char* flag, size_t* out,
   return true;
 }
 
+// Wires the optional --trace / --metrics-out flags of the serving
+// verbs. Construct it before the store opens so replay and recovery
+// spans land in the trace; on scope exit (after the whole invocation)
+// it renders the default registry atomically to the metrics file.
+struct ObsSetup {
+  std::unique_ptr<obs::TraceLog> trace;
+  const char* metrics_out = nullptr;
+  bool ok = true;
+
+  ObsSetup(int argc, char** argv) {
+    metrics_out = FlagValue(argc, argv, "--metrics-out");
+    if (const char* path = FlagValue(argc, argv, "--trace")) {
+      std::string error;
+      trace = obs::TraceLog::Open(path, &error);
+      if (!trace) {
+        std::fprintf(stderr, "cannot open trace file %s: %s\n", path,
+                     error.c_str());
+        ok = false;
+        return;
+      }
+      obs::SetActiveTrace(trace.get());
+    }
+  }
+
+  ~ObsSetup() {
+    obs::SetActiveTrace(nullptr);
+    if (!metrics_out) return;
+    // Touch every family first so the exposition is the full catalog
+    // (zero-valued where this invocation did not exercise a path).
+    TouchServeMetrics();
+    TouchDetectMetrics();
+    std::string error;
+    if (!AtomicWriteFile(metrics_out,
+                         obs::MetricsRegistry::Default().RenderPrometheusText(),
+                         &error)) {
+      std::fprintf(stderr, "cannot write metrics to %s: %s\n", metrics_out,
+                   error.c_str());
+    }
+  }
+};
+
 int Gen(int argc, char** argv) {
   if (argc < 1) return Usage();
   const char* out_path = argv[0];
@@ -331,16 +391,20 @@ std::optional<GraphStore> OpenStore(const char* dir,
     std::fprintf(stderr, "error opening store %s: %s\n", dir, error.c_str());
     return std::nullopt;
   }
-  const GraphStoreStats& st = store->stats();
+  // Both backends report recovery through the same unified snapshot;
+  // mirroring it into the gauges keeps `--metrics-out` current even for
+  // verbs that never append.
+  ServingMetricsSnapshot snap = store->MetricsSnapshot();
+  ExportSnapshotMetrics(snap);
   std::fprintf(stderr,
                "store %s: snapshot@%llu + %zu replayed batch(es) -> seq "
                "%llu, overlay %zu op(s)%s%s\n",
-               dir, static_cast<unsigned long long>(st.anchor_seq),
-               st.replayed_batches,
-               static_cast<unsigned long long>(st.last_seq),
-               store->overlay().ops.size(),
-               st.truncated_bytes ? " [corrupt tail cut]" : "",
-               st.skipped_batches ? " [pre-anchor records dropped]" : "");
+               dir, static_cast<unsigned long long>(snap.anchor_seq),
+               snap.replayed_batches,
+               static_cast<unsigned long long>(snap.last_seq),
+               snap.overlay_ops,
+               snap.truncated_bytes ? " [corrupt tail cut]" : "",
+               snap.skipped_batches ? " [pre-anchor records dropped]" : "");
   return store;
 }
 
@@ -458,6 +522,9 @@ std::optional<int> ServeBatch(ServingStore& store,
   auto after_view = GraphView::Apply(after, no_delta);
   int code = ReportDiff(engine, *after_view, before, *diff, seconds, workers,
                         post_count);
+  // Refresh the snapshot gauges so a metrics export reflects the
+  // post-batch sequence and overlay state.
+  ExportSnapshotMetrics(store.MetricsSnapshot());
   if (seq_out) *seq_out = seq;
   return code;
 }
@@ -484,6 +551,12 @@ int Detect(int argc, char** argv) {
                  /*min=*/0)) {
     return Usage();
   }
+
+  // Observability first: the trace must be live before the store opens
+  // so replay / torn-tail recovery events are captured. Destroyed last,
+  // after everything below ran, which is when the metrics render.
+  ObsSetup obs(argc, argv);
+  if (!obs.ok) return 1;
 
   std::optional<PropertyGraph> g;
   std::optional<GraphStore> store;
@@ -535,6 +608,7 @@ int Detect(int argc, char** argv) {
           ServeBatch(*store, engine, *payload, delta_path, opts.workers, &seq);
       if (!code) return 1;
       if (!AppendFollowUp(*store, seq)) return 1;
+      ExportSnapshotMetrics(store->MetricsSnapshot());
       return *code;
     }
     std::string error;
@@ -695,18 +769,19 @@ std::optional<Coordinator> OpenCoordinator(const char* dir,
                  error.c_str());
     return std::nullopt;
   }
-  CoordinatorStats st = coord->stats();
+  ServingMetricsSnapshot snap = coord->MetricsSnapshot();
+  ExportSnapshotMetrics(snap);
   std::fprintf(stderr,
                "coordinator %s: %zu fragment(s) at seq %llu (anchor %llu)\n",
-               dir, coord->num_fragments(),
-               static_cast<unsigned long long>(st.last_seq),
-               static_cast<unsigned long long>(st.anchor_seq));
-  if (st.lagging_fragments > 0) {
+               dir, snap.fragments,
+               static_cast<unsigned long long>(snap.last_seq),
+               static_cast<unsigned long long>(snap.anchor_seq));
+  if (snap.lagging_fragments > 0) {
     std::fprintf(stderr,
                  "caught up %zu lagging fragment(s): %zu record(s) "
                  "re-shipped, %zu snapshot transfer(s)\n",
-                 st.lagging_fragments, st.catchup_records,
-                 st.catchup_snapshots);
+                 snap.lagging_fragments, snap.catchup_records,
+                 snap.catchup_snapshots);
   }
   return coord;
 }
@@ -802,6 +877,11 @@ int Serve(int argc, char** argv) {
     if (argc < 4) return Usage();
     size_t workers = 1;
     if (!CountFlag(argc, argv, "-w", &workers)) return Usage();
+    // Trace must be live before the coordinator opens (catch-up and
+    // snapshot-transfer events fire during Open); metrics render on
+    // scope exit, after the compaction policy ran.
+    ObsSetup obs(argc, argv);
+    if (!obs.ok) return 1;
     auto coord = OpenCoordinator(dir, copts);
     if (!coord) return 1;
     PropertyGraph current = coord->MaterializeCurrent();
@@ -855,10 +935,44 @@ int Serve(int argc, char** argv) {
       std::fprintf(stderr, "compacted: all fragments rolled to seq %llu\n",
                    static_cast<unsigned long long>(coord->stats().anchor_seq));
     }
+    ExportSnapshotMetrics(coord->MetricsSnapshot());
     return *code;
   }
 
   return Usage();
+}
+
+// `gfdtool metrics <dir> [-o FILE]`: open whichever backend lives at
+// <dir> (the replay populates recovery metrics -- torn tails, catch-up,
+// replayed batches), mirror its unified snapshot into the gauges, and
+// render the complete registry in Prometheus text format.
+int Metrics(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const char* dir = argv[0];
+  std::optional<GraphStore> store;
+  std::optional<Coordinator> coord;
+  if (std::ifstream(std::string(dir) + "/coordinator.meta").good()) {
+    coord = OpenCoordinator(dir, CoordinatorOptions{});
+    if (!coord) return 1;
+  } else {
+    store = OpenStore(dir, GraphStoreOptions{});
+    if (!store) return 1;
+  }
+  TouchServeMetrics();
+  TouchDetectMetrics();
+  std::string text = obs::MetricsRegistry::Default().RenderPrometheusText();
+  if (const char* out_path = FlagValue(argc, argv, "-o")) {
+    std::string error;
+    if (!AtomicWriteFile(out_path, text, &error)) {
+      std::fprintf(stderr, "cannot write metrics to %s: %s\n", out_path,
+                   error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote metrics to %s\n", out_path);
+  } else {
+    std::fputs(text.c_str(), stdout);
+  }
+  return 0;
 }
 
 int Validate(int argc, char** argv) {
@@ -907,6 +1021,7 @@ int main(int argc, char** argv) {
   if (!std::strcmp(argv[1], "detect")) return Detect(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "log")) return Log(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "serve")) return Serve(argc - 2, argv + 2);
+  if (!std::strcmp(argv[1], "metrics")) return Metrics(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "validate")) return Validate(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "cover")) return Cover(argc - 2, argv + 2);
   return Usage();
