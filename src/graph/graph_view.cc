@@ -1,6 +1,8 @@
 #include "graph/graph_view.h"
 
 #include <algorithm>
+#include <map>
+#include <tuple>
 
 namespace gfd {
 
@@ -357,6 +359,146 @@ PropertyGraph GraphView::Materialize() const {
     if (e.alive) b.AddEdgeById(e.src, e.dst, e.label);
   }
   return std::move(b).Build();
+}
+
+bool GraphView::ValidateAppended(const GraphDelta& delta, size_t first_op,
+                                 std::string* error) const {
+  auto fail = [&](size_t op_index, const std::string& msg) {
+    if (error) *error = "op " + std::to_string(op_index + 1) + ": " + msg;
+    return false;
+  };
+  const size_t num_labels = base_->labels().size() + delta.extra_labels.size();
+  const size_t num_attrs = base_->attrs().size() + delta.extra_attrs.size();
+  const size_t num_values = base_->values().size() + delta.extra_values.size();
+
+  // Net insert-minus-delete balance per (src, dst, label) accumulated
+  // across the tail so far: a delete is legal iff the view's current
+  // matching-edge count plus the balance is positive.
+  std::map<std::tuple<NodeId, NodeId, LabelId>, int64_t> pending;
+  for (size_t i = first_op; i < delta.ops.size(); ++i) {
+    const GraphDelta::Op& op = delta.ops[i];
+    if (op.src >= base_->NumNodes()) {
+      return fail(i, "node " + std::to_string(op.src) + " out of range");
+    }
+    switch (op.kind) {
+      case GraphDelta::OpKind::kInsertEdge:
+      case GraphDelta::OpKind::kDeleteEdge: {
+        if (op.dst >= base_->NumNodes()) {
+          return fail(i, "node " + std::to_string(op.dst) + " out of range");
+        }
+        if (op.label >= num_labels) {
+          return fail(i, "edge label id out of range");
+        }
+        int64_t& net = pending[{op.src, op.dst, op.label}];
+        if (op.kind == GraphDelta::OpKind::kInsertEdge) {
+          ++net;
+          break;
+        }
+        auto out = OutEdges(op.src);
+        int64_t present = std::count_if(out.begin(), out.end(), [&](EdgeId e) {
+          return EdgeDst(e) == op.dst && EdgeLabel(e) == op.label;
+        });
+        if (present + net <= 0) {
+          return fail(i, "delete of missing edge " + std::to_string(op.src) +
+                             " -" + delta.LabelName(*base_, op.label) + "-> " +
+                             std::to_string(op.dst));
+        }
+        --net;
+        break;
+      }
+      case GraphDelta::OpKind::kSetAttr: {
+        if (op.key >= num_attrs) return fail(i, "attribute id out of range");
+        if (op.value >= num_values) return fail(i, "value id out of range");
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool GraphView::AbsorbAppended(const GraphDelta& delta, size_t first_op,
+                               std::string* error) {
+  if (!ValidateAppended(delta, first_op, error)) return false;
+  // The delta's extension vocabulary grew append-only past what the view
+  // carries (GraphDelta::Append re-interns by name), so adopting the
+  // whole tables keeps every id the view already handed out valid.
+  extra_labels_ = delta.extra_labels;
+  extra_attrs_ = delta.extra_attrs;
+  extra_values_ = delta.extra_values;
+
+  std::vector<NodeId> touched;
+  // Keeps the materialized-list invariant -- sorted by (neighbor, label)
+  // -- without a full re-sort: one positioned insert per new edge.
+  auto sorted_insert = [&](std::vector<EdgeId>& list, EdgeId id, bool out) {
+    auto pos =
+        std::upper_bound(list.begin(), list.end(), id, [&](EdgeId a, EdgeId b) {
+          NodeId na = out ? EdgeDst(a) : EdgeSrc(a);
+          NodeId nb = out ? EdgeDst(b) : EdgeSrc(b);
+          if (na != nb) return na < nb;
+          return EdgeLabel(a) < EdgeLabel(b);
+        });
+    list.insert(pos, id);
+  };
+  for (size_t i = first_op; i < delta.ops.size(); ++i) {
+    const GraphDelta::Op& op = delta.ops[i];
+    touched.push_back(op.src);
+    switch (op.kind) {
+      case GraphDelta::OpKind::kInsertEdge: {
+        touched.push_back(op.dst);
+        EdgeId id = base_edges_ + static_cast<EdgeId>(added_.size());
+        added_.push_back({op.src, op.dst, op.label, /*alive=*/true});
+        sorted_insert(TouchOut(op.src), id, /*out=*/true);
+        sorted_insert(TouchIn(op.dst), id, /*out=*/false);
+        ++inserted_alive_;
+        ++num_edges_;
+        break;
+      }
+      case GraphDelta::OpKind::kDeleteEdge: {
+        touched.push_back(op.dst);
+        std::vector<EdgeId>& out = TouchOut(op.src);
+        auto hit = std::find_if(out.begin(), out.end(), [&](EdgeId e) {
+          return EdgeDst(e) == op.dst && EdgeLabel(e) == op.label;
+        });
+        // ValidateAppended's count balance guarantees a hit.
+        EdgeId victim = *hit;
+        out.erase(hit);
+        std::vector<EdgeId>& in = TouchIn(op.dst);
+        in.erase(std::find(in.begin(), in.end(), victim));
+        if (victim < base_edges_) {
+          deleted_base_.insert(victim);
+        } else {
+          added_[victim - base_edges_].alive = false;
+          ++deleted_inserted_;
+          --inserted_alive_;
+        }
+        --num_edges_;
+        break;
+      }
+      case GraphDelta::OpKind::kSetAttr: {
+        auto& overlay = attr_overlay_[op.src];
+        auto hit = std::find_if(
+            overlay.begin(), overlay.end(),
+            [&](const Attribute& a) { return a.key == op.key; });
+        if (hit != overlay.end()) {
+          hit->value = op.value;  // last write wins
+        } else {
+          overlay.push_back({op.key, op.value});
+        }
+        ++attr_sets_;
+        break;
+      }
+    }
+  }
+  num_ops_ = delta.ops.size();
+
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  std::vector<NodeId> merged;
+  merged.reserve(affected_.size() + touched.size());
+  std::set_union(affected_.begin(), affected_.end(), touched.begin(),
+                 touched.end(), std::back_inserter(merged));
+  affected_ = std::move(merged);
+  return true;
 }
 
 }  // namespace gfd

@@ -213,6 +213,29 @@ class GraphView {
   /// equal to results over the view; edge ids are renumbered.
   PropertyGraph Materialize() const;
 
+  // --- Incremental (in-place) apply ----------------------------------------
+  /// Dry-run of AbsorbAppended: checks that the ops `delta` gained since
+  /// this view last absorbed it -- ops[first_op, delta.size()) -- can
+  /// apply on top of the current view state. Cost is O(batch + touched
+  /// degrees), independent of the overlay size. Error text matches
+  /// Apply's ("op N: ...", N 1-based and absolute within `delta`).
+  /// Delete validity is count-based per (src, dst, label), which is
+  /// equivalent to Apply's pick-any-matching-edge resolution: edges with
+  /// an identical key are interchangeable for existence.
+  bool ValidateAppended(const GraphDelta& delta, size_t first_op,
+                        std::string* error = nullptr) const;
+
+  /// In-place incremental apply: absorbs ops[first_op, delta.size()) of
+  /// `delta` into this view. Precondition: the view currently reflects
+  /// exactly delta.ops[0, first_op) over the same base, and `delta`'s
+  /// extension vocabulary grew append-only (GraphDelta::Append
+  /// guarantees both -- this is the serving overlay's shape). Validates
+  /// first; returns false with the view unchanged when the tail cannot
+  /// apply. This is what keeps GraphStore::Append at O(batch) instead of
+  /// re-applying the whole overlay per batch.
+  bool AbsorbAppended(const GraphDelta& delta, size_t first_op,
+                      std::string* error = nullptr);
+
  private:
   struct AddedEdge {
     NodeId src;

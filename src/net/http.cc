@@ -1,0 +1,431 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gfd::net {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string_view TrimSpace(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Strips one trailing '\r' (lines are split on '\n'; both CRLF and bare
+// LF endings are accepted).
+std::string_view TrimCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void ParseQuery(std::string_view raw,
+                std::vector<std::pair<std::string, std::string>>* out) {
+  size_t pos = 0;
+  while (pos <= raw.size()) {
+    size_t amp = raw.find('&', pos);
+    std::string_view pair = raw.substr(
+        pos, amp == std::string_view::npos ? std::string_view::npos
+                                           : amp - pos);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out->emplace_back(PercentDecode(pair), "");
+      } else {
+        out->emplace_back(PercentDecode(pair.substr(0, eq)),
+                          PercentDecode(pair.substr(eq + 1)));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+}
+
+}  // namespace
+
+const std::string* HttpRequest::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::QueryParam(std::string_view name) const {
+  for (const auto& [k, v] : query) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() + 0 && i + 2 <= s.size() - 1) {
+      int hi = HexDigit(s[i + 1]), lo = HexDigit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+ParseStatus HttpParser::Fail(ParseStatus status, std::string message) {
+  state_ = State::kFailed;
+  error_ = std::move(message);
+  return status;
+}
+
+ParseStatus HttpParser::Consume(std::string_view bytes) {
+  buffer_.append(bytes);
+  for (;;) {
+    switch (state_) {
+      case State::kHeader: {
+        ParseStatus s = ParseHeader();
+        if (s != ParseStatus::kOk) return s;
+        continue;  // state advanced to kBody/kChunked/kDone
+      }
+      case State::kBody: {
+        ParseStatus s = ParseBody();
+        if (s != ParseStatus::kOk) return s;
+        continue;
+      }
+      case State::kChunked: {
+        ParseStatus s = ParseChunked();
+        if (s != ParseStatus::kOk) return s;
+        continue;
+      }
+      case State::kDone:
+        return ParseStatus::kOk;
+      case State::kFailed:
+        return error_.find("exceeds") != std::string::npos
+                   ? ParseStatus::kTooLarge
+                   : ParseStatus::kBad;
+    }
+  }
+}
+
+ParseStatus HttpParser::ParseHeader() {
+  size_t end = buffer_.find("\n\n");
+  size_t term = 2;
+  size_t crlf = buffer_.find("\r\n\r\n");
+  if (crlf != std::string::npos && (end == std::string::npos || crlf < end)) {
+    end = crlf;
+    term = 4;
+  }
+  if (end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return Fail(ParseStatus::kTooLarge, "header section exceeds " +
+                                              std::to_string(
+                                                  limits_.max_header_bytes) +
+                                              " bytes");
+    }
+    return ParseStatus::kIncomplete;
+  }
+  if (end > limits_.max_header_bytes) {
+    return Fail(ParseStatus::kTooLarge,
+                "header section exceeds " +
+                    std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  std::string_view head(buffer_.data(), end);
+  request_ = HttpRequest{};
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  size_t line_end = head.find('\n');
+  std::string_view line =
+      TrimCr(line_end == std::string_view::npos ? head
+                                                : head.substr(0, line_end));
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Fail(ParseStatus::kBad, "malformed request line");
+  }
+  request_.method = std::string(line.substr(0, sp1));
+  request_.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = line.substr(sp2 + 1);
+  if (!version.starts_with("HTTP/1.")) {
+    return Fail(ParseStatus::kBad, "unsupported protocol version");
+  }
+  if (request_.method.empty() || request_.target.empty()) {
+    return Fail(ParseStatus::kBad, "malformed request line");
+  }
+  bool http11 = version == "HTTP/1.1";
+  request_.keep_alive = http11;
+
+  // Split target into path + query.
+  size_t q = request_.target.find('?');
+  request_.path = PercentDecode(q == std::string::npos
+                                    ? std::string_view(request_.target)
+                                    : std::string_view(request_.target)
+                                          .substr(0, q));
+  if (q != std::string::npos) {
+    ParseQuery(std::string_view(request_.target).substr(q + 1),
+               &request_.query);
+  }
+
+  // Header fields.
+  size_t content_length = 0;
+  bool have_length = false, chunked = false;
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 1);
+  while (!rest.empty()) {
+    size_t nl = rest.find('\n');
+    std::string_view field = TrimCr(
+        nl == std::string_view::npos ? rest : rest.substr(0, nl));
+    rest = nl == std::string_view::npos ? std::string_view{}
+                                        : rest.substr(nl + 1);
+    if (field.empty()) continue;
+    size_t colon = field.find(':');
+    if (colon == std::string_view::npos) {
+      return Fail(ParseStatus::kBad, "malformed header field");
+    }
+    std::string name = ToLower(TrimSpace(field.substr(0, colon)));
+    std::string value(TrimSpace(field.substr(colon + 1)));
+    if (name.empty()) {
+      return Fail(ParseStatus::kBad, "malformed header field");
+    }
+    if (name == "content-length") {
+      char* endp = nullptr;
+      std::string digits = value;
+      // Digits only: strtoull would happily wrap "-5" to a huge value.
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        return Fail(ParseStatus::kBad, "malformed Content-Length");
+      }
+      unsigned long long n = std::strtoull(digits.c_str(), &endp, 10);
+      if (!endp || *endp != '\0') {
+        return Fail(ParseStatus::kBad, "malformed Content-Length");
+      }
+      content_length = static_cast<size_t>(n);
+      have_length = true;
+    } else if (name == "transfer-encoding") {
+      if (ToLower(value) != "chunked") {
+        return Fail(ParseStatus::kBad, "unsupported transfer encoding");
+      }
+      chunked = true;
+    } else if (name == "connection") {
+      std::string lowered = ToLower(value);
+      if (lowered == "close") request_.keep_alive = false;
+      if (lowered == "keep-alive") request_.keep_alive = true;
+    }
+    request_.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  buffer_.erase(0, end + term);
+  if (chunked) {
+    state_ = State::kChunked;
+    return ParseStatus::kOk;
+  }
+  if (have_length) {
+    if (content_length > limits_.max_body_bytes) {
+      return Fail(ParseStatus::kTooLarge,
+                  "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                      " bytes");
+    }
+    body_remaining_ = content_length;
+    state_ = State::kBody;
+    return ParseStatus::kOk;
+  }
+  state_ = State::kDone;
+  return ParseStatus::kOk;
+}
+
+ParseStatus HttpParser::ParseBody() {
+  size_t take = std::min(body_remaining_, buffer_.size());
+  request_.body.append(buffer_, 0, take);
+  buffer_.erase(0, take);
+  body_remaining_ -= take;
+  if (body_remaining_ > 0) return ParseStatus::kIncomplete;
+  state_ = State::kDone;
+  return ParseStatus::kOk;
+}
+
+ParseStatus HttpParser::ParseChunked() {
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl == std::string::npos) {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        return Fail(ParseStatus::kBad, "malformed chunk size line");
+      }
+      return ParseStatus::kIncomplete;
+    }
+    std::string_view size_line =
+        TrimCr(std::string_view(buffer_).substr(0, nl));
+    // Chunk extensions (";...") are tolerated and ignored.
+    size_t semi = size_line.find(';');
+    if (semi != std::string_view::npos) size_line = size_line.substr(0, semi);
+    size_line = TrimSpace(size_line);
+    if (size_line.empty()) {
+      return Fail(ParseStatus::kBad, "malformed chunk size line");
+    }
+    size_t chunk = 0;
+    for (char c : size_line) {
+      int d = HexDigit(c);
+      if (d < 0) return Fail(ParseStatus::kBad, "malformed chunk size line");
+      if (chunk > (limits_.max_body_bytes >> 4) + 1) {
+        return Fail(ParseStatus::kTooLarge,
+                    "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                        " bytes");
+      }
+      chunk = chunk * 16 + static_cast<size_t>(d);
+    }
+    if (request_.body.size() + chunk > limits_.max_body_bytes) {
+      return Fail(ParseStatus::kTooLarge,
+                  "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                      " bytes");
+    }
+    if (chunk == 0) {
+      // Final chunk: consume the size line, then expect a blank line
+      // (trailers are not supported -- a non-empty trailer is an error).
+      size_t after = nl + 1;
+      size_t nl2 = buffer_.find('\n', after);
+      if (nl2 == std::string::npos) return ParseStatus::kIncomplete;
+      std::string_view trailer =
+          TrimCr(std::string_view(buffer_).substr(after, nl2 - after));
+      if (!trailer.empty()) {
+        return Fail(ParseStatus::kBad, "unsupported chunked trailer");
+      }
+      buffer_.erase(0, nl2 + 1);
+      state_ = State::kDone;
+      return ParseStatus::kOk;
+    }
+    // Need the whole chunk plus its terminating newline.
+    size_t data_start = nl + 1;
+    if (buffer_.size() < data_start + chunk + 1) {
+      return ParseStatus::kIncomplete;
+    }
+    request_.body.append(buffer_, data_start, chunk);
+    size_t tail = data_start + chunk;
+    // Chunk data must be followed by CRLF (or LF).
+    if (buffer_[tail] == '\r') {
+      if (buffer_.size() < tail + 2) return ParseStatus::kIncomplete;
+      if (buffer_[tail + 1] != '\n') {
+        return Fail(ParseStatus::kBad, "malformed chunk terminator");
+      }
+      buffer_.erase(0, tail + 2);
+    } else if (buffer_[tail] == '\n') {
+      buffer_.erase(0, tail + 1);
+    } else {
+      return Fail(ParseStatus::kBad, "malformed chunk terminator");
+    }
+  }
+}
+
+HttpRequest HttpParser::TakeRequest() {
+  HttpRequest out = std::move(request_);
+  request_ = HttpRequest{};
+  state_ = State::kHeader;
+  return out;
+}
+
+std::string_view StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 422:
+      return "Unprocessable Entity";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& resp, bool keep_alive) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    std::string(StatusReason(resp.status)) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  for (const auto& [k, v] : resp.extra_headers) {
+    out += k + ": " + v + "\r\n";
+  }
+  out += "\r\n";
+  out += resp.body;
+  return out;
+}
+
+}  // namespace gfd::net

@@ -1,0 +1,115 @@
+// Dependency-free HTTP/1.1 message layer: an incremental request parser
+// (request line -> headers -> body, fixed-length or chunked) with hard
+// size limits, plus response serialization. Transport-agnostic -- the
+// parser consumes bytes from anywhere (http_server.cc feeds it from a
+// socket, the tests from string tables), which is what makes the
+// fuzz-ish malformed-input tests cheap.
+//
+// Deliberately small surface: exactly what the changefeed server needs
+// (GET/POST, keep-alive, percent-decoded query parameters, chunked
+// request bodies), not a general HTTP library. docs/WIRE.md documents
+// the wire behavior.
+#ifndef GFD_NET_HTTP_H_
+#define GFD_NET_HTTP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gfd::net {
+
+/// Request size limits; exceeding either yields kTooLarge (mapped to
+/// 431/413 by the server).
+struct HttpLimits {
+  size_t max_header_bytes = 64 * 1024;
+  size_t max_body_bytes = 16 * 1024 * 1024;
+};
+
+/// One parsed request. Header names are lower-cased; query keys/values
+/// are percent-decoded ('+' decodes to space).
+struct HttpRequest {
+  std::string method;  ///< as sent (GET, POST, ...)
+  std::string target;  ///< raw request target (path?query)
+  std::string path;    ///< percent-decoded path component
+  std::vector<std::pair<std::string, std::string>> query;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;        ///< de-chunked when chunked
+  bool keep_alive = true;  ///< HTTP/1.1 default, honoring Connection
+
+  /// First header with `name` (lower-case), or nullptr.
+  const std::string* Header(std::string_view name) const;
+  /// First query parameter `name`, or nullptr.
+  const std::string* QueryParam(std::string_view name) const;
+};
+
+enum class ParseStatus {
+  kOk,          ///< one complete request is ready (TakeRequest)
+  kIncomplete,  ///< need more bytes
+  kBad,         ///< malformed; close the connection (400)
+  kTooLarge,    ///< a limit was exceeded; close (413/431)
+};
+
+/// Incremental HTTP/1.1 request parser. Feed bytes with Consume until it
+/// returns kOk, TakeRequest(), repeat for the next request on the same
+/// connection (pipelined leftover bytes are retained). After kBad or
+/// kTooLarge the parser is poisoned; close the connection.
+class HttpParser {
+ public:
+  explicit HttpParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  /// Appends `bytes` (may be empty) and attempts to complete a request.
+  ParseStatus Consume(std::string_view bytes);
+
+  /// Valid exactly once after kOk; resets the parser for the next
+  /// request on the connection.
+  HttpRequest TakeRequest();
+
+  /// Human-readable cause after kBad/kTooLarge.
+  const std::string& error() const { return error_; }
+
+ private:
+  enum class State { kHeader, kBody, kChunked, kDone, kFailed };
+
+  ParseStatus Fail(ParseStatus status, std::string message);
+  ParseStatus ParseHeader();   // buffer_ -> request line + headers
+  ParseStatus ParseBody();     // fixed Content-Length
+  ParseStatus ParseChunked();  // Transfer-Encoding: chunked
+
+  HttpLimits limits_;
+  State state_ = State::kHeader;
+  std::string buffer_;   ///< unconsumed input
+  HttpRequest request_;  ///< being assembled
+  size_t body_remaining_ = 0;
+  std::string error_;
+};
+
+/// One response. `extra_headers` are emitted verbatim after the
+/// standard ones.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// Standard reason phrase for `status` ("OK", "Not Found", ...).
+std::string_view StatusReason(int status);
+
+/// Serializes status line + headers + body with Content-Length and the
+/// requested Connection disposition.
+std::string SerializeResponse(const HttpResponse& resp, bool keep_alive);
+
+/// Percent-decodes `s` ('+' becomes space; invalid escapes kept as-is).
+std::string PercentDecode(std::string_view s);
+
+/// Minimal JSON string escaping (backslash, quote, control chars) for
+/// the handcrafted JSON bodies of /ingest, /status and SSE events.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace gfd::net
+
+#endif  // GFD_NET_HTTP_H_

@@ -1,0 +1,226 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/metrics.h"
+
+namespace gfd::net {
+
+namespace {
+
+void SetError(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string ResponseWriter::client_host() const {
+  size_t colon = client_.rfind(':');
+  return colon == std::string::npos ? client_ : client_.substr(0, colon);
+}
+
+bool ResponseWriter::SendAll(std::string_view data) {
+  if (write_failed_) return false;
+  while (!data.empty()) {
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      write_failed_ = true;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+void ResponseWriter::Respond(const HttpResponse& resp) {
+  if (responded_ || streaming_) return;
+  responded_ = true;
+  HttpResponsesTotal(resp.status).Inc();
+  SendAll(SerializeResponse(resp, keep_alive_));
+}
+
+bool ResponseWriter::BeginStream(int status, std::string_view content_type) {
+  if (responded_ || streaming_) return false;
+  streaming_ = true;
+  responded_ = true;
+  HttpResponsesTotal(status).Inc();
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     std::string(StatusReason(status)) + "\r\n";
+  head += "Content-Type: " + std::string(content_type) + "\r\n";
+  head += "Cache-Control: no-store\r\n";
+  head += "Connection: close\r\n\r\n";
+  return SendAll(head);
+}
+
+bool ResponseWriter::Write(std::string_view data) {
+  if (!streaming_) return false;
+  return SendAll(data);
+}
+
+HttpServer::HttpServer(HttpServerOptions opts, HttpHandler handler)
+    : opts_(std::move(opts)), handler_(std::move(handler)) {}
+
+std::unique_ptr<HttpServer> HttpServer::Start(HttpServerOptions opts,
+                                              HttpHandler handler,
+                                              std::string* error) {
+  auto server = std::unique_ptr<HttpServer>(
+      new HttpServer(std::move(opts), std::move(handler)));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    SetError(error, std::string("socket: ") + std::strerror(errno));
+    return nullptr;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server->opts_.port);
+  if (::inet_pton(AF_INET, server->opts_.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    SetError(error, "bad bind address " + server->opts_.bind_address);
+    ::close(fd);
+    return nullptr;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    SetError(error, "bind " + server->opts_.bind_address + ":" +
+                        std::to_string(server->opts_.port) + ": " +
+                        std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  if (::listen(fd, 64) != 0) {
+    SetError(error, std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    SetError(error, std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+  server->pool_ =
+      std::make_unique<ThreadPool>(std::max<size_t>(server->opts_.workers, 1));
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) {
+    // Already stopping; still join if the first caller was us recursively
+    // (destructor after explicit Stop is the common benign case).
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // Connection loops poll stop_ every poll_interval_ms and exit; Wait
+  // returns once the last worker drained.
+  pool_->Wait();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, opts_.poll_interval_ms);
+    if (rc <= 0) continue;
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &len,
+                       SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    char ip[INET_ADDRSTRLEN] = "?";
+    ::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip));
+    std::string client = std::string(ip) + ":" +
+                         std::to_string(ntohs(peer.sin_port));
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    HttpConnectionsTotal().Inc();
+    pool_->Submit([this, fd, client = std::move(client)]() mutable {
+      HandleConnection(fd, std::move(client));
+    });
+  }
+}
+
+void HttpServer::HandleConnection(int fd, std::string client) {
+  HttpParser parser(opts_.limits);
+  uint64_t idle_since = NowMs();
+  bool close_connection = false;
+  char buf[16 * 1024];
+
+  while (!close_connection && !stopping()) {
+    pollfd pfd{fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, opts_.poll_interval_ms);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) {
+      if (NowMs() - idle_since >
+          static_cast<uint64_t>(opts_.idle_timeout_ms)) {
+        break;
+      }
+      continue;
+    }
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+
+    ParseStatus status = parser.Consume(std::string_view(buf, n));
+    // A single read may complete several pipelined requests.
+    while (status == ParseStatus::kOk) {
+      HttpRequest req = parser.TakeRequest();
+      idle_since = NowMs();
+      ResponseWriter writer(fd, client, req.keep_alive);
+      handler_(req, writer);
+      if (!writer.responded()) {
+        HttpResponse fallback;
+        fallback.status = 500;
+        fallback.body = "no response\n";
+        writer.Respond(fallback);
+      }
+      if (writer.streaming() || !req.keep_alive) {
+        close_connection = true;
+        break;
+      }
+      status = parser.Consume({});
+    }
+    if (status == ParseStatus::kBad || status == ParseStatus::kTooLarge) {
+      ResponseWriter writer(fd, client, /*keep_alive=*/false);
+      HttpResponse resp;
+      resp.status = status == ParseStatus::kBad ? 400 : 413;
+      resp.body = parser.error() + "\n";
+      writer.Respond(resp);
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace gfd::net

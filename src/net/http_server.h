@@ -1,0 +1,124 @@
+// Blocking HTTP/1.1 server: one listener thread accepting into a
+// ThreadPool of connection workers (util/thread_pool.h). Deliberately
+// thread-per-connection -- the changefeed workload is few long-lived
+// subscribers plus short ingest requests, not C10K -- which keeps the
+// handler model trivial: a handler either fills an HttpResponse or
+// switches the connection to raw streaming (SSE) and writes until the
+// client goes away.
+//
+// Shutdown: Stop() (idempotent, called from the serve-run signal path)
+// flips the stop flag and closes the listener; connection loops poll the
+// flag between reads and drain, streaming handlers observe it through
+// their own sources (the changefeed wakes subscribers on Shutdown).
+#ifndef GFD_NET_HTTP_SERVER_H_
+#define GFD_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/http.h"
+#include "util/thread_pool.h"
+
+namespace gfd::net {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  /// Connection workers. One long-lived /feed subscriber occupies one
+  /// worker for its lifetime, so size this at max subscribers + a few
+  /// for ingest/metrics traffic.
+  size_t workers = 8;
+  HttpLimits limits;
+  /// Poll tick while waiting for request bytes; bounds how fast a
+  /// connection notices Stop().
+  int poll_interval_ms = 200;
+  /// Idle keep-alive connections are closed after this long without a
+  /// complete request.
+  int idle_timeout_ms = 30'000;
+};
+
+/// The handler's side of one connection. Either call Respond exactly
+/// once, or BeginStream followed by any number of Write calls (the
+/// connection closes when the handler returns; streams never keep-alive).
+class ResponseWriter {
+ public:
+  /// Client address as "ip:port" -- the rate-limiter key.
+  const std::string& client() const { return client_; }
+  /// Client address without the port -- per-host keying.
+  std::string client_host() const;
+
+  /// Sends one complete response. No-op if already responded/streaming.
+  void Respond(const HttpResponse& resp);
+
+  /// Switches to raw streaming: writes the status line and headers
+  /// (Connection: close, no Content-Length) and returns true when the
+  /// socket accepted them.
+  bool BeginStream(int status, std::string_view content_type);
+
+  /// Writes raw bytes on a stream; false once the client is gone.
+  bool Write(std::string_view data);
+
+  bool responded() const { return responded_; }
+  bool streaming() const { return streaming_; }
+
+ private:
+  friend class HttpServer;
+  ResponseWriter(int fd, std::string client, bool keep_alive)
+      : fd_(fd), client_(std::move(client)), keep_alive_(keep_alive) {}
+
+  bool SendAll(std::string_view data);
+
+  int fd_;
+  std::string client_;
+  bool keep_alive_;
+  bool responded_ = false;
+  bool streaming_ = false;
+  bool write_failed_ = false;
+};
+
+using HttpHandler = std::function<void(const HttpRequest&, ResponseWriter&)>;
+
+class HttpServer {
+ public:
+  /// Binds, listens, and starts the accept loop. Returns nullptr (and
+  /// sets *error) when the socket cannot be bound.
+  static std::unique_ptr<HttpServer> Start(HttpServerOptions opts,
+                                           HttpHandler handler,
+                                           std::string* error = nullptr);
+
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolves option port 0).
+  uint16_t port() const { return port_; }
+
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Graceful shutdown: stop accepting, wake/drain every connection
+  /// worker, join. Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  HttpServer(HttpServerOptions opts, HttpHandler handler);
+
+  void AcceptLoop();
+  void HandleConnection(int fd, std::string client);
+
+  HttpServerOptions opts_;
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+};
+
+}  // namespace gfd::net
+
+#endif  // GFD_NET_HTTP_SERVER_H_

@@ -1,0 +1,74 @@
+#include "net/metrics.h"
+
+#include <string>
+
+namespace gfd::net {
+
+using obs::MetricsRegistry;
+
+obs::Counter& HttpRequestsTotal(std::string_view endpoint) {
+  return MetricsRegistry::Default().GetCounter(
+      "gfd_http_requests_total", "HTTP requests received, by endpoint.",
+      {{"endpoint", std::string(endpoint)}});
+}
+
+obs::Counter& HttpResponsesTotal(int status) {
+  return MetricsRegistry::Default().GetCounter(
+      "gfd_http_responses_total", "HTTP responses sent, by status code.",
+      {{"code", std::to_string(status)}});
+}
+
+obs::Histogram& HttpRequestLatency() {
+  static obs::Histogram& h = MetricsRegistry::Default().GetHistogram(
+      "gfd_http_request_seconds",
+      "Request handling latency (excluding open-ended feed streams).",
+      obs::DefaultLatencyBuckets());
+  return h;
+}
+
+obs::Counter& HttpConnectionsTotal() {
+  static obs::Counter& c = MetricsRegistry::Default().GetCounter(
+      "gfd_http_connections_total", "TCP connections accepted.");
+  return c;
+}
+
+obs::Gauge& FeedSubscribers() {
+  static obs::Gauge& g = MetricsRegistry::Default().GetGauge(
+      "gfd_feed_subscribers", "Live changefeed subscriber streams.");
+  return g;
+}
+
+obs::Counter& FeedEventsTotal() {
+  static obs::Counter& c = MetricsRegistry::Default().GetCounter(
+      "gfd_feed_events_total",
+      "Feed events written to subscriber streams (incl. cursor replay).");
+  return c;
+}
+
+obs::Counter& FeedEvictionsTotal() {
+  static obs::Counter& c = MetricsRegistry::Default().GetCounter(
+      "gfd_feed_evictions_total",
+      "Slow-consumer subscriptions evicted by backpressure.");
+  return c;
+}
+
+obs::Counter& IngestRateLimitedTotal() {
+  static obs::Counter& c = MetricsRegistry::Default().GetCounter(
+      "gfd_ingest_rate_limited_total",
+      "Ingest requests rejected by the per-client token bucket (429).");
+  return c;
+}
+
+void TouchNetMetrics() {
+  HttpRequestLatency();
+  HttpConnectionsTotal();
+  FeedSubscribers();
+  FeedEventsTotal();
+  FeedEvictionsTotal();
+  IngestRateLimitedTotal();
+  for (std::string_view e : {"/ingest", "/feed", "/metrics", "/status"}) {
+    HttpRequestsTotal(e);
+  }
+}
+
+}  // namespace gfd::net

@@ -1,0 +1,41 @@
+// Cached registry handles for the HTTP front end (same accessor-catalog
+// pattern as serve/metrics.h): request counters by endpoint, response
+// counters by status, request latency, live subscriber gauge, and the
+// robustness counters (rate-limited ingests, evicted slow consumers).
+// All families live in obs::MetricsRegistry::Default() and render
+// through the live /metrics endpoint.
+#ifndef GFD_NET_METRICS_H_
+#define GFD_NET_METRICS_H_
+
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace gfd::net {
+
+/// gfd_http_requests_total{endpoint="/ingest"|"/feed"|"/metrics"|
+/// "/status"|"other"}
+obs::Counter& HttpRequestsTotal(std::string_view endpoint);
+/// gfd_http_responses_total{code="200"|"400"|...}
+obs::Counter& HttpResponsesTotal(int status);
+/// gfd_http_request_seconds (ingest/status/metrics handling; feed
+/// streams are open-ended and excluded)
+obs::Histogram& HttpRequestLatency();
+/// gfd_http_connections_total
+obs::Counter& HttpConnectionsTotal();
+/// gfd_feed_subscribers (live SSE streams)
+obs::Gauge& FeedSubscribers();
+/// gfd_feed_events_total (events fanned out to subscribers, incl. replay)
+obs::Counter& FeedEventsTotal();
+/// gfd_feed_evictions_total (slow consumers disconnected)
+obs::Counter& FeedEvictionsTotal();
+/// gfd_ingest_rate_limited_total (429s served)
+obs::Counter& IngestRateLimitedTotal();
+
+/// Pre-registers every unlabeled family above so a /metrics render shows
+/// the full catalog on an idle server.
+void TouchNetMetrics();
+
+}  // namespace gfd::net
+
+#endif  // GFD_NET_METRICS_H_

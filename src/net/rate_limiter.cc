@@ -1,0 +1,40 @@
+#include "net/rate_limiter.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gfd::net {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TokenBucketLimiter::TokenBucketLimiter(Options opts, Clock clock)
+    : opts_(opts), clock_(clock ? std::move(clock) : SteadyNowNs) {
+  opts_.burst = std::max(opts_.burst, 1.0);
+}
+
+bool TokenBucketLimiter::Admit(const std::string& key) {
+  if (!enabled()) return true;
+  uint64_t now = clock_();
+  std::lock_guard lock(mu_);
+  auto [it, fresh] = buckets_.try_emplace(key, Bucket{opts_.burst, now});
+  Bucket& b = it->second;
+  if (!fresh) {
+    double elapsed = static_cast<double>(now - b.refilled_ns) * 1e-9;
+    b.tokens = std::min(opts_.burst, b.tokens + elapsed * opts_.rate_per_sec);
+    b.refilled_ns = now;
+  }
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+}  // namespace gfd::net

@@ -1,0 +1,50 @@
+// Per-client token-bucket rate limiter for the ingest path: each client
+// key (the peer host) owns a bucket refilled at `rate_per_sec` up to
+// `burst` tokens; a request is admitted iff a token is available. The
+// clock is injectable so tests drive time by hand.
+#ifndef GFD_NET_RATE_LIMITER_H_
+#define GFD_NET_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace gfd::net {
+
+class TokenBucketLimiter {
+ public:
+  struct Options {
+    /// Sustained admits per second per client; 0 disables limiting
+    /// (every Admit succeeds).
+    double rate_per_sec = 0;
+    /// Bucket capacity: the burst a quiet client may spend at once.
+    double burst = 8;
+  };
+
+  /// Monotonic nanosecond clock; defaults to std::chrono::steady_clock.
+  using Clock = std::function<uint64_t()>;
+
+  explicit TokenBucketLimiter(Options opts, Clock clock = {});
+
+  /// Takes one token from `key`'s bucket. True = admitted.
+  bool Admit(const std::string& key);
+
+  bool enabled() const { return opts_.rate_per_sec > 0; }
+
+ private:
+  struct Bucket {
+    double tokens;
+    uint64_t refilled_ns;
+  };
+
+  Options opts_;
+  Clock clock_;
+  std::mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace gfd::net
+
+#endif  // GFD_NET_RATE_LIMITER_H_

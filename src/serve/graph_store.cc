@@ -248,27 +248,46 @@ std::optional<uint64_t> GraphStore::Append(std::string_view delta_tsv,
     SetError(error, parse_error);
     return std::nullopt;
   }
+  // Fold the batch onto the overlay tail, remembering the rollback point:
+  // on any failure below, the ops and extras the batch contributed are
+  // truncated away again (nothing before first_op references them).
+  const size_t first_op = overlay_.ops.size();
+  const size_t labels0 = overlay_.extra_labels.size();
+  const size_t attrs0 = overlay_.extra_attrs.size();
+  const size_t values0 = overlay_.extra_values.size();
+  overlay_.Append(*base_, *d);
+  auto rollback = [&] {
+    overlay_.ops.resize(first_op);
+    overlay_.extra_labels.resize(labels0);
+    overlay_.extra_attrs.resize(attrs0);
+    overlay_.extra_values.resize(values0);
+  };
   // Validate against the *current* view before anything touches disk: the
-  // log must never hold a batch that cannot apply.
-  GraphDelta candidate = overlay_;
-  candidate.Append(*base_, *d);
+  // log must never hold a batch that cannot apply. O(batch), not
+  // O(overlay) -- the view absorbs the appended tail in place instead of
+  // re-applying the merged overlay from scratch.
   std::string apply_error;
-  auto view = GraphView::Apply(*base_, candidate, &apply_error);
-  if (!view) {
+  if (!view_->ValidateAppended(overlay_, first_op, &apply_error)) {
+    rollback();
     append_timer.Discard();
     validate_timer.Discard();
     SetError(error, apply_error);
     return std::nullopt;
   }
-  validate_timer.AddField("ops", candidate.ops.size());
+  validate_timer.AddField("ops", overlay_.ops.size());
   validate_timer.StopNs();
   auto seq = log_->Append(delta_tsv, error);
   if (!seq) {
+    rollback();
     append_timer.Discard();
     return std::nullopt;
   }
-  overlay_ = std::move(candidate);
-  view_ = std::move(*view);
+  if (!view_->AbsorbAppended(overlay_, first_op, &apply_error)) {
+    // Unreachable: validation just passed on the identical state. Fail
+    // loudly rather than let memory and log quietly diverge.
+    SetError(error, "post-log absorb failed: " + apply_error);
+    return std::nullopt;
+  }
   stats_.last_seq = *seq;
   StoreAppendsTotal().Inc();
   append_timer.AddField("seq", *seq);
@@ -287,10 +306,16 @@ bool GraphStore::Validate(std::string_view delta_tsv,
     SetError(error, parse_error);
     return false;
   }
-  GraphDelta candidate = overlay_;
+  // Dry-run against the live view: carry only the overlay's extension
+  // vocabulary (so the batch's ids resolve in the view's id space) and
+  // validate the batch as an appended tail -- O(batch), no overlay copy.
+  GraphDelta candidate;
+  candidate.extra_labels = overlay_.extra_labels;
+  candidate.extra_attrs = overlay_.extra_attrs;
+  candidate.extra_values = overlay_.extra_values;
   candidate.Append(*base_, *d);
   std::string apply_error;
-  if (!GraphView::Apply(*base_, candidate, &apply_error)) {
+  if (!view_->ValidateAppended(candidate, 0, &apply_error)) {
     SetError(error, apply_error);
     return false;
   }

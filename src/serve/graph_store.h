@@ -107,10 +107,11 @@ class GraphStore final : public ServingStore {
   /// Parses `delta_tsv` (the E+/E-/A format of graph/loader.h) against
   /// the store's vocabulary, validates it on the current view, appends it
   /// durably, and applies it. Returns the assigned sequence number;
-  /// nothing is logged or applied on error. Validation re-applies the
-  /// merged overlay, so one append costs O(overlay + touched degrees) --
-  /// bounded by the compaction policy; an in-place incremental view
-  /// apply (ROADMAP) would drop it to O(batch).
+  /// nothing is logged or applied on error. One append costs
+  /// O(batch + touched degrees), independent of the overlay size: the
+  /// view validates and absorbs the appended tail in place
+  /// (GraphView::AbsorbAppended) instead of re-applying the merged
+  /// overlay per batch.
   std::optional<uint64_t> Append(std::string_view delta_tsv,
                                  std::string* error = nullptr) override;
 

@@ -68,6 +68,8 @@
 //                        everything this invocation did on exit
 //   --trace FILE         append one JSON-lines trace event per serving
 //                        stage (validate/route/ship/detect/merge/compact)
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,9 +78,13 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "datagen/kb.h"
 #include "datagen/noise.h"
+#include "net/feed_service.h"
+#include "net/http_server.h"
+#include "serve/changefeed.h"
 #include "detect/engine.h"
 #include "detect/metrics.h"
 #include "gfd/serialize.h"
@@ -124,11 +130,162 @@ int Usage() {
       "       gfdtool serve rebalance <dir> <node> <fragment> "
       "[--compact-ops N]\n"
       "       gfdtool serve status <dir>\n"
+      "       gfdtool serve run <dir> <rules.gfd> [--port P] "
+      "[--bind ADDR] [-w WORKERS] [--http-workers N] [--queue-cap N] "
+      "[--heartbeat-ms MS] [--ingest-rps R] [--ingest-burst B] "
+      "[--compact-ops N] [--metrics-out FILE] [--trace FILE]\n"
       "       gfdtool metrics <dir> [-o FILE]\n"
       "       gfdtool validate <graph.tsv> <rules.gfd>\n"
       "       gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] "
-      "[-o cover.gfd]\n");
+      "[-o cover.gfd]\n"
+      "       gfdtool help [verb]       (or: gfdtool <verb> --help)\n");
   return 2;
+}
+
+// Per-verb help: one entry per dispatch-table verb, printed by
+// `gfdtool help <verb>` / `gfdtool <verb> --help` and mirrored verbatim
+// in docs/CLI.md (CI greps that every verb here appears there).
+struct VerbHelp {
+  const char* verb;
+  const char* text;
+};
+
+constexpr VerbHelp kVerbHelp[] = {
+    {"gen",
+     "gfdtool gen <out.tsv> [--kind yago2|dbpedia|imdb] [--scale N]\n"
+     "        [--seed S] [--noise ALPHA]\n"
+     "\n"
+     "Generate a knowledge-graph-shaped TSV graph.\n"
+     "  --kind    schema family to imitate (default yago2)\n"
+     "  --scale   size multiplier (default 1)\n"
+     "  --seed    RNG seed (default 42); same seed -> same graph\n"
+     "  --noise   corrupt attribute values with probability ALPHA,\n"
+     "            planting detectable violations (default 0: clean)\n"},
+    {"discover",
+     "gfdtool discover <graph.tsv> [-k K] [-s SIGMA] [-w WORKERS]\n"
+     "        [-o rules.gfd]\n"
+     "\n"
+     "Mine a cover of minimal sigma-frequent GFDs from the graph.\n"
+     "  -k   max pattern size in edges (default 2)\n"
+     "  -s   support threshold sigma (default 10)\n"
+     "  -w   worker threads (default 1)\n"
+     "  -o   write rules to FILE instead of stdout\n"},
+    {"detect",
+     "gfdtool detect <graph.tsv>|--log <dir> <rules.gfd> [-w WORKERS]\n"
+     "        [--shards N] [--max-per-gfd N] [--max-total N]\n"
+     "        [--delta FILE] [--compact-ops N] [--metrics-out FILE]\n"
+     "        [--trace FILE]\n"
+     "\n"
+     "Batched violation detection: rules are grouped by pattern\n"
+     "isomorphism and each group shares one match plan.\n"
+     "  --log <dir>     check the durable store at <dir> (replayed on\n"
+     "                  open) instead of a TSV file\n"
+     "  --delta FILE    incremental mode: apply the TSV delta batch and\n"
+     "                  report only the violations it added (+) and\n"
+     "                  removed (-); with --log the batch is durably\n"
+     "                  appended first\n"
+     "  --shards N      simulate N vertex-cut fragments\n"
+     "  --max-per-gfd/--max-total   violation budgets (0 = unlimited)\n"
+     "  --compact-ops N             store compaction threshold override\n"
+     "  -w WORKERS      detection threads\n"
+     "\n"
+     "Exit codes: 0 clean, 3 violations found (or added by the delta),\n"
+     "4 the delta added none but pre-existing violations remain.\n"},
+    {"log",
+     "gfdtool log init <dir> <graph.tsv>\n"
+     "gfdtool log append <dir> <delta.tsv> [--compact-ops N]\n"
+     "gfdtool log replay <dir> [-o graph.tsv]\n"
+     "gfdtool log compact <dir>\n"
+     "\n"
+     "Single-node durable graph store: snapshot + sequenced delta log\n"
+     "(see docs/WIRE.md for the on-disk formats).\n"
+     "  init      create the store from a TSV graph\n"
+     "  append    durably append one TSV delta batch and apply it\n"
+     "            (auto-compacts per policy)\n"
+     "  replay    recover the store, report recovery stats, optionally\n"
+     "            dump the materialized graph with -o\n"
+     "  compact   roll the snapshot over the overlay, re-anchor the log\n"},
+    {"serve",
+     "gfdtool serve init <dir> <graph.tsv> --fragments N [--radius R]\n"
+     "gfdtool serve append <dir> <rules.gfd> <delta.tsv> [-w W]\n"
+     "        [--compact-ops N] [--metrics-out FILE] [--trace FILE]\n"
+     "gfdtool serve rebalance <dir> <node> <fragment> [--compact-ops N]\n"
+     "gfdtool serve status <dir>\n"
+     "gfdtool serve run <dir> <rules.gfd> [--port P] [--bind ADDR]\n"
+     "        [-w WORKERS] [--http-workers N] [--queue-cap N]\n"
+     "        [--heartbeat-ms MS] [--ingest-rps R] [--ingest-burst B]\n"
+     "        [--compact-ops N] [--metrics-out FILE] [--trace FILE]\n"
+     "\n"
+     "Serving verbs. init/append/rebalance/status drive a distributed\n"
+     "vertex-cut coordinator; run serves EITHER backend (a `log init`\n"
+     "store or a `serve init` coordinator, sniffed from the directory)\n"
+     "over HTTP as one long-lived process:\n"
+     "  POST /ingest    one TSV delta batch -> seq + violation diff\n"
+     "                  summary (422 on invalid input, 429 when rate\n"
+     "                  limited)\n"
+     "  GET  /feed      SSE stream of per-batch violation diffs;\n"
+     "                  ?cursor=SEQ replays missed batches from the\n"
+     "                  durable feed log; ?rule= ?label= ?pivot= filter;\n"
+     "                  ?max_events=N closes after N events\n"
+     "  GET  /metrics   live Prometheus text\n"
+     "  GET  /status    JSON summary (seq, backend, counters)\n"
+     "Flags of run:\n"
+     "  --port P            listen port (default 8080; 0 = ephemeral,\n"
+     "                      the chosen port is printed)\n"
+     "  --bind ADDR         bind address (default 127.0.0.1)\n"
+     "  -w WORKERS          detection threads per batch (default 1)\n"
+     "  --http-workers N    connection handler threads (default 8)\n"
+     "  --queue-cap N       per-subscriber event queue bound; a slow\n"
+     "                      consumer overflowing it is disconnected\n"
+     "                      (default 256)\n"
+     "  --heartbeat-ms MS   SSE keepalive period (default 5000)\n"
+     "  --ingest-rps R      per-client ingest rate limit (default 0:\n"
+     "                      unlimited), --ingest-burst B tokens burst\n"
+     "Shutdown: SIGINT/SIGTERM close subscriber streams and stop\n"
+     "accepting, then exit 0; durable state needs no cleanup (kill -9\n"
+     "recovers on the next open). See docs/WIRE.md for the wire format.\n"},
+    {"metrics",
+     "gfdtool metrics <dir> [-o FILE]\n"
+     "\n"
+     "Open the store or coordinator at <dir> (replaying its logs, so\n"
+     "recovery metrics are populated) and render the full metrics\n"
+     "registry in Prometheus text format to stdout, or atomically to\n"
+     "FILE with -o.\n"},
+    {"validate",
+     "gfdtool validate <graph.tsv> <rules.gfd>\n"
+     "\n"
+     "Boolean check G |= Sigma, rule by rule; prints each violated\n"
+     "rule. Exit 0 when all hold, 3 otherwise.\n"},
+    {"cover",
+     "gfdtool cover <graph.tsv> <rules.gfd> [-w WORKERS] [-o cover.gfd]\n"
+     "\n"
+     "Reduce a rule file to a minimal equivalent cover by pairwise\n"
+     "implication testing. -o writes the cover to FILE (default:\n"
+     "stdout).\n"},
+    {"help",
+     "gfdtool help [verb]\n"
+     "\n"
+     "Print the per-verb reference (also: gfdtool <verb> --help). The\n"
+     "same text lives in docs/CLI.md.\n"},
+};
+
+int HelpVerb(const char* verb) {
+  for (const VerbHelp& h : kVerbHelp) {
+    if (!std::strcmp(h.verb, verb)) {
+      std::fputs(h.text, stdout);
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "no such verb '%s'\n", verb);
+  return Usage();
+}
+
+int HelpAll() {
+  for (const VerbHelp& h : kVerbHelp) {
+    std::fputs(h.text, stdout);
+    std::fputs("\n", stdout);
+  }
+  return 0;
 }
 
 // Exit codes of `detect` (documented in the README): 0 clean, 3 the run /
@@ -786,10 +943,147 @@ std::optional<Coordinator> OpenCoordinator(const char* dir,
   return coord;
 }
 
+// SIGINT/SIGTERM flag of `serve run`: the handler only sets this; the
+// main thread notices and runs the orderly shutdown (close subscriber
+// streams, stop accepting) outside signal context.
+volatile std::sig_atomic_t g_stop_serving = 0;
+
+void HandleStopSignal(int) { g_stop_serving = 1; }
+
+// `gfdtool serve run <dir> <rules.gfd> ...`: the long-lived changefeed
+// server. One process opens the store (either backend, sniffed from the
+// directory) and owns it for its lifetime; ingest, feed fan-out,
+// metrics, and status all answer over HTTP (see docs/WIRE.md).
+int ServeRun(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* dir = argv[0];
+
+  size_t port = 8080;
+  size_t workers = 1;
+  size_t http_workers = 8;
+  size_t queue_cap = 256;
+  size_t heartbeat_ms = 5000;
+  size_t ingest_rps = 0;
+  size_t ingest_burst = 8;
+  if (!CountFlag(argc, argv, "--port", &port, /*min=*/0)) return Usage();
+  if (!CountFlag(argc, argv, "-w", &workers)) return Usage();
+  if (!CountFlag(argc, argv, "--http-workers", &http_workers)) return Usage();
+  if (!CountFlag(argc, argv, "--queue-cap", &queue_cap)) return Usage();
+  if (!CountFlag(argc, argv, "--heartbeat-ms", &heartbeat_ms)) return Usage();
+  if (!CountFlag(argc, argv, "--ingest-rps", &ingest_rps, /*min=*/0)) {
+    return Usage();
+  }
+  if (!CountFlag(argc, argv, "--ingest-burst", &ingest_burst)) return Usage();
+  const char* bind = FlagValue(argc, argv, "--bind");
+  if (!bind) bind = "127.0.0.1";
+  if (port > 65535) {
+    std::fprintf(stderr, "--port expects 0..65535\n");
+    return Usage();
+  }
+
+  // Trace before the store opens (recovery events fire during replay);
+  // --metrics-out renders the final registry state on exit.
+  ObsSetup obs(argc, argv);
+  if (!obs.ok) return 1;
+
+  GraphStoreOptions sopts;
+  if (!CountFlag(argc, argv, "--compact-ops", &sopts.compact_min_ops,
+                 /*min=*/0)) {
+    return Usage();
+  }
+  std::optional<GraphStore> store;
+  std::optional<Coordinator> coord;
+  ServingStore* serving = nullptr;
+  const char* backend = nullptr;
+  if (std::ifstream(std::string(dir) + "/coordinator.meta").good()) {
+    CoordinatorOptions copts;
+    copts.store = sopts;
+    coord = OpenCoordinator(dir, copts);
+    if (!coord) return 1;
+    serving = &*coord;
+    backend = "distributed";
+  } else {
+    store = OpenStore(dir, sopts);
+    if (!store) return 1;
+    serving = &*store;
+    backend = "single";
+  }
+
+  PropertyGraph current = serving->MaterializeCurrent();
+  auto rules = LoadRules(argv[1], current);
+  if (!rules) return 1;
+  ViolationEngine engine(std::move(*rules));
+
+  std::string error;
+  auto feed = ViolationChangefeed::Open(dir, serving->last_seq(), &error);
+  if (!feed) {
+    std::fprintf(stderr, "error opening feed log: %s\n", error.c_str());
+    return 1;
+  }
+  if (feed->reset_on_open()) {
+    std::fprintf(stderr,
+                 "feed log out of step with the store; reset -- "
+                 "subscribers will see a sequence gap\n");
+  }
+
+  net::FeedServiceOptions fopts;
+  fopts.detect_workers = workers;
+  fopts.subscriber_queue_cap = queue_cap;
+  fopts.heartbeat_ms = static_cast<int64_t>(heartbeat_ms);
+  fopts.ingest_rate_per_sec = static_cast<double>(ingest_rps);
+  fopts.ingest_burst = static_cast<double>(ingest_burst);
+  fopts.backend = backend;
+  net::FeedService service(*serving, engine, *feed, fopts);
+  bool scanned = false;
+  uint64_t count = service.Prime(&scanned);
+  std::fprintf(stderr, "violation counter: %llu (%s)\n",
+               static_cast<unsigned long long>(count),
+               scanned ? "seeded by full scan" : "persisted");
+
+  net::HttpServerOptions hopts;
+  hopts.bind_address = bind;
+  hopts.port = static_cast<uint16_t>(port);
+  hopts.workers = http_workers;
+  auto server = net::HttpServer::Start(
+      hopts,
+      [&service](const net::HttpRequest& req, net::ResponseWriter& w) {
+        service.Handle(req, w);
+      },
+      &error);
+  if (!server) {
+    std::fprintf(stderr, "error starting server: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  std::fprintf(stderr,
+               "serving %s (%s backend, %zu rule(s), seq %llu) on "
+               "http://%s:%u\n"
+               "endpoints: POST /ingest, GET /feed /metrics /status; "
+               "SIGINT/SIGTERM to stop\n",
+               dir, backend, engine.NumRules(),
+               static_cast<unsigned long long>(serving->last_seq()), bind,
+               static_cast<unsigned>(server->port()));
+
+  while (!g_stop_serving) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::fprintf(stderr, "signal received; shutting down\n");
+  feed->Shutdown();  // closes subscriber streams -> handlers drain
+  server->Stop();
+  std::fprintf(stderr, "stopped at seq %llu\n",
+               static_cast<unsigned long long>(serving->last_seq()));
+  return 0;
+}
+
 int Serve(int argc, char** argv) {
   if (argc < 2) return Usage();
   const char* verb = argv[0];
   const char* dir = argv[1];
+
+  if (!std::strcmp(verb, "run")) return ServeRun(argc - 1, argv + 1);
 
   if (!std::strcmp(verb, "init")) {
     if (argc < 3) return Usage();
@@ -1016,6 +1310,15 @@ int Cover(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (!std::strcmp(argv[1], "help")) {
+    return argc > 2 ? HelpVerb(argv[2]) : HelpAll();
+  }
+  if (!std::strcmp(argv[1], "--help") || !std::strcmp(argv[1], "-h")) {
+    return HelpAll();
+  }
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--help")) return HelpVerb(argv[1]);
+  }
   if (!std::strcmp(argv[1], "gen")) return Gen(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "discover")) return Discover(argc - 2, argv + 2);
   if (!std::strcmp(argv[1], "detect")) return Detect(argc - 2, argv + 2);
