@@ -46,7 +46,7 @@ NoisyGraph InjectNoise(const PropertyGraph& g, const NoiseConfig& cfg) {
     bool touched = false;
     for (const auto& a : g.NodeAttrs(v)) {
       std::string value = g.ValueName(a.value);
-      if (chosen.count(v) && rng.Chance(cfg.beta) &&
+      if (chosen.contains(v) && rng.Chance(cfg.beta) &&
           !rng.Chance(cfg.edge_label_fraction)) {
         value = "noise_" + std::to_string(noise_counter++);
         touched = true;
@@ -62,7 +62,7 @@ NoisyGraph InjectNoise(const PropertyGraph& g, const NoiseConfig& cfg) {
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
     NodeId src = g.EdgeSrc(e);
     std::string label = g.LabelName(g.EdgeLabel(e));
-    if (chosen.count(src) && rng.Chance(cfg.beta) &&
+    if (chosen.contains(src) && rng.Chance(cfg.beta) &&
         rng.Chance(cfg.edge_label_fraction)) {
       label = "noiserel_" + std::to_string(noise_counter++);
       edge_corrupted.insert(src);

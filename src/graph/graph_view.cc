@@ -352,7 +352,7 @@ PropertyGraph GraphView::Materialize() const {
     }
   }
   for (EdgeId e = 0; e < base_edges_; ++e) {
-    if (deleted_base_.count(e)) continue;
+    if (deleted_base_.contains(e)) continue;
     b.AddEdgeById(base_->EdgeSrc(e), base_->EdgeDst(e), base_->EdgeLabel(e));
   }
   for (const AddedEdge& e : added_) {

@@ -182,7 +182,7 @@ class GraphView {
   /// True when the delta changed v's adjacency in either direction (used
   /// by incremental detection to walk old and new edges in one BFS).
   bool AdjacencyChanged(NodeId v) const {
-    return out_touched_.count(v) || in_touched_.count(v);
+    return out_touched_.contains(v) || in_touched_.contains(v);
   }
 
   // --- Vocabulary (base + delta extension ids) -----------------------------

@@ -77,7 +77,7 @@ std::optional<PropertyGraph> LoadGraphTsv(std::istream& in,
       auto name = Unescape(fields[1], lineno, error);
       auto label = Unescape(fields[2], lineno, error);
       if (!name || !label) return std::nullopt;
-      if (ids.count(*name)) {
+      if (ids.contains(*name)) {
         SetError(error, "line " + std::to_string(lineno) +
                             ": duplicate node " + *name);
         return std::nullopt;

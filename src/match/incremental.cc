@@ -46,7 +46,7 @@ std::vector<Match> JoinMatchesWithEdges(
     pairs.reserve(candidates.size());
     for (const auto& c : candidates) pairs.insert({c.src, c.dst});
     for (const auto& m : base_matches) {
-      if (pairs.count({m[delta.src], m[delta.dst]})) out.push_back(m);
+      if (pairs.contains({m[delta.src], m[delta.dst]})) out.push_back(m);
     }
     return out;
   }

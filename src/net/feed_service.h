@@ -78,9 +78,9 @@ class FeedService {
   FeedServiceOptions opts_;
   TokenBucketLimiter limiter_;
 
-  /// Single-writer enforcement: guards every ServingStore call and the
-  /// running counter; Publish happens inside it so feed order == batch
-  /// order.
+  /// Single-writer enforcement. guards: every ServingStore call on
+  /// store_, plus fingerprint_, count_, primed_. Publish happens inside
+  /// it so feed order == batch order.
   mutable std::mutex store_mu_;
   uint64_t fingerprint_ = 0;
   uint64_t count_ = 0;

@@ -129,13 +129,12 @@ std::unique_ptr<HttpServer> HttpServer::Start(HttpServerOptions opts,
 HttpServer::~HttpServer() { Stop(); }
 
 void HttpServer::Stop() {
-  bool expected = false;
-  if (!stop_.compare_exchange_strong(expected, true)) {
-    // Already stopping; still join if the first caller was us recursively
-    // (destructor after explicit Stop is the common benign case).
-    if (accept_thread_.joinable()) accept_thread_.join();
-    return;
-  }
+  // Serializes concurrent Stop callers (e.g. a signal path racing the
+  // destructor): the loser blocks until the winner's teardown finishes
+  // rather than double-joining accept_thread_.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (stopped_) return;
+  stop_.store(true, std::memory_order_relaxed);
   ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   ::close(listen_fd_);
@@ -143,6 +142,7 @@ void HttpServer::Stop() {
   // Connection loops poll stop_ every poll_interval_ms and exit; Wait
   // returns once the last worker drained.
   pool_->Wait();
+  stopped_ = true;
 }
 
 void HttpServer::AcceptLoop() {
@@ -162,9 +162,11 @@ void HttpServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     HttpConnectionsTotal().Inc();
-    pool_->Submit([this, fd, client = std::move(client)]() mutable {
-      HandleConnection(fd, std::move(client));
-    });
+    if (!pool_->Submit([this, fd, client = std::move(client)]() mutable {
+          HandleConnection(fd, std::move(client));
+        })) {
+      ::close(fd);  // pool already shutting down; drop the connection
+    }
   }
 }
 

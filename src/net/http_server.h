@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -115,6 +116,11 @@ class HttpServer {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
+  // guards: the Stop teardown sequence (shutdown, accept_thread_ join,
+  // listen_fd_ close, pool drain) -- a concurrent Stop caller blocks
+  // here until the first finishes instead of double-joining the thread.
+  std::mutex stop_mu_;
+  bool stopped_ = false;  ///< teardown ran to completion (under stop_mu_)
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
 };

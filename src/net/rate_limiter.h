@@ -41,7 +41,7 @@ class TokenBucketLimiter {
 
   Options opts_;
   Clock clock_;
-  std::mutex mu_;
+  std::mutex mu_;  // guards: buckets_
   std::unordered_map<std::string, Bucket> buckets_;
 };
 

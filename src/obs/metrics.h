@@ -145,7 +145,7 @@ class MetricsRegistry {
                     const std::string& help, std::vector<double> bounds);
   Child& ChildFor(Family& family, Labels labels);
 
-  mutable std::mutex mu_;
+  mutable std::mutex mu_;  // guards: families_
   std::map<std::string, Family> families_;
 };
 

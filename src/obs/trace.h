@@ -57,7 +57,7 @@ class TraceLog {
  private:
   explicit TraceLog(std::FILE* file, std::string path);
 
-  std::mutex mu_;
+  std::mutex mu_;  // guards: file_
   std::FILE* file_;
   std::string path_;
 };

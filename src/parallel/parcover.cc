@@ -92,8 +92,15 @@ std::vector<Gfd> ParCover(std::vector<Gfd> sigma,
     load[best] += cost(gi);
   }
 
-  // Parallel group-local elimination (ParImp).
-  std::vector<char> alive(n, 1);
+  // Parallel group-local elimination (ParImp). The liveness flags are
+  // shared across groups: each slot is written only by the worker that
+  // owns its group, but embedded lists reach into other groups, so other
+  // workers read those slots concurrently -- the cells must be atomic.
+  // Relaxed suffices: a stale read only admits one extra (still sound)
+  // implication-test input, a tolerance the sequential elimination
+  // order already grants.
+  std::vector<std::atomic<char>> alive(n);
+  for (auto& a : alive) a.store(1, std::memory_order_relaxed);
   std::atomic<uint64_t> tests{0}, removed{0};
   Cluster cluster(pcfg.workers);
   cluster.RunStep([&](size_t w) {
@@ -108,11 +115,14 @@ std::vector<Gfd> ParCover(std::vector<Gfd> sigma,
         std::vector<Gfd> others;
         others.reserve(grp.embedded.size());
         for (size_t ei : grp.embedded) {
-          if (ei != mi && alive[ei]) others.push_back(sigma[ei]);
+          if (ei != mi && alive[ei].load(std::memory_order_relaxed)) {
+            others.push_back(sigma[ei]);
+          }
         }
         tests.fetch_add(1, std::memory_order_relaxed);
         if (Implies(others, sigma[mi])) {
-          alive[mi] = 0;  // only this worker's group writes this slot
+          // Only this worker's group writes this slot (readers elsewhere).
+          alive[mi].store(0, std::memory_order_relaxed);
           removed.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -127,7 +137,10 @@ std::vector<Gfd> ParCover(std::vector<Gfd> sigma,
 
   std::vector<Gfd> cover;
   for (size_t i = 0; i < n; ++i) {
-    if (alive[i]) cover.push_back(std::move(sigma[i]));
+    // RunStep joined the workers; relaxed reads see the final flags.
+    if (alive[i].load(std::memory_order_relaxed)) {
+      cover.push_back(std::move(sigma[i]));
+    }
   }
   return cover;
 }

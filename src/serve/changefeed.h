@@ -90,10 +90,10 @@ class FeedSubscription {
  private:
   friend class ViolationChangefeed;
 
-  std::mutex mu_;
+  std::mutex mu_;  // guards: queue_, cursor_, evicted_, closed_
   std::condition_variable cv_;
   std::deque<FeedEvent> queue_;
-  size_t cap_ = 0;
+  size_t cap_ = 0;  ///< set once before the subscription is shared
   uint64_t cursor_ = 0;  ///< live events at or below this are skipped
   bool evicted_ = false;
   bool closed_ = false;
@@ -150,6 +150,8 @@ class ViolationChangefeed {
  private:
   ViolationChangefeed() = default;
 
+  // guards: log_, subs_, shutdown_, evictions_ (reset_on_open_ is set
+  // once in Open before the feed is shared)
   mutable std::mutex mu_;
   std::optional<DeltaLog> log_;
   std::vector<std::shared_ptr<FeedSubscription>> subs_;

@@ -28,6 +28,12 @@
 //
 // Appends are flushed and fsync'd before returning -- an acknowledged
 // record survives the process.
+//
+// Threading: DeltaLog itself is NOT thread-safe; every instance has one
+// externally serialized writer. GraphStore's log serializes through the
+// FeedService store mutex (the process's single-writer rule) and the
+// feed.log instance inside ViolationChangefeed is only touched under
+// the feed mutex. Do not add a mutex here -- callers own the ordering.
 #ifndef GFD_SERVE_DELTA_LOG_H_
 #define GFD_SERVE_DELTA_LOG_H_
 

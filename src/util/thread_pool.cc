@@ -21,13 +21,17 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    // A task accepted after shutdown would sit in the queue forever
+    // once the workers exit (and wedge Wait); reject it instead.
+    if (shutdown_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   task_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {

@@ -18,6 +18,14 @@ namespace gfd {
 ///
 /// Lifecycle: construct with n threads, Submit() any number of tasks,
 /// Wait() for quiescence (all submitted tasks finished), destruct to join.
+///
+/// Shutdown: the destructor marks the pool shut down, drains every task
+/// already accepted, and joins. A Submit that races shutdown -- legal
+/// only from a worker task, whose thread the destructor is still
+/// joining -- is rejected (returns false) instead of leaving a task
+/// queued that no worker will ever run. Calling Submit from any other
+/// thread after the destructor has returned is a use-after-free, as
+/// with any object.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -26,8 +34,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution by some worker.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution by some worker. Returns false (and
+  /// drops the task) once shutdown has begun.
+  bool Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has completed.
   void Wait();
@@ -40,7 +49,7 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  std::mutex mu_;  // guards: tasks_, in_flight_, shutdown_
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
   size_t in_flight_ = 0;

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <limits>
@@ -246,6 +247,50 @@ TEST(Metrics, ConcurrentRegistrationReturnsOneChild) {
   pool.Wait();
   EXPECT_EQ(mismatches.load(), 0u);
   EXPECT_EQ(seen.load()->Value(), kThreads);
+}
+
+TEST(Metrics, RenderFromOneSnapshotWhileWritersRace) {
+  // The exposition's documented claim: histogram _count is computed from
+  // the same bucket snapshot as the _bucket series, so the +Inf bucket
+  // equals _count in every render no matter how writers race it. Checked
+  // here (and for data races by the TSan CI leg) by rendering repeatedly
+  // against a full-rate writer pool and parsing the invariant back out
+  // of each exposition; sample values must also be monotone across
+  // renders since both series only grow.
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("t_snap_seconds", "H.", {0.5});
+  std::atomic<bool> stop{false};
+  constexpr size_t kThreads = 4;
+  ThreadPool pool(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    pool.Submit([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.Observe(0.25);
+        h.Observe(0.75);
+      }
+    });
+  }
+  auto sample = [](const std::string& text,
+                   const std::string& name) -> uint64_t {
+    size_t pos = text.find(name);
+    EXPECT_NE(pos, std::string::npos) << name << " missing from exposition";
+    if (pos == std::string::npos) return 0;
+    return std::strtoull(text.c_str() + pos + name.size() + 1, nullptr, 10);
+  };
+  uint64_t prev_count = 0;
+  for (int render = 0; render < 50; ++render) {
+    std::string text = reg.RenderPrometheusText();
+    uint64_t inf = sample(text, "t_snap_seconds_bucket{le=\"+Inf\"}");
+    uint64_t count = sample(text, "t_snap_seconds_count");
+    EXPECT_EQ(inf, count) << "render " << render
+                          << " not taken from one bucket snapshot";
+    EXPECT_GE(count, prev_count) << "exposition went backwards";
+    prev_count = count;
+  }
+  stop.store(true);
+  pool.Wait();
+  EXPECT_EQ(h.BucketCounts()[0], h.BucketCounts()[1]);  // equal-rate buckets
+  EXPECT_EQ(h.Count(), h.BucketCounts()[0] * 2);
 }
 
 // --- trace log and spans ----------------------------------------------------

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/hash.h"
@@ -206,6 +209,58 @@ TEST(ThreadPool, ParallelForFewerItemsThanWorkers) {
   std::vector<int> hits(3, 0);
   ParallelFor(pool, hits.size(), [&hits](size_t i) { hits[i]++; });
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, SubmitRacingShutdownIsRejectedNotLost) {
+  // Worker tasks perpetually resubmit themselves while the main thread
+  // destroys the pool. The destructor must drain every accepted task,
+  // and a Submit that loses the race against shutdown must report
+  // rejection instead of queueing a task no worker will ever run
+  // (which would also wedge a later Wait). TSan-checked in the tsan CI
+  // leg; the chains only die by rejection, so rejections == chains.
+  constexpr int kChains = 16;
+  std::atomic<int> executed{0};
+  std::atomic<int> rejected{0};
+  std::function<void()> chain;
+  {
+    ThreadPool pool(4);
+    chain = [&pool, &executed, &rejected, &chain] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+      if (!pool.Submit(chain)) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    for (int i = 0; i < kChains; ++i) ASSERT_TRUE(pool.Submit(chain));
+    // Let the chains spin so destruction happens mid-flight.
+    while (executed.load(std::memory_order_relaxed) < kChains) {
+      std::this_thread::yield();
+    }
+  }  // ~ThreadPool races the resubmitting tasks
+  EXPECT_GE(executed.load(), kChains);
+  EXPECT_EQ(rejected.load(), kChains);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownStartedReturnsFalse) {
+  // Deterministic single-task variant: the task waits until the main
+  // thread has begun destruction, then observes its resubmit rejected.
+  std::atomic<bool> destructing{false};
+  std::atomic<bool> saw_rejection{false};
+  {
+    ThreadPool pool(1);
+    pool.Submit([&] {
+      while (!destructing.load()) std::this_thread::yield();
+      // The destructor has set the shutdown flag (it does so before
+      // joining, and we are the joined thread still running).
+      while (pool.Submit([] {})) {
+        // Extremely narrow window: destructing was observed before the
+        // destructor took the pool mutex. Retry until the flag lands.
+        std::this_thread::yield();
+      }
+      saw_rejection.store(true);
+    });
+    destructing.store(true);
+  }
+  EXPECT_TRUE(saw_rejection.load());
 }
 
 }  // namespace

@@ -1,0 +1,499 @@
+#!/usr/bin/env python3
+"""Architecture and lock-discipline linter for the gfd_discovery tree.
+
+Enforces, from the repository root:
+
+1. Layer DAG (include edges). The per-layer static libraries declared in
+   src/*/CMakeLists.txt (gfd_add_layer ... DEPS ...) imply a strict
+   layering: a file in src/<layer>/ may #include only headers of <layer>
+   itself or of layers reachable through its (transitive) DEPS. Upward
+   and skip-layer includes are rejected. tools/, tests/, bench/ and
+   examples/ sit above every layer and may include anything.
+
+2. Lock discipline (the conventions src/ already follows):
+   - no naked std::mutex::lock()/unlock()/try_lock() calls -- scoped
+     RAII guards only (std::lock_guard / std::unique_lock / std::scoped_lock).
+     Calls on identifiers named `lock`/`lk` (the RAII guard convention)
+     are allowed, e.g. `lock.unlock()` on a std::unique_lock.
+   - no std::thread::detach() -- every thread must be joined.
+   - every std::mutex / std::shared_mutex *member* (identifier ending in
+     `_`) carries a `guards:` comment -- on the same line or in the
+     comment block directly above -- naming the fields it protects.
+
+3. Doc drift. Every layer directory appears in docs/ARCHITECTURE.md, and
+   the generated DAG listing between the markers
+       <!-- lint-arch:dag -->
+       <!-- /lint-arch:dag -->
+   matches `lint_arch.py --print-dag` verbatim.
+
+Exit codes: 0 clean, 1 findings, 2 usage/environment error.
+
+`--self-test` proves the gate actually fails red: it lints synthetic
+trees seeded with one violation of each class (upward include, naked
+lock, detach, undocumented mutex, doc drift) and requires every one of
+them to be flagged, plus a clean tree to pass.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+MARKER_BEGIN = "<!-- lint-arch:dag -->"
+MARKER_END = "<!-- /lint-arch:dag -->"
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+LAYER_RE = re.compile(r"gfd_add_layer\(\s*(\w+)([^)]*)\)", re.S)
+DEPS_RE = re.compile(r"\bDEPS\b(.*)$", re.S)
+# A naked lock-primitive call: receiver.lock() / receiver->lock() etc.
+NAKED_LOCK_RE = re.compile(r"\b(\w+)\s*(?:\.|->)\s*(lock|unlock|try_lock)\s*\(")
+DETACH_RE = re.compile(r"(?:\.|->)\s*detach\s*\(\s*\)")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?std::(?:shared_)?mutex\s+(\w+_)\s*(?:\{[^}]*\})?;"
+)
+# RAII guard names the naked-lock check ignores (std::unique_lock local).
+GUARD_NAMES = {"lock", "lk"}
+SOURCE_EXTS = (".h", ".cc")
+
+
+def fail(msg):
+    print(f"lint_arch: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def strip_comments(line):
+    """Drops // comments and best-effort string literals from one line."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    return line.split("//")[0]
+
+
+def parse_layers(root):
+    """Reads the layer DAG from src/*/CMakeLists.txt."""
+    layers = {}
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        fail(f"no src/ directory under {root}")
+    for entry in sorted(os.listdir(src)):
+        cml = os.path.join(src, entry, "CMakeLists.txt")
+        if not os.path.isfile(cml):
+            continue
+        with open(cml, encoding="utf-8") as f:
+            text = f.read()
+        m = LAYER_RE.search(text)
+        if not m:
+            continue
+        name, body = m.group(1), m.group(2)
+        if name != entry:
+            fail(f"{cml}: layer name '{name}' != directory '{entry}'")
+        deps = []
+        dm = DEPS_RE.search(body)
+        if dm:
+            for tok in dm.group(1).split():
+                if tok in ("SOURCES",):
+                    break
+                deps.append(tok)
+        layers[name] = sorted(deps)
+    if not layers:
+        fail(f"no gfd_add_layer() declarations found under {src}")
+    return layers
+
+
+def transitive_closure(layers):
+    """Maps each layer to the set of layers it may depend on (not self).
+
+    Also detects cycles and unknown DEPS.
+    """
+    closure = {}
+    errors = []
+
+    def visit(name, stack):
+        if name in closure:
+            return closure[name]
+        if name in stack:
+            errors.append(
+                "dependency cycle: " + " -> ".join(stack + [name])
+            )
+            return set()
+        reach = set()
+        for dep in layers.get(name, []):
+            if dep not in layers:
+                errors.append(f"layer '{name}' DEPS unknown layer '{dep}'")
+                continue
+            reach.add(dep)
+            reach |= visit(dep, stack + [name])
+        closure[name] = reach
+        return reach
+
+    for name in layers:
+        visit(name, [])
+    return closure, errors
+
+
+def dag_listing(layers):
+    """The canonical textual DAG, one `layer -> deps` line per layer."""
+    lines = []
+    for name in sorted(layers):
+        deps = " ".join(layers[name])
+        lines.append(f"{name} -> {deps}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def iter_source_files(root, subdirs):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, fn)
+
+
+def check_includes(root, layers, closure):
+    errors = []
+    src = os.path.join(root, "src")
+    for path in iter_source_files(root, ["src"]):
+        rel = os.path.relpath(path, src)
+        layer = rel.split(os.sep)[0]
+        if layer not in layers:
+            continue
+        allowed = closure[layer] | {layer}
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                m = INCLUDE_RE.match(line)
+                if not m:
+                    continue
+                target = m.group(1).split("/")[0]
+                if "/" not in m.group(1):
+                    # Not a layer-qualified include (system-style or
+                    # local); the layer convention is "layer/name.h".
+                    errors.append(
+                        f"{path}:{lineno}: include \"{m.group(1)}\" is not "
+                        f"layer-qualified (headers are spelled "
+                        f"\"layer/name.h\")"
+                    )
+                    continue
+                if target not in layers:
+                    errors.append(
+                        f"{path}:{lineno}: include \"{m.group(1)}\" names "
+                        f"unknown layer '{target}'"
+                    )
+                    continue
+                if target not in allowed:
+                    kind = (
+                        "upward"
+                        if layer in closure.get(target, set())
+                        else "skip-layer"
+                    )
+                    errors.append(
+                        f"{path}:{lineno}: {kind} include: layer '{layer}' "
+                        f"may not include \"{m.group(1)}\" (allowed: "
+                        f"{', '.join(sorted(allowed))})"
+                    )
+    return errors
+
+
+def check_lock_discipline(root):
+    errors = []
+    for path in iter_source_files(root, ["src", "tools"]):
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+        for lineno, raw in enumerate(lines, 1):
+            line = strip_comments(raw)
+            for m in NAKED_LOCK_RE.finditer(line):
+                receiver = m.group(1)
+                if receiver in GUARD_NAMES:
+                    continue
+                errors.append(
+                    f"{path}:{lineno}: naked {m.group(2)}() on "
+                    f"'{receiver}' -- use std::lock_guard / "
+                    f"std::unique_lock (RAII) instead"
+                )
+            if DETACH_RE.search(line):
+                errors.append(
+                    f"{path}:{lineno}: detach() is forbidden -- every "
+                    f"thread must be joined"
+                )
+        # `guards:` comments only apply to members inside src/.
+        if os.sep + "src" + os.sep not in path + os.sep:
+            continue
+        for lineno, raw in enumerate(lines, 1):
+            m = MUTEX_MEMBER_RE.match(raw)
+            if not m:
+                continue
+            if "guards:" in raw:
+                continue
+            # Look upward through the directly preceding comment block.
+            documented = False
+            i = lineno - 2
+            while i >= 0:
+                s = lines[i].strip()
+                if s.startswith("//") or s.startswith("///"):
+                    if "guards:" in s:
+                        documented = True
+                        break
+                    i -= 1
+                else:
+                    break
+            if not documented:
+                errors.append(
+                    f"{path}:{lineno}: mutex member '{m.group(1)}' has no "
+                    f"`guards:` comment naming the fields it protects"
+                )
+    return errors
+
+
+def check_docs(root, layers):
+    errors = []
+    doc_path = os.path.join(root, "docs", "ARCHITECTURE.md")
+    if not os.path.isfile(doc_path):
+        return [f"{doc_path}: missing (the layer map lives here)"]
+    with open(doc_path, encoding="utf-8") as f:
+        doc = f.read()
+    begin = doc.find(MARKER_BEGIN)
+    end = doc.find(MARKER_END)
+    # The prose layer map must mention every layer itself; the generated
+    # listing does not count as a mention.
+    prose = doc
+    if 0 <= begin < end:
+        prose = doc[:begin] + doc[end + len(MARKER_END):]
+    for name in sorted(layers):
+        if not re.search(rf"\b{re.escape(name)}\b", prose):
+            errors.append(
+                f"{doc_path}: layer '{name}' does not appear in the "
+                f"architecture doc"
+            )
+    if begin < 0 or end < 0 or end < begin:
+        errors.append(
+            f"{doc_path}: missing {MARKER_BEGIN} .. {MARKER_END} block "
+            f"(regenerate with: python3 tools/lint_arch.py --print-dag)"
+        )
+        return errors
+    block = doc[begin + len(MARKER_BEGIN):end]
+    # The block is a fenced code listing; compare the bare lines.
+    body = [
+        ln for ln in block.strip().splitlines() if ln.strip() and
+        not ln.strip().startswith("```")
+    ]
+    expected = dag_listing(layers).strip().splitlines()
+    if body != expected:
+        errors.append(
+            f"{doc_path}: DAG listing is stale -- regenerate with: "
+            f"python3 tools/lint_arch.py --print-dag"
+        )
+    return errors
+
+
+def run_lint(root):
+    layers = parse_layers(root)
+    closure, errors = transitive_closure(layers)
+    errors += check_includes(root, layers, closure)
+    errors += check_lock_discipline(root)
+    errors += check_docs(root, layers)
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Self-test: prove the gate fails red on seeded violations.
+
+CLEAN_TREE = {
+    "src/alpha/CMakeLists.txt": "gfd_add_layer(alpha\n  SOURCES a.cc)\n",
+    "src/alpha/a.h": "// base layer\n",
+    "src/alpha/a.cc": '#include "alpha/a.h"\n',
+    "src/beta/CMakeLists.txt": (
+        "gfd_add_layer(beta\n  SOURCES b.cc\n  DEPS alpha)\n"
+    ),
+    "src/beta/b.h": (
+        "#include <mutex>\n"
+        "struct B {\n"
+        "  std::mutex mu_;  // guards: x_\n"
+        "  int x_ = 0;\n"
+        "};\n"
+    ),
+    "src/beta/b.cc": '#include "beta/b.h"\n#include "alpha/a.h"\n',
+    "docs/ARCHITECTURE.md": (
+        "# Arch\nalpha beta\n"
+        + MARKER_BEGIN
+        + "\n```\nalpha ->\nbeta -> alpha\n```\n"
+        + MARKER_END
+        + "\n"
+    ),
+}
+
+
+def write_tree(base, files):
+    for rel, content in files.items():
+        path = os.path.join(base, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+
+def self_test():
+    cases = [
+        # (name, file overrides, substring every failure must mention)
+        ("clean tree passes", {}, None),
+        (
+            "upward include fails",
+            {"src/alpha/a.cc": '#include "beta/b.h"\n'},
+            "upward include",
+        ),
+        (
+            "skip-layer include is labeled",
+            {
+                "src/gamma/CMakeLists.txt": (
+                    "gfd_add_layer(gamma\n  SOURCES g.cc\n  DEPS beta)\n"
+                ),
+                "src/gamma/g.cc": '#include "alpha/a.h"\n',
+                "docs/ARCHITECTURE.md": (
+                    "# Arch\nalpha beta gamma\n"
+                    + MARKER_BEGIN
+                    + "\n```\nalpha ->\nbeta -> alpha\ngamma -> beta\n```\n"
+                    + MARKER_END
+                    + "\n"
+                ),
+            },
+            # gamma DEPS beta DEPS alpha, so alpha is reachable -- to get
+            # a true skip we give gamma no path to alpha at all.
+            None,
+        ),
+        (
+            "naked lock fails",
+            {"src/beta/b.cc": '#include "beta/b.h"\nvoid f(B& b){b.mu_.lock();}\n'},
+            "naked lock()",
+        ),
+        (
+            "detach fails",
+            {
+                "src/beta/b.cc": (
+                    '#include "beta/b.h"\n#include <thread>\n'
+                    "void f(){std::thread t([]{}); t.detach();}\n"
+                )
+            },
+            "detach() is forbidden",
+        ),
+        (
+            "undocumented mutex member fails",
+            {
+                "src/beta/b.h": (
+                    "#include <mutex>\nstruct B {\n  std::mutex mu_;\n};\n"
+                )
+            },
+            "no `guards:` comment",
+        ),
+        (
+            "stale DAG doc fails",
+            {
+                "docs/ARCHITECTURE.md": (
+                    "# Arch\nalpha beta\n"
+                    + MARKER_BEGIN
+                    + "\n```\nalpha ->\n```\n"
+                    + MARKER_END
+                    + "\n"
+                )
+            },
+            "DAG listing is stale",
+        ),
+        (
+            "missing layer in doc fails",
+            {
+                "docs/ARCHITECTURE.md": (
+                    "# Arch\nalpha\n"
+                    + MARKER_BEGIN
+                    + "\n```\nalpha ->\nbeta -> alpha\n```\n"
+                    + MARKER_END
+                    + "\n"
+                )
+            },
+            "does not appear",
+        ),
+    ]
+    failures = []
+    for name, overrides, needle in cases:
+        with tempfile.TemporaryDirectory() as tmp:
+            files = dict(CLEAN_TREE)
+            files.update(overrides)
+            write_tree(tmp, files)
+            errors = run_lint(tmp)
+            if needle is None and name == "clean tree passes":
+                if errors:
+                    failures.append(f"{name}: expected clean, got: {errors}")
+                continue
+            if needle is None:
+                # The "skip" case above is intentionally reachable; it
+                # must therefore pass -- documents that reachability, not
+                # direct DEPS, is the rule.
+                if errors:
+                    failures.append(f"{name}: expected clean, got: {errors}")
+                continue
+            if not errors:
+                failures.append(f"{name}: expected a finding, got none")
+            elif not any(needle in e for e in errors):
+                failures.append(
+                    f"{name}: no finding mentions '{needle}': {errors}"
+                )
+    # One genuinely-unreachable (skip-layer) case: delta DEPS nothing but
+    # includes alpha.
+    with tempfile.TemporaryDirectory() as tmp:
+        files = dict(CLEAN_TREE)
+        files["src/delta/CMakeLists.txt"] = (
+            "gfd_add_layer(delta\n  SOURCES d.cc)\n"
+        )
+        files["src/delta/d.cc"] = '#include "alpha/a.h"\n'
+        files["docs/ARCHITECTURE.md"] = (
+            "# Arch\nalpha beta delta\n"
+            + MARKER_BEGIN
+            + "\n```\nalpha ->\nbeta -> alpha\ndelta ->\n```\n"
+            + MARKER_END
+            + "\n"
+        )
+        write_tree(tmp, files)
+        errors = run_lint(tmp)
+        if not any("skip-layer include" in e for e in errors):
+            failures.append(f"undeclared-dep include not flagged: {errors}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("lint_arch self-test: all cases behaved as expected")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)",
+    )
+    ap.add_argument(
+        "--print-dag",
+        action="store_true",
+        help="print the canonical layer-DAG listing and exit",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="lint synthetic trees seeded with violations; fails unless "
+        "every seeded violation is flagged",
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    layers = parse_layers(args.root)
+    if args.print_dag:
+        sys.stdout.write(dag_listing(layers))
+        return
+    errors = run_lint(args.root)
+    if errors:
+        for e in errors:
+            print(e)
+        print(f"lint_arch: {len(errors)} finding(s)", file=sys.stderr)
+        sys.exit(1)
+    print("lint_arch: OK")
+
+
+if __name__ == "__main__":
+    main()

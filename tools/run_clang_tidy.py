@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""clang-tidy gate: run the repo .clang-tidy over compile_commands.json
+and diff the findings against a baseline (empty by policy -- any finding
+fails).
+
+Usage:
+    python3 tools/run_clang_tidy.py [--build-dir build] [--jobs N]
+                                    [--clang-tidy BIN] [--baseline FILE]
+                                    [paths ...]
+
+- The build dir must contain compile_commands.json (the root
+  CMakeLists.txt sets CMAKE_EXPORT_COMPILE_COMMANDS).
+- Translation units are taken from the compile database, restricted to
+  src/ and tools/ (tests and benches lean on GoogleTest macros that
+  clang-tidy dislikes for reasons that are not ours to fix). Positional
+  `paths` further restrict the run, e.g. `src/serve`.
+- Findings are normalized to "relpath:line: [check] message" and
+  compared against the baseline file: a JSON array of such strings,
+  default empty. New findings fail the gate (exit 1); fixed baseline
+  entries are reported so the baseline can shrink, never silently grow.
+
+Exit codes: 0 clean, 1 new findings, 2 usage/environment error.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+FINDING_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*?) \[(?P<check>[\w\-.,]+)\]$"
+)
+
+CANDIDATE_BINARIES = (
+    "clang-tidy",
+    "clang-tidy-20",
+    "clang-tidy-19",
+    "clang-tidy-18",
+)
+
+
+def fail(msg):
+    print(f"run_clang_tidy: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        path = shutil.which(explicit)
+        if not path:
+            fail(f"clang-tidy binary '{explicit}' not found")
+        return path
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        path = shutil.which(env)
+        if not path:
+            fail(f"$CLANG_TIDY ('{env}') not found")
+        return path
+    for name in CANDIDATE_BINARIES:
+        path = shutil.which(name)
+        if path:
+            return path
+    fail(
+        "no clang-tidy on PATH (tried: "
+        + ", ".join(CANDIDATE_BINARIES)
+        + "); install it or pass --clang-tidy"
+    )
+
+
+def load_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        fail(
+            f"{db_path} missing -- configure with cmake first "
+            f"(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)"
+        )
+    with open(db_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def select_files(db, root, restrict_paths):
+    """Translation units under src/ or tools/, deduplicated, sorted."""
+    wanted_roots = [os.path.join(root, "src"), os.path.join(root, "tools")]
+    if restrict_paths:
+        wanted_roots = [os.path.abspath(p) for p in restrict_paths]
+    files = set()
+    for entry in db:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", "."), entry["file"])
+        )
+        if not path.endswith(".cc"):
+            continue
+        if any(
+            os.path.commonpath([path, wr]) == wr
+            for wr in wanted_roots
+            if os.path.exists(wr)
+        ):
+            files.add(path)
+    return sorted(files)
+
+
+def run_one(clang_tidy, build_dir, path):
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    return path, proc.stdout
+
+
+def normalize_findings(output, root):
+    findings = set()
+    for line in output.splitlines():
+        m = FINDING_RE.match(line)
+        if not m:
+            continue
+        path = os.path.abspath(m.group("file"))
+        try:
+            rel = os.path.relpath(path, root)
+        except ValueError:
+            rel = path
+        if rel.startswith(".."):
+            continue  # outside the repo (system headers, _deps)
+        if rel.split(os.sep)[0] not in ("src", "tools"):
+            continue
+        findings.add(
+            f"{rel}:{m.group('line')}: [{m.group('check')}] {m.group('msg')}"
+        )
+    return findings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--clang-tidy", default=None)
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON array of accepted findings (default: empty baseline)",
+    )
+    ap.add_argument("paths", nargs="*", help="restrict to these paths")
+    args = ap.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    db = load_compile_db(args.build_dir)
+    files = select_files(db, root, args.paths)
+    if not files:
+        fail("no translation units selected from the compile database")
+
+    baseline = set()
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = set(json.load(f))
+
+    print(
+        f"run_clang_tidy: {clang_tidy} over {len(files)} TU(s), "
+        f"{args.jobs} job(s)"
+    )
+    findings = set()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, clang_tidy, args.build_dir, f) for f in files
+        ]
+        for fut in concurrent.futures.as_completed(futures):
+            _, output = fut.result()
+            findings |= normalize_findings(output, root)
+
+    new = sorted(findings - baseline)
+    fixed = sorted(baseline - findings)
+    for entry in fixed:
+        print(f"baseline entry no longer fires (remove it): {entry}")
+    if new:
+        for entry in new:
+            print(entry)
+        print(
+            f"run_clang_tidy: {len(new)} new finding(s) "
+            f"(baseline {len(baseline)})",
+            file=sys.stderr,
+        )
+        sys.exit(1)
+    print(f"run_clang_tidy: OK ({len(files)} TU(s) clean)")
+
+
+if __name__ == "__main__":
+    main()
