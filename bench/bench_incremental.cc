@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <iterator>
+#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,7 +19,9 @@
 #include "bench_util.h"
 #include "datagen/noise.h"
 #include "detect/engine.h"
+#include "detect/planner.h"
 #include "graph/graph_view.h"
+#include "graph/loader.h"
 #include "pattern/canonical.h"
 #include "util/hash.h"
 #include "util/rng.h"
@@ -158,7 +161,21 @@ int main(int argc, char** argv) {
                   {{"violations", double(full_old.violations.size())}}});
 
   bool verified = true;
+  bool planner_match = true;
   double speedup_smallest = 0;
+
+  // One planner across the whole delta stream, exactly like the serving
+  // loop: the startup full scan seeds the full-path unit cost, each
+  // served batch then feeds back the wall-clock of whichever path was
+  // chosen. By the large deltas the decision is a calibrated cost
+  // comparison, not just the seeded crossover.
+  GraphDelta no_delta;
+  auto pre_view = GraphView::Apply(g0, no_delta);
+  DetectPlanner planner;
+  planner.ObserveFull(
+      MakePlannerInputs(*pre_view, /*overlay_ops=*/0, "",
+                        engine.NumGroups(), engine.NumAnchorPlans()),
+      full_old_s);
   const struct {
     double frac;
     const char* tag;
@@ -215,19 +232,56 @@ int main(int argc, char** argv) {
                      {"affected", double(inc.stats.affected_nodes)},
                      {"touched_matches", double(inc.stats.matches_seen)},
                      {"added", double(inc.added.size())},
-                     {"removed", double(inc.removed.size())}}});
+                     {"removed", double(inc.removed.size())},
+                     {"groups_scanned", double(inc.stats.groups_scanned)},
+                     {"groups_skipped", double(inc.stats.groups_skipped)}}});
     rows.push_back({std::string("full_redetect_") + tag,
                     full_s,
                     {{"violations", double(full_new.violations.size())},
                      {"speedup_vs_incremental", speedup}}});
+
+    // What the serving loop's planner picks for this batch, fed through
+    // the same MakePlannerInputs as both serving backends against the
+    // pre-append state. The row's seconds are the measured seconds of
+    // the chosen path, so bench_compare's 25% timing gate fails if the
+    // planner ever picks a path materially slower than the better of
+    // the two pure strategies; planner_optimal applies the same
+    // tolerance (timing near the crossover is noise-dominated --
+    // the two paths cost the same there by definition).
+    std::ostringstream tsv;
+    SaveGraphDeltaTsv(g0, delta, tsv);
+    PlannerInputs pin =
+        MakePlannerInputs(*pre_view, /*overlay_ops=*/0, tsv.str(),
+                          engine.NumGroups(), engine.NumAnchorPlans());
+    DetectPath path = planner.Plan(pin);
+    bool chose_full = path == DetectPath::kFull;
+    double planner_s = chose_full ? full_s : inc_s;
+    if (chose_full) {
+      planner.ObserveFull(pin, full_s);
+    } else {
+      planner.ObserveIncremental(pin, inc_s);
+    }
+    planner_match =
+        planner_match && planner_s <= 1.25 * std::min(full_s, inc_s);
+    std::printf("%-28s %8.3fs  chose %s path\n",
+                (std::string("planner_") + tag).c_str(), planner_s,
+                chose_full ? "full" : "incremental");
+    rows.push_back({std::string("planner_") + tag,
+                    planner_s,
+                    {{"planner_full_decision", chose_full ? 1.0 : 0.0},
+                     {"groups_scanned", double(inc.stats.groups_scanned)},
+                     {"groups_skipped", double(inc.stats.groups_skipped)}}});
   }
 
   rows.push_back({"summary",
                   0,
                   {{"verified", verified ? 1.0 : 0.0},
+                   {"planner_optimal", planner_match ? 1.0 : 0.0},
                    {"speedup_0.1pct", speedup_smallest}}});
-  std::printf("incremental vs full at 0.1%% delta: %.1fx; diffs %s\n",
-              speedup_smallest, verified ? "identical" : "DIVERGED");
+  std::printf("incremental vs full at 0.1%% delta: %.1fx; diffs %s; "
+              "planner %s\n",
+              speedup_smallest, verified ? "identical" : "DIVERGED",
+              planner_match ? "optimal at every delta" : "SUBOPTIMAL");
 
   WriteJson(out, rows);
   std::printf("wrote %s\n", out);

@@ -122,6 +122,46 @@ ViolationEngine::ViolationEngine(std::vector<Gfd> rules)
     }
     groups_.push_back(std::move(group));
   }
+
+  // Static group footprints for AnchoredDiff's skip gate: the concrete
+  // labels a match of the group must bind, and the attr keys its
+  // members' literals read. Built over every group -- including the
+  // defensive private plans above -- once per engine lifetime; a
+  // rule-set change means a new engine, so these never go stale.
+  for (Group& group : groups_) {
+    const Pattern& rep = group.plan.pattern();
+    for (VarId u = 0; u < rep.NumNodes(); ++u) {
+      const LabelId l = rep.NodeLabel(u);
+      if (l == kWildcardLabel) {
+        group.has_wildcard_var = true;
+      } else {
+        group.var_labels.push_back(l);
+      }
+    }
+    std::sort(group.var_labels.begin(), group.var_labels.end());
+    group.var_labels.erase(
+        std::unique(group.var_labels.begin(), group.var_labels.end()),
+        group.var_labels.end());
+    auto add_keys = [&group](const Literal& l) {
+      if (l.kind == LiteralKind::kFalse) return;
+      group.attr_keys.push_back(l.a);
+      if (l.kind == LiteralKind::kVarVar) group.attr_keys.push_back(l.b);
+    };
+    for (const Member& m : group.members) {
+      for (const Literal& l : m.lhs) add_keys(l);
+      add_keys(m.rhs);
+    }
+    std::sort(group.attr_keys.begin(), group.attr_keys.end());
+    group.attr_keys.erase(
+        std::unique(group.attr_keys.begin(), group.attr_keys.end()),
+        group.attr_keys.end());
+  }
+}
+
+size_t ViolationEngine::NumAnchorPlans() const {
+  size_t n = 0;
+  for (const Group& group : groups_) n += group.plan.pattern().NumNodes();
+  return n;
 }
 
 template <typename GraphT>
@@ -325,9 +365,9 @@ DetectionResult ViolationEngine::DetectSharded(const PropertyGraph& g,
 
 template <typename GraphT>
 std::vector<Violation> ViolationEngine::RunAnchored(
-    const GraphT& g, std::span<const NodeId> affected,
-    const std::vector<bool>& is_affected, size_t workers,
-    RunState& st) const {
+    const GraphT& g, std::span<const size_t> scan,
+    std::span<const NodeId> affected, const std::vector<bool>& is_affected,
+    size_t workers, RunState& st) const {
   // One side of the diff. For every group, every variable u, and every
   // affected node a, enumerate the matches with h(u) = a. A match binding
   // several affected nodes is attributed to its minimum such variable, so
@@ -368,7 +408,8 @@ std::vector<Violation> ViolationEngine::RunAnchored(
 
   std::vector<Violation> out;
   if (workers <= 1) {
-    for (const Group& group : groups_) {
+    for (size_t gi : scan) {
+      const Group& group = groups_[gi];
       for (VarId u = 0; u < group.plan.pattern().NumNodes(); ++u) {
         for (NodeId a : affected) eval_anchor(group, u, a, out);
       }
@@ -381,7 +422,8 @@ std::vector<Violation> ViolationEngine::RunAnchored(
       size_t lo = w * chunk;
       size_t hi = std::min(affected.size(), lo + chunk);
       pool.Submit([&, lo, hi, w] {
-        for (const Group& group : groups_) {
+        for (size_t gi : scan) {
+          const Group& group = groups_[gi];
           for (VarId u = 0; u < group.plan.pattern().NumNodes(); ++u) {
             for (size_t i = lo; i < hi; ++i) {
               eval_anchor(group, u, affected[i], buffers[w]);
@@ -457,9 +499,65 @@ IncrementalDiff ViolationEngine::AnchoredDiff(
   IncrementalDiff diff;
   diff.stats.affected_nodes = seeds.size();
   if (seeds.empty() || rules_.empty()) return diff;
-  for (const Group& group : groups_) {
-    diff.stats.anchor_plans += group.plan.pattern().NumNodes();
+
+  // Footprint gate: a group can only gain or lose a violation if the
+  // delta (a) rewired adjacency at a node whose label one of its
+  // variables can bind -- every created/destroyed match contains both
+  // endpoints of the changed edge -- or (b) rewrote an attr key its
+  // literals read at such a node. Classify every node THIS view's
+  // overlay touched (the view's own affected set, not the caller's
+  // `affected`: under partitioned storage the local view carries
+  // halo-maintenance ops outside the global set, and local soundness --
+  // both RunAnchored sides below see identical lists for a skipped
+  // group -- is exactly about what this view changed). Node labels are
+  // delta-invariant and always base ids; rule labels / attr keys beyond
+  // the base vocabulary bounds-check or sorted-merge to "no hit", which
+  // is how vocabulary growth invalidates nothing.
+  std::vector<bool> edge_label(base.labels().size(), false);
+  std::vector<bool> attr_label(base.labels().size(), false);
+  std::vector<AttrId> touched_keys;
+  for (NodeId v : view.AffectedNodes()) {
+    (view.AdjacencyChanged(v) ? edge_label : attr_label)[base.NodeLabel(v)] =
+        true;
+    for (const Attribute& a : view.OverlayAttrs(v)) {
+      touched_keys.push_back(a.key);
+    }
   }
+  std::sort(touched_keys.begin(), touched_keys.end());
+  touched_keys.erase(std::unique(touched_keys.begin(), touched_keys.end()),
+                     touched_keys.end());
+  auto keys_touched = [&](std::span<const AttrId> keys) {
+    size_t i = 0;
+    size_t j = 0;
+    while (i < keys.size() && j < touched_keys.size()) {
+      if (keys[i] == touched_keys[j]) return true;
+      if (keys[i] < touched_keys[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return false;
+  };
+  std::vector<size_t> scan;
+  scan.reserve(groups_.size());
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    const Group& group = groups_[gi];
+    bool hit = group.has_wildcard_var;
+    for (size_t li = 0; !hit && li < group.var_labels.size(); ++li) {
+      const LabelId l = group.var_labels[li];
+      if (l >= edge_label.size()) break;  // sorted: rest out of range too
+      hit = edge_label[l] || (attr_label[l] && keys_touched(group.attr_keys));
+    }
+    if (hit) {
+      scan.push_back(gi);
+      diff.stats.anchor_plans += group.plan.pattern().NumNodes();
+    }
+  }
+  diff.stats.groups_scanned = scan.size();
+  diff.stats.groups_skipped = groups_.size() - scan.size();
+  DetectGroupsScanned().Inc(diff.stats.groups_scanned);
+  DetectGroupsSkipped().Inc(diff.stats.groups_skipped);
 
   // Attribution sees every affected node, not just the seeds: a match is
   // evaluated at its minimum affected variable or nowhere in this call,
@@ -474,11 +572,13 @@ IncrementalDiff ViolationEngine::AnchoredDiff(
   size_t workers = std::max<size_t>(1, opts.workers);
   // The old side runs against the base graph (deleted edges are base
   // edges, so every destroyed match is enumerable there), the new side
-  // against the view; both enumerate exactly the delta-touching matches.
+  // against the view; both enumerate exactly the delta-touching matches
+  // of the scanned groups, and a skipped group's (identical, hence
+  // cancelling) matches belong to no other group's rules.
   std::vector<Violation> before =
-      RunAnchored(base, seeds, is_affected, workers, st);
+      RunAnchored(base, scan, seeds, is_affected, workers, st);
   std::vector<Violation> after =
-      RunAnchored(view, seeds, is_affected, workers, st);
+      RunAnchored(view, scan, seeds, is_affected, workers, st);
   diff.stats.violations_before = before.size();
   diff.stats.violations_after = after.size();
   diff.stats.anchors_scanned = st.pivots.load();
@@ -546,6 +646,34 @@ IncrementalDiff ComposeStepDiff(const IncrementalDiff& before,
   diff.stats.matches_seen += before.stats.matches_seen;
   diff.stats.literal_evals += before.stats.literal_evals;
   diff.stats.anchor_plans += before.stats.anchor_plans;
+  diff.stats.groups_scanned += before.stats.groups_scanned;
+  diff.stats.groups_skipped += before.stats.groups_skipped;
+  return diff;
+}
+
+IncrementalDiff FullStepDiff(const DetectionResult& before,
+                             const DetectionResult& after) {
+  IncrementalDiff diff;
+  std::set_difference(after.violations.begin(), after.violations.end(),
+                      before.violations.begin(), before.violations.end(),
+                      std::back_inserter(diff.added));
+  std::set_difference(before.violations.begin(), before.violations.end(),
+                      after.violations.begin(), after.violations.end(),
+                      std::back_inserter(diff.removed));
+  diff.stats.anchors_scanned =
+      before.stats.pivots_scanned + after.stats.pivots_scanned;
+  diff.stats.matches_seen =
+      before.stats.matches_seen + after.stats.matches_seen;
+  diff.stats.literal_evals =
+      before.stats.literal_evals + after.stats.literal_evals;
+  diff.stats.violations_before = before.violations.size();
+  diff.stats.violations_after = after.violations.size();
+  diff.stats.groups_scanned =
+      before.stats.num_groups + after.stats.num_groups;
+  diff.used_full_path = true;
+  diff.full_post_count = after.violations.size();
+  DetectDiffAdded().Inc(diff.added.size());
+  DetectDiffRemoved().Inc(diff.removed.size());
   return diff;
 }
 

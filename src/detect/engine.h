@@ -37,6 +37,8 @@
 
 namespace gfd {
 
+class DetectPlanner;  // detect/planner.h
+
 /// Budgets of one detection run. Zero means "unlimited" throughout.
 struct DetectOptions {
   /// Per-rule cap: stop collecting violations of a GFD once it has this
@@ -80,6 +82,12 @@ struct IncrementalOptions {
   /// Backtracking budget per (group, pivot) enumeration. Leave unlimited
   /// unless incomplete diffs are acceptable.
   MatchOptions match;
+  /// Optional per-batch path chooser consulted by the serving-layer
+  /// AppendAndDiff entry points (serve/graph_store.h, serve/coordinator.h)
+  /// -- NOT by DetectIncremental itself, which always runs the anchored
+  /// path. Borrowed, not owned; must outlive the call. When null, the
+  /// incremental path is unconditional (the pre-planner behavior).
+  DetectPlanner* planner = nullptr;
 };
 
 struct IncrementalStats {
@@ -90,6 +98,8 @@ struct IncrementalStats {
   uint64_t literal_evals = 0;    ///< per-match per-rule LHS/RHS evaluations
   size_t violations_before = 0;  ///< violations at touched matches, old side
   size_t violations_after = 0;   ///< violations at touched matches, new side
+  size_t groups_scanned = 0;     ///< pattern groups the run enumerated
+  size_t groups_skipped = 0;     ///< groups pruned by the footprint gate
 };
 
 /// The violation diff induced by one delta: exactly the records that
@@ -98,6 +108,14 @@ struct IncrementalDiff {
   std::vector<Violation> added;    ///< sorted per Violation ordering
   std::vector<Violation> removed;  ///< sorted per Violation ordering
   IncrementalStats stats;
+  /// True when the serving layer produced this diff from two full Detect
+  /// runs (FullStepDiff) because the planner chose DetectPath::kFull. A
+  /// running violation counter must then be RE-SEEDED from
+  /// `full_post_count` rather than composed (`count += added - removed`):
+  /// the full run is authoritative and re-seeding stops any drift from
+  /// persisting through store.meta.
+  bool used_full_path = false;
+  uint64_t full_post_count = 0;  ///< |after.violations|; only if full path
 };
 
 /// A loaded rule set, grouped and compiled once, reusable across any
@@ -111,6 +129,9 @@ class ViolationEngine {
 
   size_t NumRules() const { return rules_.size(); }
   size_t NumGroups() const { return groups_.size(); }
+  /// Total (group, variable) anchor plans an incremental run consults --
+  /// the incremental path's work-unit count for the DetectPlanner.
+  size_t NumAnchorPlans() const;
   const Gfd& rule(size_t i) const { return rules_[i]; }
   std::span<const Gfd> rules() const { return rules_; }
 
@@ -211,6 +232,17 @@ class ViolationEngine {
     /// lives behind a stable pointer, so Groups move safely even after
     /// the plans were built (anchor_plans.h has the full story).
     LazyAnchorPlans anchors;
+    /// The group's static footprint, for AnchoredDiff's skip gate: a
+    /// delta whose affected labels / touched attr keys are disjoint from
+    /// it cannot create or destroy a match of this group, so both sides
+    /// enumerate identical lists and the group cancels exactly (its
+    /// gfd_indices appear in no other group). Built once in the engine
+    /// constructor; a rule-set change means a new engine, so no runtime
+    /// invalidation is needed (vocabulary growth is handled numerically:
+    /// new label/attr ids simply never intersect these sorted sets).
+    std::vector<LabelId> var_labels;  ///< concrete variable labels, sorted
+    std::vector<AttrId> attr_keys;    ///< literal attr keys, sorted
+    bool has_wildcard_var = false;    ///< some variable matches any label
 
     explicit Group(const Pattern& rep) : plan(rep) {}
 
@@ -235,10 +267,13 @@ class ViolationEngine {
                  std::vector<Violation>& out) const;
 
   // One side of an incremental run: enumerates every match of every
-  // group that binds an affected node at some variable (each exactly
-  // once) and returns the violations among them, sorted.
+  // group in `scan` (indices into groups_) that binds an affected node
+  // at some variable (each exactly once) and returns the violations
+  // among them, sorted. Both sides of a diff must pass the SAME `scan`
+  // -- the skip gate's cancellation argument needs it.
   template <typename GraphT>
   std::vector<Violation> RunAnchored(const GraphT& g,
+                                     std::span<const size_t> scan,
                                      std::span<const NodeId> affected,
                                      const std::vector<bool>& is_affected,
                                      size_t workers, RunState& st) const;
@@ -297,6 +332,17 @@ DeltaVerdict ClassifyDelta(const IncrementalDiff& diff, uint64_t post_count);
 /// are summed across both runs.
 IncrementalDiff ComposeStepDiff(const IncrementalDiff& before,
                                 const IncrementalDiff& after);
+
+/// The full-path equivalent of one serving step: diffs two complete
+/// Detect runs -- `before` on the pre-batch state, `after` on the
+/// post-batch state, both UNCAPPED (a truncated side would fabricate
+/// diff entries; callers assert !stats.truncated). Produces exactly the
+/// records the incremental composition would (violations are value-keyed,
+/// so sorted set differences agree side by side), with used_full_path
+/// set and full_post_count = |after.violations| so running counters can
+/// re-seed from the authoritative run.
+IncrementalDiff FullStepDiff(const DetectionResult& before,
+                             const DetectionResult& after);
 
 /// The baseline the engine is benchmarked against: one full matcher run
 /// per rule (the per-GFD FindViolations loop of gfd/validation.h),

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "detect/planner.h"
+
 namespace gfd {
 
 namespace {
@@ -61,6 +63,30 @@ obs::Counter& DetectDiffRemoved() {
   return c;
 }
 
+obs::Counter& PlannerDecisions(DetectPath path) {
+  // Two children; same mutex-guarded lookup trade-off as group matches
+  // (once per batch, not per match).
+  return Reg().GetCounter(
+      "gfd_detect_planner_decisions_total",
+      "Per-batch detection paths chosen by the DetectPlanner.",
+      {{"path", path == DetectPath::kFull ? "full" : "incremental"}});
+}
+
+obs::Counter& DetectGroupsScanned() {
+  static obs::Counter& c = Reg().GetCounter(
+      "gfd_detect_groups_scanned_total",
+      "Pattern groups scanned by anchored-diff runs (footprint gate).");
+  return c;
+}
+
+obs::Counter& DetectGroupsSkipped() {
+  static obs::Counter& c = Reg().GetCounter(
+      "gfd_detect_groups_skipped_total",
+      "Pattern groups skipped by anchored-diff runs whose label/attr "
+      "footprint was disjoint from the batch's affected set.");
+  return c;
+}
+
 void TouchDetectMetrics() {
   DetectFullLatency();
   DetectIncrementalLatency();
@@ -68,6 +94,10 @@ void TouchDetectMetrics() {
   DetectLiteralEvals();
   DetectDiffAdded();
   DetectDiffRemoved();
+  PlannerDecisions(DetectPath::kIncremental);
+  PlannerDecisions(DetectPath::kFull);
+  DetectGroupsScanned();
+  DetectGroupsSkipped();
 }
 
 }  // namespace gfd

@@ -11,6 +11,8 @@
 
 namespace gfd {
 
+enum class DetectPath;  // detect/planner.h
+
 /// Full-run detect latency (gfd_detect_full_seconds).
 obs::Histogram& DetectFullLatency();
 
@@ -33,6 +35,15 @@ obs::Counter& DetectLiteralEvals();
 /// (gfd_detect_diff_added_total / gfd_detect_diff_removed_total).
 obs::Counter& DetectDiffAdded();
 obs::Counter& DetectDiffRemoved();
+
+/// Per-batch detection path chosen by the DetectPlanner
+/// (gfd_detect_planner_decisions_total{path="incremental"|"full"}).
+obs::Counter& PlannerDecisions(DetectPath path);
+
+/// Pattern groups scanned / skipped by the anchored-diff footprint gate
+/// (gfd_detect_groups_scanned_total / gfd_detect_groups_skipped_total).
+obs::Counter& DetectGroupsScanned();
+obs::Counter& DetectGroupsSkipped();
 
 /// Pre-registers every unlabeled detect family so a render shows the
 /// full catalog even before any detection ran.

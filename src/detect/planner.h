@@ -1,0 +1,139 @@
+// Cost-based choice between the two per-batch detection paths of the
+// serving loop: anchored incremental diffing (cheap while the delta is
+// small) and a full re-detect of both sides (cheaper once the delta
+// footprint rivals the graph, as BENCH_incremental.json's crossover
+// records). A DetectPlanner makes that choice once per batch, BEFORE the
+// append, from pre-append estimates of the batch's work -- so the chosen
+// path's before-side can still run against the pre-batch state.
+//
+// The decision is deterministic: it is a pure function of the planner's
+// state (config + calibration) and the inputs, and the inputs are a pure
+// function of the serving state and the batch text (MakePlannerInputs).
+// Both serving backends -- single GraphStore and the vertex-cut
+// Coordinator -- build their inputs through the same function and consult
+// the planner exactly once per batch at the top of AppendAndDiff, so a
+// given stream replays to the same sequence of choices on either.
+//
+// Until both paths have been observed at least once, an uncalibrated
+// planner falls back to the seeded crossover rule: choose the full path
+// once the post-batch overlay exceeds `crossover_fraction` of the base
+// edges. Observations (ObserveIncremental / ObserveFull, fed from the
+// serving loop's own wall-clock around each batch and from startup
+// seeding scans) then calibrate per-unit costs online, and the decision
+// becomes a direct cost comparison.
+#ifndef GFD_DETECT_PLANNER_H_
+#define GFD_DETECT_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "graph/graph_view.h"
+
+namespace gfd {
+
+/// The delta-to-base-size fraction past which a full re-detect beats the
+/// incremental path: the crossover BENCH_incremental.json records between
+/// the 1% and 10% delta points, pinned at its conservative end. Shared by
+/// the planner's seeded decision rule and by GraphStore's default
+/// compaction threshold (serve/graph_store.h), so detection policy and
+/// compaction policy cannot drift apart: an overlay large enough that
+/// incremental detection stops paying is exactly an overlay that has
+/// outlived its usefulness as an overlay.
+inline constexpr double kIncrementalCrossoverFraction = 0.10;
+
+/// Which detection path AppendAndDiff runs for one batch.
+enum class DetectPath {
+  kIncremental,  ///< anchored diff (DetectIncremental, composed per step)
+  kFull,         ///< two full Detect runs, diffed (FullStepDiff)
+};
+
+struct PlannerConfig {
+  enum class Mode {
+    kAdaptive,          ///< cost model: seeded rule, then calibrated
+    kForceIncremental,  ///< always the incremental path
+    kForceFull,         ///< always a full re-detect
+  };
+  Mode mode = Mode::kAdaptive;
+  /// Seeded crossover: while uncalibrated, choose the full path once the
+  /// post-batch overlay reaches this fraction of the base edge count.
+  double crossover_fraction = kIncrementalCrossoverFraction;
+  /// EWMA gain of the online per-unit cost calibration, in (0, 1].
+  double calibration_gain = 0.25;
+};
+
+/// Pre-append estimates of one batch's detection work. Affected-set
+/// fields estimate the POST-append state (current overlay footprint plus
+/// up to two endpoints per incoming op); base/group fields are exact.
+struct PlannerInputs {
+  size_t batch_ops = 0;          ///< ops the incoming batch contributes
+  size_t overlay_ops_after = 0;  ///< overlay ops once the batch lands
+  size_t affected_nodes = 0;     ///< est. delta-touched nodes, post-append
+  uint64_t affected_degree = 0;  ///< est. summed degree of those nodes
+  size_t base_nodes = 0;
+  size_t base_edges = 0;
+  size_t num_groups = 0;    ///< compiled pattern groups (full-scan units)
+  size_t anchor_plans = 0;  ///< (group, variable) plans (anchored units)
+};
+
+struct PlannerStats {
+  uint64_t incremental_decisions = 0;
+  uint64_t full_decisions = 0;
+  uint64_t incremental_observations = 0;
+  uint64_t full_observations = 0;
+};
+
+/// Work-unit measures the calibrated comparison scales its per-unit
+/// costs by: the incremental path seeds every anchor plan from the
+/// affected set and walks its adjacency; a full run scans the graph once
+/// per pattern group. Both are >= 1 so observed seconds always divide.
+double IncrementalWork(const PlannerInputs& in);
+double FullWork(const PlannerInputs& in);
+
+/// Builds the planner's inputs from the PRE-append serving state and the
+/// batch text: `view` is the store's current view, `overlay_ops` its
+/// current overlay op count, `delta_tsv` the incoming E+/E-/A batch.
+/// Deterministic in those arguments -- this is the one input path every
+/// backend shares.
+PlannerInputs MakePlannerInputs(const GraphView& view, size_t overlay_ops,
+                                std::string_view delta_tsv,
+                                size_t num_groups, size_t anchor_plans);
+
+/// The per-batch path chooser. NOT thread-safe: serving paths consult it
+/// under their existing single-writer store mutex (one decision per
+/// batch, never concurrent), exactly like the stores it plans for.
+class DetectPlanner {
+ public:
+  explicit DetectPlanner(PlannerConfig config = {});
+
+  /// Chooses the path for one batch and counts the decision (also in the
+  /// gfd_detect_planner_decisions_total metric).
+  DetectPath Plan(const PlannerInputs& in);
+
+  /// Calibration feedback: the observed wall-clock of one batch served
+  /// on the respective path (or, for ObserveFull, of a startup seeding
+  /// scan -- which is how the full path calibrates without ever being
+  /// chosen). Non-positive durations only count the observation.
+  void ObserveIncremental(const PlannerInputs& in, double seconds);
+  void ObserveFull(const PlannerInputs& in, double seconds);
+
+  /// True once both per-unit costs have a live estimate and Plan()
+  /// compares costs instead of applying the seeded crossover rule.
+  bool calibrated() const { return inc_unit_ > 0 && full_unit_ > 0; }
+
+  const PlannerConfig& config() const { return config_; }
+  const PlannerStats& stats() const { return stats_; }
+
+ private:
+  void ObserveUnit(double* unit, double seconds, double work);
+
+  PlannerConfig config_;
+  PlannerStats stats_;
+  // EWMA seconds per work unit; 0 = no observation yet.
+  double inc_unit_ = 0;
+  double full_unit_ = 0;
+};
+
+}  // namespace gfd
+
+#endif  // GFD_DETECT_PLANNER_H_

@@ -185,6 +185,16 @@ class GraphView {
     return out_touched_.contains(v) || in_touched_.contains(v);
   }
 
+  /// The attribute writes the delta applied at v (empty when none): just
+  /// the overlayed keys, NOT merged with base attrs -- the footprint
+  /// detection's skip gate wants exactly "which keys did this batch
+  /// touch", which NodeAttrs cannot answer.
+  std::span<const Attribute> OverlayAttrs(NodeId v) const {
+    auto it = attr_overlay_.find(v);
+    if (it == attr_overlay_.end()) return {};
+    return it->second;
+  }
+
   // --- Vocabulary (base + delta extension ids) -----------------------------
   const std::string& LabelName(LabelId l) const;
   const std::string& AttrName(AttrId a) const;

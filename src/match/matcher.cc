@@ -72,8 +72,29 @@ CompiledPattern::CompiledPattern(const Pattern& q) : pattern_(q) {
     s.anchor_label = kWildcardLabel;
     s.min_out_deg = out_deg[s.var];
     s.min_in_deg = in_deg[s.var];
-    // Pick one incident edge to a done variable as the candidate generator;
-    // all other incident edges to done variables become checks.
+    // Pick one incident edge to a done variable as the candidate
+    // generator, preferring a concrete edge label over a wildcard one (a
+    // labeled adjacency walk generates strictly fewer candidates, and
+    // every demoted edge is re-verified as a check, so the preference
+    // only changes enumeration order, never the match set); all other
+    // incident edges to done variables become checks.
+    VarId anchor_var = kNoVar;
+    bool anchor_src_is_var = false;
+    LabelId anchor_edge_label = kWildcardLabel;
+    for (const auto& e : q.edges()) {
+      bool src_is_var = (e.src == s.var), dst_is_var = (e.dst == s.var);
+      if ((!src_is_var && !dst_is_var) || (src_is_var && dst_is_var)) continue;
+      VarId other = src_is_var ? e.dst : e.src;
+      if (!done[other]) continue;
+      if (anchor_var == kNoVar ||
+          (anchor_edge_label == kWildcardLabel &&
+           e.label != kWildcardLabel)) {
+        anchor_var = other;
+        anchor_src_is_var = src_is_var;
+        anchor_edge_label = e.label;
+      }
+    }
+    bool anchor_taken = false;
     for (const auto& e : q.edges()) {
       bool src_is_var = (e.src == s.var), dst_is_var = (e.dst == s.var);
       if (!src_is_var && !dst_is_var) continue;
@@ -84,14 +105,14 @@ CompiledPattern::CompiledPattern(const Pattern& q) : pattern_(q) {
       }
       VarId other = src_is_var ? e.dst : e.src;
       if (!done[other]) continue;  // verified when `other` gets bound later
-      bool anchor_out = !src_is_var;  // anchor(other) -> var if var is dst
-      bool check_out = src_is_var;    // var -> other
-      if (s.anchor == kNoVar) {
+      if (!anchor_taken && other == anchor_var &&
+          src_is_var == anchor_src_is_var && e.label == anchor_edge_label) {
         s.anchor = other;
-        s.anchor_out = anchor_out;
+        s.anchor_out = !src_is_var;  // anchor(other) -> var if var is dst
         s.anchor_label = e.label;
+        anchor_taken = true;
       } else {
-        s.checks.push_back({other, check_out, e.label});
+        s.checks.push_back({other, src_is_var, e.label});  // var -> other
       }
     }
     done[s.var] = true;
@@ -117,13 +138,15 @@ bool CompiledPattern::Backtrack(
       stop = true;
       return;
     }
-    // Injectivity: patterns are tiny, so scanning the bound nodes beats a
-    // per-call |V|-sized bitset by orders of magnitude.
-    if (std::find(used.begin(), used.end(), cand) != used.end()) return;
+    // Cheapest filters first: one label load, two degree loads, then the
+    // injectivity scan, then per-check adjacency probes.
     if (!LabelMatches(g.NodeLabel(cand), s.label)) return;
     if (g.OutDegree(cand) < s.min_out_deg || g.InDegree(cand) < s.min_in_deg) {
       return;
     }
+    // Injectivity: patterns are tiny, so scanning the bound nodes beats a
+    // per-call |V|-sized bitset by orders of magnitude.
+    if (std::find(used.begin(), used.end(), cand) != used.end()) return;
     for (const auto& c : s.checks) {
       NodeId other = (c.other == s.var) ? cand : h[c.other];
       bool ok = c.out ? g.HasEdge(cand, other, c.label)
@@ -219,14 +242,28 @@ bool CompiledPattern::ForEachMatch(
 
 template <typename GraphT>
 std::vector<NodeId> CompiledPattern::PivotCandidates(const GraphT& g) const {
-  LabelId l = pattern_.NodeLabel(pattern_.pivot());
-  if (l != kWildcardLabel) {
-    auto span = g.NodesWithLabel(l);
-    return {span.begin(), span.end()};
+  // Degree pre-filter on top of the label index: both bounds are the
+  // pivot step's own, so every node dropped here is one
+  // ForEachMatchAtPivot would reject before enumerating anything -- the
+  // filter changes which pivots get scanned, never the match set.
+  const Step& s0 = steps_[0];
+  auto admits = [&](NodeId v) {
+    return g.OutDegree(v) >= s0.min_out_deg && g.InDegree(v) >= s0.min_in_deg;
+  };
+  std::vector<NodeId> out;
+  if (s0.label != kWildcardLabel) {
+    auto span = g.NodesWithLabel(s0.label);
+    out.reserve(span.size());
+    for (NodeId v : span) {
+      if (admits(v)) out.push_back(v);
+    }
+    return out;
   }
-  std::vector<NodeId> all(g.NumNodes());
-  for (NodeId v = 0; v < g.NumNodes(); ++v) all[v] = v;
-  return all;
+  out.reserve(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (admits(v)) out.push_back(v);
+  }
+  return out;
 }
 
 // Instantiate the enumeration for the immutable CSR graph and for the

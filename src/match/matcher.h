@@ -81,8 +81,9 @@ class CompiledPattern {
                     const MatchOptions& opts = {},
                     MatchCounters* counters = nullptr) const;
 
-  /// Candidate pivot nodes of G (label pre-filter only; callers still need
-  /// the full match test).
+  /// Candidate pivot nodes of G: label pre-filter plus the pivot step's
+  /// degree lower bounds, exactly the checks ForEachMatchAtPivot would
+  /// reject the node on anyway -- callers still need the full match test.
   template <typename GraphT>
   std::vector<NodeId> PivotCandidates(const GraphT& g) const;
 

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "serve/metrics.h"
 #include "util/hash.h"
+#include "util/timer.h"
 #include "util/tsv.h"
 
 namespace gfd::net {
@@ -119,7 +120,8 @@ FeedService::FeedService(ServingStore& store, const ViolationEngine& engine,
       feed_(feed),
       opts_(std::move(opts)),
       limiter_({.rate_per_sec = opts_.ingest_rate_per_sec,
-                .burst = opts_.ingest_burst}) {}
+                .burst = opts_.ingest_burst}),
+      planner_(opts_.planner) {}
 
 uint64_t FeedService::Prime(bool* scanned) {
   std::lock_guard lock(store_mu_);
@@ -137,7 +139,15 @@ uint64_t FeedService::Prime(bool* scanned) {
     auto view = GraphView::Apply(g, no_delta);
     DetectOptions full;
     full.workers = opts_.detect_workers;
+    WallTimer watch;
     count_ = engine_.Detect(*view, full).violations.size();
+    // The seeding scan is a free full-path cost sample: feed it to the
+    // planner so the adaptive mode calibrates after the FIRST served
+    // batch instead of needing one of each path.
+    planner_.ObserveFull(
+        MakePlannerInputs(*view, 0, "", engine_.NumGroups(),
+                          engine_.NumAnchorPlans()),
+        watch.Seconds());
     std::string err;
     if (!store_.SetViolationCount(count_, fingerprint_, &err)) {
       std::fprintf(stderr, "warning: could not persist counter: %s\n",
@@ -207,6 +217,7 @@ void FeedService::Ingest(const HttpRequest& req, ResponseWriter& w) {
   }
   IncrementalOptions iopts;
   iopts.workers = opts_.detect_workers;
+  iopts.planner = &planner_;
   std::string error;
   uint64_t seq = 0;
   auto diff = store_.AppendAndDiff(engine_, req.body, iopts, &seq, &error);
@@ -215,8 +226,17 @@ void FeedService::Ingest(const HttpRequest& req, ResponseWriter& w) {
     w.Respond(Json(422, "{\"error\":\"" + JsonEscape(error) + "\"}\n"));
     return;
   }
-  count_ += diff->added.size();
-  count_ -= diff->removed.size();
+  if (diff->used_full_path) {
+    // The full run is authoritative: RE-SEED the running count rather
+    // than composing, so a count computed on the wrong path can never
+    // persist through store.meta.
+    count_ = diff->full_post_count;
+  } else {
+    count_ += diff->added.size();
+    count_ -= diff->removed.size();
+  }
+  groups_scanned_ += diff->stats.groups_scanned;
+  groups_skipped_ += diff->stats.groups_skipped;
   if (!store_.SetViolationCount(count_, fingerprint_, &error)) {
     std::fprintf(stderr, "warning: could not persist counter: %s\n",
                  error.c_str());
@@ -284,6 +304,13 @@ void FeedService::Feed(const HttpRequest& req, ResponseWriter& w) {
       w.Respond(Plain(400, "bad max_events\n"));
       return;
     }
+    if (*parsed == 0) {
+      // 0 used to silently mean "unlimited" (the no-param default); an
+      // explicit cap of zero events is a client bug, not a request.
+      w.Respond(Plain(400, "max_events must be >= 1 (omit for an "
+                           "unbounded stream)\n"));
+      return;
+    }
     max_events = *parsed;
   }
 
@@ -349,10 +376,16 @@ void FeedService::Metrics(ResponseWriter& w) {
 void FeedService::Status(ResponseWriter& w) {
   ServingMetricsSnapshot snap;
   uint64_t count;
+  PlannerStats pstats;
+  uint64_t scanned;
+  uint64_t skipped;
   {
     std::lock_guard lock(store_mu_);
     snap = store_.MetricsSnapshot();
     count = count_;
+    pstats = planner_.stats();
+    scanned = groups_scanned_;
+    skipped = groups_skipped_;
   }
   std::string body =
       "{\"seq\":" + std::to_string(snap.last_seq) +
@@ -362,6 +395,11 @@ void FeedService::Status(ResponseWriter& w) {
       ",\"overlay_ops\":" + std::to_string(snap.overlay_ops) +
       ",\"compactions\":" + std::to_string(snap.compactions) +
       ",\"violations\":" + std::to_string(count) +
+      ",\"planner_incremental\":" +
+      std::to_string(pstats.incremental_decisions) +
+      ",\"planner_full\":" + std::to_string(pstats.full_decisions) +
+      ",\"groups_scanned\":" + std::to_string(scanned) +
+      ",\"groups_skipped\":" + std::to_string(skipped) +
       ",\"feed_seq\":" + std::to_string(feed_.last_seq()) +
       ",\"subscribers\":" + std::to_string(feed_.subscriber_count()) +
       ",\"evictions\":" + std::to_string(feed_.evictions()) + "}\n";

@@ -443,8 +443,47 @@ std::optional<IncrementalDiff> AppendAndDiff(GraphStore& store,
                                              const IncrementalOptions& opts,
                                              uint64_t* seq_out,
                                              std::string* error) {
+  // Path choice happens BEFORE the append, from pre-append estimates, so
+  // the chosen path's before-side still sees the pre-batch state. The
+  // inputs come from the one shared MakePlannerInputs, which is what
+  // makes the single-store and coordinator backends decide identically
+  // on the same stream.
+  PlannerInputs pin;
+  DetectPath path = DetectPath::kIncremental;
+  if (opts.planner) {
+    pin = MakePlannerInputs(store.view(), store.overlay().ops.size(),
+                            delta_tsv, engine.NumGroups(),
+                            engine.NumAnchorPlans());
+    path = opts.planner->Plan(pin);
+  }
+
+  if (path == DetectPath::kFull) {
+    // Full re-detect of both sides: uncapped (a truncated side would
+    // fabricate diff entries), diffed by FullStepDiff. The observed
+    // wall-clock feeds the planner's full-path calibration.
+    WallTimer watch;
+    obs::ScopedTimer detect_timer(nullptr, "detect_full");
+    DetectOptions full;
+    full.workers = opts.workers;
+    full.match = opts.match;
+    DetectionResult before = engine.Detect(store.view(), full);
+    auto seq = store.Append(delta_tsv, error);
+    if (!seq) {
+      detect_timer.Discard();
+      return std::nullopt;
+    }
+    if (seq_out) *seq_out = *seq;
+    DetectionResult after = engine.Detect(store.view(), full);
+    detect_timer.AddField("seq", *seq);
+    detect_timer.StopNs();
+    IncrementalDiff diff = FullStepDiff(before, after);
+    opts.planner->ObserveFull(pin, watch.Seconds());
+    return diff;
+  }
+
   // Both runs diff against the shared base; Append never compacts, so the
   // base is identical across them and the diffs compose.
+  WallTimer watch;
   obs::ScopedTimer detect_timer(nullptr, "detect");
   IncrementalDiff before = engine.DetectIncremental(store.view(), opts);
   auto seq = store.Append(delta_tsv, error);
@@ -457,7 +496,9 @@ std::optional<IncrementalDiff> AppendAndDiff(GraphStore& store,
   detect_timer.AddField("seq", *seq);
   detect_timer.StopNs();
   obs::ScopedTimer merge_timer(nullptr, "merge", {{"seq", *seq}});
-  return ComposeStepDiff(before, after);
+  IncrementalDiff diff = ComposeStepDiff(before, after);
+  if (opts.planner) opts.planner->ObserveIncremental(pin, watch.Seconds());
+  return diff;
 }
 
 }  // namespace gfd

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "detect/engine.h"
+#include "detect/planner.h"
 #include "graph/graph_view.h"
 #include "graph/property_graph.h"
 #include "serve/delta_log.h"
@@ -58,10 +59,13 @@ namespace gfd {
 struct GraphStoreOptions {
   /// Overlay ops threshold (absolute).
   size_t compact_min_ops = 0;
-  /// Overlay ops as a fraction of base edges. Defaults to 10%: past that,
-  /// bench_incremental's crossover says a full re-detect beats the
-  /// incremental path anyway, so the overlay has outlived its usefulness.
-  double compact_min_fraction = 0.10;
+  /// Overlay ops as a fraction of base edges. Defaults to the SAME
+  /// crossover the DetectPlanner's seeded rule uses
+  /// (detect/planner.h): past it a full re-detect beats the incremental
+  /// path, so an overlay that large has outlived its usefulness -- and
+  /// sharing the constant keeps compaction policy and detection policy
+  /// from drifting apart.
+  double compact_min_fraction = kIncrementalCrossoverFraction;
 };
 
 struct GraphStoreStats {

@@ -118,6 +118,16 @@ TEST(ChangefeedStress, PublishersSubscribersEvictionAndShutdown) {
   auto feed = ViolationChangefeed::Open(dir.path(), /*store_last_seq=*/0);
   ASSERT_NE(feed, nullptr);
 
+  // A parked subscriber with a queue of 1 that never consumes: the
+  // second publish after it connects must overflow its queue, so at
+  // least one eviction happens regardless of scheduling. The slow
+  // FollowFeed subscriber below usually gets evicted too, but on a
+  // loaded machine the publishers can run slowly enough that it keeps
+  // up -- that race must not decide the eviction assertion.
+  std::vector<FeedEvent> parked_replay;
+  auto parked = feed->Subscribe(/*cursor=*/0, /*queue_cap=*/1,
+                                &parked_replay);
+
   // Publishers race to extend the sequence. Only one can hold the next
   // sequence number at a time; the rest observe an out-of-sequence
   // rejection and retry -- exactly the contention Publish must survive.

@@ -713,6 +713,11 @@ TEST(FeedServiceE2e, EveryEndpointAnswersOverSockets) {
   std::string feed2 = Get(s.port(), "/feed?cursor=0&max_events=1");
   EXPECT_EQ(feed1, feed2);
   EXPECT_NE(Get(s.port(), "/feed?cursor=x").find("400"), std::string::npos);
+  // max_events=0 would be a stream that can never deliver anything and
+  // never ends: rejected up front like any other unusable parameter,
+  // while the positive value above streams and closes normally.
+  EXPECT_NE(Get(s.port(), "/feed?cursor=0&max_events=0").find("400"),
+            std::string::npos);
 }
 
 TEST(FeedServiceE2e, IngestIsRateLimitedPerClient) {

@@ -87,6 +87,7 @@
 #include "serve/changefeed.h"
 #include "detect/engine.h"
 #include "detect/metrics.h"
+#include "detect/planner.h"
 #include "gfd/serialize.h"
 #include "gfd/validation.h"
 #include "graph/loader.h"
@@ -658,8 +659,13 @@ std::optional<int> ServeBatch(ServingStore& store,
   uint64_t fp = RuleFingerprint(engine.rules(), before);
   uint64_t pre_count =
       PreBatchCount(engine, *before_view, store.violation_count(fp), workers);
+  // One-shot planner (each CLI invocation is a fresh process, so the
+  // seeded crossover rule decides): large batches take the full-redetect
+  // path instead of paying the known incremental slowdown.
+  DetectPlanner planner;
   IncrementalOptions iopts;
   iopts.workers = workers;
+  iopts.planner = &planner;
   std::string error;
   uint64_t seq = 0;
   WallTimer t;
@@ -670,7 +676,12 @@ std::optional<int> ServeBatch(ServingStore& store,
     return std::nullopt;
   }
   double seconds = t.Seconds();
-  uint64_t post_count = pre_count + diff->added.size() - diff->removed.size();
+  // A full-path diff re-seeds the counter from its authoritative
+  // post-state count; composing would be computing it on the wrong path.
+  uint64_t post_count =
+      diff->used_full_path
+          ? diff->full_post_count
+          : pre_count + diff->added.size() - diff->removed.size();
   if (!store.SetViolationCount(post_count, fp, &error)) {
     std::fprintf(stderr, "warning: could not persist counter: %s\n",
                  error.c_str());
